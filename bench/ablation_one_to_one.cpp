@@ -1,0 +1,66 @@
+/// Ablation: the one-to-one mapping procedure (Algorithm 5.2) on/off.
+/// With it disabled every replica receives from all ε+1 copies of each
+/// predecessor (locked receive-from-all) — isolating how much of CAFT's
+/// advantage comes from the single-sender channels themselves.
+#include <iostream>
+
+#include "algo/caft.hpp"
+#include "algo/ftsa.hpp"
+#include "common/table.hpp"
+#include "dag/generators.hpp"
+#include "exp/config.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/cost_synthesis.hpp"
+
+int main() {
+  using namespace caft;
+  const std::size_t reps = bench_reps_from_env(10);
+  std::cout << "=== Ablation: Algorithm 5.2 (one-to-one mapping) on/off "
+               "(m=10, granularity 0.5) ===\n"
+            << "reps per row: " << reps << "\n\n";
+
+  Table table("normalized latency and messages",
+              {"eps", "CAFT latency", "CAFT no-1:1 latency", "FTSA latency",
+               "CAFT msgs", "CAFT no-1:1 msgs", "FTSA msgs",
+               "one-to-one commits", "per-edge fallbacks"});
+  for (const std::size_t eps : {1u, 2u, 3u}) {
+    double lat_on = 0.0, lat_off = 0.0, lat_ftsa = 0.0;
+    double msg_on = 0.0, msg_off = 0.0, msg_ftsa = 0.0;
+    double o2o = 0.0, pef = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng(23 + rep);
+      const TaskGraph g = random_dag(RandomDagParams{}, rng);
+      const Platform platform(10);
+      CostSynthesisParams params;
+      params.granularity = 0.5;
+      const CostModel costs = synthesize_costs(g, platform, params, rng);
+      const SchedulerOptions options{eps, CommModelKind::kOnePort};
+      CaftOptions on, off;
+      on.base = options;
+      off.base = options;
+      off.one_to_one = false;
+      CaftRunStats stats;
+      const Schedule a = caft_schedule(g, platform, costs, on, &stats);
+      const Schedule b = caft_schedule(g, platform, costs, off);
+      const Schedule f = ftsa_schedule(g, platform, costs, options);
+      lat_on += normalized_latency(a.zero_crash_latency(), g, costs);
+      lat_off += normalized_latency(b.zero_crash_latency(), g, costs);
+      lat_ftsa += normalized_latency(f.zero_crash_latency(), g, costs);
+      msg_on += static_cast<double>(a.message_count());
+      msg_off += static_cast<double>(b.message_count());
+      msg_ftsa += static_cast<double>(f.message_count());
+      o2o += static_cast<double>(stats.one_to_one_commits);
+      pef += static_cast<double>(stats.per_edge_fallbacks);
+    }
+    const auto n = static_cast<double>(reps);
+    table.add_row({static_cast<double>(eps), lat_on / n, lat_off / n,
+                   lat_ftsa / n, msg_on / n, msg_off / n, msg_ftsa / n,
+                   o2o / n, pef / n});
+  }
+  table.print(std::cout, 2);
+  std::cout << "\nExpected shape: disabling the one-to-one channels pushes\n"
+               "CAFT's messages and latency to FTSA's level — the procedure\n"
+               "is where the paper's gains come from.\n";
+  table.save_csv("ablation_one_to_one.csv");
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Ablation: the central robustness finding of this reproduction.
+///
+/// The paper's mutual-exclusion locking (equation (7)) operates at the
+/// *direct* level: a channel locks its host and its senders' processors.
+/// But a sender may itself depend one-to-one on other processors, and a
+/// crash set aimed at such a transitively shared supplier breaks several
+/// channels at once. This bench quantifies that window — exhaustive ε-subset
+/// survival and uniformly drawn crash sets — for the paper's rule (kDirect)
+/// against this library's strengthened rule (kTransitive), alongside the
+/// performance each rule buys.
+#include <iostream>
+
+#include "algo/caft.hpp"
+#include "common/table.hpp"
+#include "dag/generators.hpp"
+#include "exp/config.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "sim/resilience.hpp"
+
+int main() {
+  using namespace caft;
+  const std::size_t reps = bench_reps_from_env(10);
+  std::cout << "=== Ablation: equation (7) locking depth — paper rule "
+               "(direct) vs provable rule (transitive) ===\n"
+            << "m=8, eps=2, exhaustive C(8,2)=28 crash subsets per instance; "
+            << reps << " instances\n\n";
+
+  Table table("survival and performance by support mode",
+              {"mode", "failing subsets", "subsets tested", "failing draws",
+               "draws", "norm. latency", "messages"});
+  for (const int mode : {0, 1}) {
+    std::size_t failing_subsets = 0, subsets = 0, failing_draws = 0, draws = 0;
+    double latency = 0.0, messages = 0.0;
+    Rng draw_rng(99);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng(500 + rep);
+      RandomDagParams dag;
+      dag.min_tasks = 30;
+      dag.max_tasks = 45;
+      const TaskGraph g = random_dag(dag, rng);
+      const Platform platform(8);
+      CostSynthesisParams params;
+      params.granularity = 0.8;
+      const CostModel costs = synthesize_costs(g, platform, params, rng);
+      CaftOptions options;
+      options.base = SchedulerOptions{2, CommModelKind::kOnePort};
+      options.support_mode =
+          mode == 0 ? CaftSupportMode::kDirect : CaftSupportMode::kTransitive;
+      const Schedule sched = caft_schedule(g, platform, costs, options);
+      const ResilienceReport report =
+          check_resilience_exhaustive(sched, costs, 2);
+      failing_subsets += report.failures;
+      subsets += report.scenarios_tested;
+      for (int d = 0; d < 10; ++d) {
+        ++draws;
+        if (!simulate_random_crashes(sched, costs, 2, draw_rng).success)
+          ++failing_draws;
+      }
+      latency += normalized_latency(sched.zero_crash_latency(), g, costs);
+      messages += static_cast<double>(sched.message_count());
+    }
+    const auto n = static_cast<double>(reps);
+    table.add_row({std::string(mode == 0 ? "direct (paper)" : "transitive"),
+                   static_cast<double>(failing_subsets),
+                   static_cast<double>(subsets),
+                   static_cast<double>(failing_draws),
+                   static_cast<double>(draws), latency / n, messages / n});
+  }
+  table.print(std::cout, 2);
+  std::cout
+      << "\nExpected shape: the direct rule leaves failing crash subsets on\n"
+         "nearly every instance (and loses a fraction of random draws),\n"
+         "while the transitive rule fails on none; the guarantee costs a\n"
+         "modest amount of messages and latency.\n";
+  table.save_csv("ablation_support_mode.csv");
+  return 0;
+}

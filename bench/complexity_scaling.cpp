@@ -1,0 +1,114 @@
+/// Runtime scaling of the schedulers (google-benchmark): Theorem 5.1 gives
+/// CAFT O(e·m·(ε+1)²·log(ε+1) + v·log ω); FTSA is O(e·m²+ v·log ω) per [4];
+/// FTBAR is O(P·N³) per [10]. The task-count sweep exposes FTBAR's cubic
+/// growth against the near-linear CAFT/FTSA; the ε and m sweeps exercise
+/// the other factors.
+#include <benchmark/benchmark.h>
+
+#include "algo/caft.hpp"
+#include "algo/ftbar.hpp"
+#include "algo/ftsa.hpp"
+#include "dag/generators.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "sim/resilience.hpp"
+
+namespace {
+
+using namespace caft;
+
+/// One reusable instance per (v, m) so setup cost stays out of the loop.
+struct Instance {
+  TaskGraph graph;
+  Platform platform;
+  CostModel costs;
+
+  Instance(std::size_t tasks, std::size_t m, std::uint64_t seed)
+      : platform(m), costs(make(tasks, m, seed)) {}
+
+ private:
+  CostModel make(std::size_t tasks, std::size_t m, std::uint64_t seed) {
+    Rng rng(seed);
+    RandomDagParams params;
+    params.min_tasks = tasks;
+    params.max_tasks = tasks;
+    graph = random_dag(params, rng);
+    (void)m;
+    CostSynthesisParams cost_params;
+    cost_params.granularity = 1.0;
+    return synthesize_costs(graph, platform, cost_params, rng);
+  }
+};
+
+void BM_CaftTasks(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  Instance instance(tasks, 10, 1);
+  CaftOptions options;
+  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(caft_schedule(instance.graph, instance.platform,
+                                           instance.costs, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CaftTasks)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_FtsaTasks(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  Instance instance(tasks, 10, 1);
+  const SchedulerOptions options{1, CommModelKind::kOnePort};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ftsa_schedule(instance.graph, instance.platform,
+                                           instance.costs, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FtsaTasks)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_FtbarTasks(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  Instance instance(tasks, 10, 1);
+  FtbarOptions options;
+  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ftbar_schedule(instance.graph, instance.platform,
+                                            instance.costs, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FtbarTasks)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_CaftEps(benchmark::State& state) {
+  const auto eps = static_cast<std::size_t>(state.range(0));
+  Instance instance(100, 12, 2);
+  CaftOptions options;
+  options.base = SchedulerOptions{eps, CommModelKind::kOnePort};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(caft_schedule(instance.graph, instance.platform,
+                                           instance.costs, options));
+}
+BENCHMARK(BM_CaftEps)->DenseRange(0, 5, 1);
+
+void BM_CaftProcs(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Instance instance(100, m, 3);
+  CaftOptions options;
+  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(caft_schedule(instance.graph, instance.platform,
+                                           instance.costs, options));
+}
+BENCHMARK(BM_CaftProcs)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_CrashReplay(benchmark::State& state) {
+  Instance instance(100, 10, 4);
+  CaftOptions options;
+  options.base = SchedulerOptions{2, CommModelKind::kOnePort};
+  const Schedule sched = caft_schedule(instance.graph, instance.platform,
+                                       instance.costs, options);
+  Rng rng(5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        simulate_random_crashes(sched, instance.costs, 2, rng));
+}
+BENCHMARK(BM_CrashReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

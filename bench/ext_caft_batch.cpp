@@ -1,0 +1,58 @@
+/// Extension (paper Section 7): the batched decision procedure. "Why not
+/// consider say, 10 ready tasks, and assign all their replicas in the same
+/// decision making procedure?" — CAFT-B opens a priority window of ready
+/// tasks and always commits the globally earliest-finishing replica.
+/// Sweeps the window size; batch = 1 is exactly CAFT.
+#include <iostream>
+
+#include "algo/caft_batch.hpp"
+#include "common/table.hpp"
+#include "dag/generators.hpp"
+#include "exp/config.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/cost_synthesis.hpp"
+
+int main() {
+  using namespace caft;
+  const std::size_t reps = bench_reps_from_env(10);
+  std::cout << "=== Extension: CAFT-B batched mapping (m=10, granularity "
+               "0.5) ===\n"
+            << "reps per row: " << reps << "\n\n";
+
+  for (const std::size_t eps : {1u, 3u}) {
+    Table table("eps=" + std::to_string(eps),
+                {"batch size", "norm. latency", "messages",
+                 "latency vs batch=1"});
+    double baseline = 0.0;
+    for (const std::size_t batch : {1u, 2u, 4u, 6u, 10u, 16u}) {
+      double latency = 0.0, messages = 0.0;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        Rng rng(47 + rep);
+        const TaskGraph g = random_dag(RandomDagParams{}, rng);
+        const Platform platform(10);
+        CostSynthesisParams params;
+        params.granularity = 0.5;
+        const CostModel costs = synthesize_costs(g, platform, params, rng);
+        CaftBatchOptions options;
+        options.caft.base = SchedulerOptions{eps, CommModelKind::kOnePort};
+        options.batch_size = batch;
+        const Schedule sched =
+            caft_batch_schedule(g, platform, costs, options);
+        latency += normalized_latency(sched.zero_crash_latency(), g, costs);
+        messages += static_cast<double>(sched.message_count());
+      }
+      const auto n = static_cast<double>(reps);
+      latency /= n;
+      messages /= n;
+      if (batch == 1) baseline = latency;
+      table.add_row({static_cast<double>(batch), latency, messages,
+                     latency / baseline});
+    }
+    table.print(std::cout, 3);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: moderate windows shave a few percent off the\n"
+               "latency by letting urgent replicas pick lightly loaded\n"
+               "processors first; very large windows flatten out.\n";
+  return 0;
+}

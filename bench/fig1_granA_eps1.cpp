@@ -1,0 +1,10 @@
+/// Figure 1 of the paper: average normalized latency and overhead for CAFT,
+/// FTSA and FTBAR over granularity sweep A (0.2..2.0), m = 10, ε = 1, crash
+/// runs with 1 failed processor. Panels (a), (b), (c) plus the message table.
+#include "figure_main.hpp"
+
+int main() {
+  return caft::bench::run_figure_bench(
+      caft::figure1(),
+      "granularity A in [0.2, 2.0], m=10, eps=1, 1 crash (paper Figure 1)");
+}

@@ -1,0 +1,8 @@
+/// Figure 2 of the paper: granularity sweep A, m = 10, ε = 3, 2 crashes.
+#include "figure_main.hpp"
+
+int main() {
+  return caft::bench::run_figure_bench(
+      caft::figure2(),
+      "granularity A in [0.2, 2.0], m=10, eps=3, 2 crashes (paper Figure 2)");
+}

@@ -1,0 +1,8 @@
+/// Figure 3 of the paper: granularity sweep A, m = 20, ε = 5, 3 crashes.
+#include "figure_main.hpp"
+
+int main() {
+  return caft::bench::run_figure_bench(
+      caft::figure3(),
+      "granularity A in [0.2, 2.0], m=20, eps=5, 3 crashes (paper Figure 3)");
+}

@@ -1,0 +1,9 @@
+/// Figure 4 of the paper: granularity sweep B (1..10), m = 10, ε = 1,
+/// 1 crash.
+#include "figure_main.hpp"
+
+int main() {
+  return caft::bench::run_figure_bench(
+      caft::figure4(),
+      "granularity B in [1, 10], m=10, eps=1, 1 crash (paper Figure 4)");
+}

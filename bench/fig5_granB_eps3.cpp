@@ -1,0 +1,8 @@
+/// Figure 5 of the paper: granularity sweep B, m = 10, ε = 3, 2 crashes.
+#include "figure_main.hpp"
+
+int main() {
+  return caft::bench::run_figure_bench(
+      caft::figure5(),
+      "granularity B in [1, 10], m=10, eps=3, 2 crashes (paper Figure 5)");
+}

@@ -1,0 +1,8 @@
+/// Figure 6 of the paper: granularity sweep B, m = 20, ε = 5, 3 crashes.
+#include "figure_main.hpp"
+
+int main() {
+  return caft::bench::run_figure_bench(
+      caft::figure6(),
+      "granularity B in [1, 10], m=20, eps=5, 3 crashes (paper Figure 6)");
+}

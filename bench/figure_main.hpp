@@ -1,0 +1,35 @@
+/// \file figure_main.hpp
+/// Shared driver for the six figure benches: runs one ExperimentConfig at
+/// the CAFT_BENCH_REPS repetition count (default below; the paper uses 60)
+/// and prints the three panels plus the message table.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/config.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace caft::bench {
+
+/// Repetitions used when CAFT_BENCH_REPS is not set. Chosen so the whole
+/// bench suite finishes in a few minutes on a laptop; set CAFT_BENCH_REPS=60
+/// for the paper's exact protocol.
+inline constexpr std::size_t kDefaultReps = 10;
+
+inline int run_figure_bench(ExperimentConfig config, const char* blurb) {
+  config.graphs_per_point = bench_reps_from_env(kDefaultReps);
+  std::cout << "=== " << config.name << ": " << blurb << " ===\n"
+            << "platform: m=" << config.proc_count << ", eps=" << config.eps
+            << ", crashes=" << config.crashes
+            << ", graphs/point=" << config.graphs_per_point
+            << ", seed=" << config.seed << "\n"
+            << "(set CAFT_BENCH_REPS=60 for the paper's full protocol)\n\n";
+  const auto points = run_experiment(config);
+  report_figure(std::cout, config, points, config.name);
+  std::cout << "CSV written to " << config.name << "_{a,b,c,msgs}.csv\n";
+  return 0;
+}
+
+}  // namespace caft::bench

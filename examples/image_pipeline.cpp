@@ -1,0 +1,88 @@
+/// Domain example: a streaming image-processing pipeline on an edge cluster.
+///
+/// A stage-parallel pipeline (split -> per-band filtering -> wavefront
+/// refinement -> merge) models the kind of application the paper's
+/// introduction motivates: throughput-oriented work on a heterogeneous
+/// cluster where any node may drop out. The example builds the pipeline DAG
+/// by hand with the public TaskGraph API (no generator), schedules it with
+/// CAFT at eps = 1 and eps = 2, and prints the latency/overhead trade-off
+/// together with the Gantt chart of the eps = 1 schedule.
+#include <cstdio>
+#include <iostream>
+
+#include "algo/caft.hpp"
+#include "algo/heft.hpp"
+#include "metrics/gantt.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "sim/resilience.hpp"
+
+namespace {
+
+using namespace caft;
+
+/// split -> bands x (denoise -> sharpen) -> 2x2 wavefront blend -> merge.
+TaskGraph build_pipeline(std::size_t bands) {
+  TaskGraph g;
+  const TaskId split = g.add_task("split");
+  std::vector<TaskId> sharpened;
+  for (std::size_t b = 0; b < bands; ++b) {
+    const TaskId denoise = g.add_task("denoise" + std::to_string(b));
+    const TaskId sharpen = g.add_task("sharpen" + std::to_string(b));
+    g.add_edge(split, denoise, 120.0);   // band pixels
+    g.add_edge(denoise, sharpen, 120.0);
+    sharpened.push_back(sharpen);
+  }
+  // 2x2 wavefront blend over neighbouring bands.
+  std::vector<TaskId> blended;
+  for (std::size_t b = 0; b + 1 < sharpened.size(); ++b) {
+    const TaskId blend = g.add_task("blend" + std::to_string(b));
+    g.add_edge(sharpened[b], blend, 60.0);
+    g.add_edge(sharpened[b + 1], blend, 60.0);
+    blended.push_back(blend);
+  }
+  const TaskId merge = g.add_task("merge");
+  for (const TaskId b : blended) g.add_edge(b, merge, 60.0);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const TaskGraph graph = build_pipeline(6);
+  const Platform platform(8);
+  Rng rng(11);
+  CostSynthesisParams params;
+  params.granularity = 0.5;  // bandwidth-hungry pipeline
+  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+
+  std::printf("image pipeline: %zu tasks, %zu edges on m=%zu processors\n\n",
+              graph.task_count(), graph.edge_count(), platform.proc_count());
+
+  const Schedule baseline =
+      heft_schedule(graph, platform, costs, CommModelKind::kOnePort);
+  std::printf("%-18s latency %8.1f   (no failures survived)\n",
+              "HEFT (fault-free)", baseline.zero_crash_latency());
+
+  Schedule last_tolerant = baseline;
+  for (const std::size_t eps : {1u, 2u}) {
+    CaftOptions options;
+    options.base = SchedulerOptions{eps, CommModelKind::kOnePort};
+    Schedule sched = caft_schedule(graph, platform, costs, options);
+    const ResilienceReport report =
+        check_resilience_exhaustive(sched, costs, eps);
+    std::printf("%-10s eps=%zu  latency %8.1f   overhead %+6.1f%%   msgs %3zu"
+                "   survives all %zu-subsets: %s\n",
+                "CAFT", eps, sched.zero_crash_latency(),
+                overhead_percent(sched.zero_crash_latency(),
+                                 baseline.zero_crash_latency()),
+                sched.message_count(), eps, report.resistant ? "yes" : "NO");
+    if (eps == 1) last_tolerant = std::move(sched);
+  }
+
+  std::printf("\nGantt of the eps=1 schedule (replicated stages visible):\n");
+  GanttOptions gantt;
+  gantt.width = 96;
+  std::cout << render_gantt(last_tolerant, gantt);
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Domain example: fault-tolerant scheduling of dense linear-algebra task
+/// graphs — the classic workloads of the list-scheduling literature.
+///
+/// Three kernels are scheduled on a 12-processor heterogeneous cluster with
+/// one failure to survive:
+///   - Gaussian elimination (k = 8): the pivot/update dependency lattice;
+///   - tiled Cholesky (6x6 tiles): POTRF/TRSM/SYRK/GEMM kernels;
+///   - FFT (16 points): the butterfly exchange pattern.
+///
+/// For each, the example compares the fault-free HEFT latency against CAFT
+/// with eps = 1 and reports the replication overhead the paper's formula
+/// assigns — the price of surviving a node loss mid-factorization.
+#include <cstdio>
+
+#include "algo/caft.hpp"
+#include "algo/heft.hpp"
+#include "dag/generators.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "sched/bounds.hpp"
+#include "sim/resilience.hpp"
+
+namespace {
+
+using namespace caft;
+
+void run_workflow(const char* name, TaskGraph graph, double granularity) {
+  const Platform platform(12);
+  Rng rng(7);
+  CostSynthesisParams params;
+  params.granularity = granularity;
+  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+
+  const Schedule baseline =
+      heft_schedule(graph, platform, costs, CommModelKind::kOnePort);
+  CaftOptions options;
+  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
+  const Schedule tolerant = caft_schedule(graph, platform, costs, options);
+
+  const ScheduleStats stats = schedule_stats(tolerant);
+  const ResilienceReport report =
+      check_resilience_exhaustive(tolerant, costs, 1);
+
+  std::printf("%-22s %4zu tasks %4zu edges | HEFT %8.1f | CAFT(eps=1) %8.1f "
+              "(overhead %+5.1f%%) | msgs %3zu | util %4.1f%% | survives all "
+              "single failures: %s\n",
+              name, graph.task_count(), graph.edge_count(),
+              baseline.zero_crash_latency(), tolerant.zero_crash_latency(),
+              overhead_percent(tolerant.zero_crash_latency(),
+                               baseline.zero_crash_latency()),
+              tolerant.message_count(), 100.0 * stats.mean_utilization,
+              report.resistant ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fault-tolerant scheduling of linear-algebra workflows "
+              "(m=12, eps=1, one-port model)\n\n");
+  run_workflow("gaussian-elimination", caft::gaussian_elimination(8, 80.0),
+               1.0);
+  run_workflow("cholesky 6x6 tiles", caft::cholesky(6, 80.0), 1.0);
+  run_workflow("fft 16-point", caft::fft(4, 80.0), 1.0);
+  // The same kernels in a communication-dominated regime: replication is
+  // pricier exactly where the paper says contention bites.
+  std::printf("\nsame kernels, communication-dominated (granularity 0.2):\n\n");
+  run_workflow("gaussian-elimination", caft::gaussian_elimination(8, 80.0),
+               0.2);
+  run_workflow("cholesky 6x6 tiles", caft::cholesky(6, 80.0), 0.2);
+  run_workflow("fft 16-point", caft::fft(4, 80.0), 0.2);
+  return 0;
+}

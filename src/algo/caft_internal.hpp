@@ -1,0 +1,115 @@
+/// \file caft_internal.hpp
+/// Implementation machinery shared by the sequential CAFT driver (caft.cpp)
+/// and the batched CAFT-B driver (caft_batch.cpp). Not part of the public
+/// API — include caft.hpp / caft_batch.hpp instead.
+///
+/// CaftMapper owns the engine, the schedule under construction, the support
+/// masks and the priority tracker, and exposes a per-task placement state
+/// machine: begin_task() opens the locked set P̄, advance() commits one
+/// replica channel, peek_next_finish() evaluates what advance() would commit
+/// — the hook the batched driver uses to pick the globally earliest-
+/// finishing replica across a window of ready tasks.
+///
+/// Channel construction generalizes Algorithm 5.2's singleton-processor
+/// heads (see DESIGN.md): an in-edge is single-sourced by the *eligible*
+/// predecessor replica (support mask disjoint from the locked set P̄) whose
+/// message would finish first on the links — co-located replicas serve for
+/// free — and falls back to receive-from-all only when no eligible sender
+/// exists ("greedily add extra communications"). Locking the committed
+/// channel's full support keeps the ε+1 supports pairwise disjoint, which is
+/// what makes Proposition 5.2 hold transitively.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "algo/caft.hpp"
+#include "algo/list_core.hpp"
+#include "algo/priorities.hpp"
+
+namespace caft::internal {
+
+/// Mutable state while placing the ε+1 replicas of one task
+/// (Algorithm 5.1 lines 10-20).
+struct TaskStep {
+  TaskId task;
+  SupportMask locked = 0;  ///< the paper's P̄ (equation (7)), as a proc mask
+  std::size_t committed = 0;
+  double first_finish = std::numeric_limits<double>::infinity();
+};
+
+/// One candidate channel: the plan per in-edge plus bookkeeping.
+struct ChannelCandidate {
+  ProcId proc;
+  TaskTimes times;
+  std::vector<IncomingPlan> plans;
+  SupportMask support = 0;
+  std::size_t receive_all_edges = 0;  ///< edges that needed extra comms
+};
+
+/// The CAFT placement engine; see file comment.
+class CaftMapper {
+ public:
+  CaftMapper(const TaskGraph& graph, const Platform& platform,
+             const CostModel& costs, const CaftOptions& options,
+             CaftRunStats* stats);
+
+  [[nodiscard]] PriorityTracker& tracker() { return tracker_; }
+
+  /// Starts mapping `t` (all predecessors must be committed).
+  [[nodiscard]] TaskStep begin_task(TaskId t) const;
+
+  /// Finish time of the replica advance() would commit next.
+  [[nodiscard]] double peek_next_finish(const TaskStep& step);
+
+  /// Commits the next replica of `step`'s task.
+  void advance(TaskStep& step);
+
+  /// True once all ε+1 replicas are committed.
+  [[nodiscard]] bool done(const TaskStep& step) const {
+    return step.committed == replicas();
+  }
+
+  /// Releases the task's successors (call exactly once, after done()).
+  void finish_task(const TaskStep& step);
+
+  /// Moves the finished schedule out (call once, at the very end).
+  [[nodiscard]] Schedule take_schedule();
+
+ private:
+  [[nodiscard]] std::size_t replicas() const { return options_->base.eps + 1; }
+  [[nodiscard]] std::size_t proc_count() const {
+    return schedule_.platform().proc_count();
+  }
+
+  /// Builds the channel targeting `p`; false iff `p` itself is locked.
+  /// `relaxed` drops the lock constraints entirely (used when every
+  /// processor is locked): all edges receive from every replica.
+  /// `use_one_to_one` toggles single-sender selection (case (b)); the
+  /// intra-processor rule (case (a)) applies either way.
+  bool build_channel(const TaskStep& step, ProcId p, bool relaxed,
+                     bool use_one_to_one, ChannelCandidate& out);
+
+  /// Best channel over all processors under the lock; if no processor is
+  /// available, retries with the relaxed rule. Always succeeds.
+  ChannelCandidate best_candidate(const TaskStep& step, bool& relaxed_out);
+
+  void commit_candidate(TaskStep& step, const ChannelCandidate& candidate,
+                        bool relaxed);
+
+  /// True iff an already-placed replica of `t` occupies `p`.
+  [[nodiscard]] bool hosts_replica_of(TaskId t, std::size_t committed,
+                                      ProcId p) const;
+
+  const TaskGraph& graph_;
+  const CaftOptions* options_;
+  CaftRunStats* stats_;
+  Schedule schedule_;
+  std::unique_ptr<CommEngine> engine_;
+  Placer placer_;
+  SupportMap supports_;
+  PriorityTracker tracker_;
+};
+
+}  // namespace caft::internal

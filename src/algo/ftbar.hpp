@@ -1,0 +1,47 @@
+/// \file ftbar.hpp
+/// FTBAR — Fault Tolerance Based Active Replication (Girault, Kalla,
+/// Sighireanu, Sorel [10]; paper Section 4.1), adapted to the one-port model
+/// per Section 4.3.
+///
+/// At each step n the *schedule pressure*
+///
+///   σ⁽ⁿ⁾(t_i, p_j) = S⁽ⁿ⁾(t_i, p_j) + s(t_i) − R⁽ⁿ⁻¹⁾
+///
+/// is computed for every free task / processor pair, where S is the earliest
+/// start time of t_i on p_j under the engine's accounting (top-down), s(t_i)
+/// the bottom level over average weights (the latest-start measure, bottom-
+/// up) and R⁽ⁿ⁻¹⁾ the schedule length so far. Each free task keeps its
+/// Npf+1 = ε+1 minimum-pressure processors; the task whose kept set contains
+/// the *maximum* pressure (the most urgent pair) is scheduled on all ε+1 of
+/// them, each replica receiving from every replica of every predecessor.
+///
+/// Committing a replica first runs Ahmad & Kwok's Minimize-Start-Time [1]:
+/// if duplicating the replica's critical parent (the predecessor whose
+/// earliest arrival binds the start time) onto the same processor strictly
+/// reduces the start, the duplicate is committed too. The recursion is depth
+/// bounded at one level, keeping the published O(P·N³) complexity.
+#pragma once
+
+#include "algo/list_core.hpp"
+#include "dag/task_graph.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// Tuning knobs specific to FTBAR.
+struct FtbarOptions {
+  SchedulerOptions base;
+  /// Enables the Minimize-Start-Time duplication pass (on in the paper).
+  bool minimize_start_time = true;
+};
+
+/// Runs FTBAR; the result has ε+1 primary replicas per task (plus possible
+/// duplicates from Minimize-Start-Time) and passes the validator.
+[[nodiscard]] Schedule ftbar_schedule(const TaskGraph& graph,
+                                      const Platform& platform,
+                                      const CostModel& costs,
+                                      const FtbarOptions& options);
+
+}  // namespace caft

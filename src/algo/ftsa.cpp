@@ -1,0 +1,63 @@
+#include "algo/ftsa.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "algo/priorities.hpp"
+#include "common/check.hpp"
+
+namespace caft {
+
+Schedule ftsa_schedule(const TaskGraph& graph, const Platform& platform,
+                       const CostModel& costs,
+                       const SchedulerOptions& options) {
+  CAFT_CHECK_MSG(options.eps + 1 <= platform.proc_count(),
+                 "FTSA needs at least eps+1 processors");
+  Schedule schedule(graph, platform, options.eps, options.model);
+  const auto engine = make_engine(options.model, platform, costs);
+  Placer placer(graph, costs, *engine, schedule);
+  PriorityTracker tracker(graph, costs);
+
+  const std::size_t m = platform.proc_count();
+  const std::size_t replicas = options.eps + 1;
+
+  while (tracker.has_free_task()) {
+    const TaskId t = tracker.pop_highest();
+
+    // Simulate the mapping on every processor from the same engine state.
+    struct Candidate {
+      double finish;
+      ProcId proc;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(m);
+    for (std::size_t pi = 0; pi < m; ++pi) {
+      const auto p = ProcId(static_cast<ProcId::value_type>(pi));
+      const auto plans = placer.receive_all_plans(t, p);
+      const TaskTimes times = placer.evaluate(t, p, plans);
+      candidates.push_back(Candidate{times.finish, p});
+    }
+    // Keep the ε+1 earliest-finishing processors (ties: lowest id).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.finish != b.finish) return a.finish < b.finish;
+                return a.proc < b.proc;
+              });
+
+    double first_finish = std::numeric_limits<double>::infinity();
+    for (ReplicaIndex r = 0; r < replicas; ++r) {
+      const ProcId p = candidates[r].proc;
+      // Rebuild the plan: sender placements did not change, but a fresh plan
+      // keeps the commit code path identical to evaluation.
+      const auto plans = placer.receive_all_plans(t, p);
+      const TaskTimes times = placer.commit(t, r, p, plans);
+      first_finish = std::min(first_finish, times.finish);
+    }
+    tracker.mark_scheduled(t, first_finish);
+  }
+
+  CAFT_CHECK(schedule.complete());
+  return schedule;
+}
+
+}  // namespace caft

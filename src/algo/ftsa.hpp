@@ -1,0 +1,33 @@
+/// \file ftsa.hpp
+/// FTSA — Fault Tolerant Scheduling Algorithm ([4], summarized in the
+/// paper's Section 4.2), the fault-tolerant extension of HEFT [27]:
+///
+///   - free tasks are processed by decreasing tℓ + bℓ priority;
+///   - the selected task is tentatively mapped on every processor, taking
+///     as ready time the moment at least one replica of each predecessor has
+///     delivered its data;
+///   - the ε+1 processors giving the smallest finish times each host one
+///     replica; every replica receives from *all* ε+1 replicas of every
+///     predecessor (up to (ε+1)² messages per DAG edge — the quadratic blow-
+///     up CAFT attacks), except that a co-located copy serves alone
+///     (Section 6's intra-processor note).
+///
+/// The communication model is pluggable (Section 4.3's one-port adaptation
+/// versus the original macro-dataflow formulation) via SchedulerOptions.
+#pragma once
+
+#include "algo/list_core.hpp"
+#include "dag/task_graph.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// Runs FTSA; the result has ε+1 replicas per task and passes the validator.
+[[nodiscard]] Schedule ftsa_schedule(const TaskGraph& graph,
+                                     const Platform& platform,
+                                     const CostModel& costs,
+                                     const SchedulerOptions& options);
+
+}  // namespace caft

@@ -1,0 +1,17 @@
+#include "algo/heft.hpp"
+
+#include "algo/ftsa.hpp"
+
+namespace caft {
+
+Schedule heft_schedule(const TaskGraph& graph, const Platform& platform,
+                       const CostModel& costs, CommModelKind model) {
+  // With ε = 0 FTSA degenerates to exactly HEFT-style EFT scheduling: one
+  // replica per task on the earliest-finishing processor, one message per
+  // DAG edge. Sharing the implementation keeps the fault-free baseline and
+  // the fault-tolerant schedulers numerically consistent.
+  return ftsa_schedule(graph, platform, costs,
+                       SchedulerOptions{/*eps=*/0, model});
+}
+
+}  // namespace caft

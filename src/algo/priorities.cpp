@@ -1,0 +1,53 @@
+#include "algo/priorities.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+PriorityTracker::PriorityTracker(const TaskGraph& graph, const CostModel& costs)
+    : graph_(&graph) {
+  const DagWeights weights = costs.average_weights(graph);
+  bl_ = bottom_levels(graph, weights);
+  avg_edge_weight_ = weights.edge;
+  tl_.assign(graph.task_count(), 0.0);  // entry tasks: tℓ = 0 (Algorithm 5.1)
+  pending_preds_.resize(graph.task_count());
+  for (const TaskId t : graph.all_tasks()) {
+    pending_preds_[t.index()] = graph.in_degree(t);
+    if (pending_preds_[t.index()] == 0) push_free(t);
+  }
+}
+
+TaskId PriorityTracker::pop_highest() {
+  CAFT_CHECK_MSG(!alpha_.empty(), "no free task available");
+  const TaskId t = alpha_.top().task;
+  alpha_.pop();
+  ++scheduled_count_;
+  return t;
+}
+
+void PriorityTracker::mark_scheduled(TaskId t, double first_finish) {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  for (const EdgeIndex e : graph_->out_edges(t)) {
+    const TaskId succ = graph_->edge(e).dst;
+    // tℓ relaxation over the partially built schedule: the successor cannot
+    // start before t's earliest copy finished plus the average transfer.
+    tl_[succ.index()] =
+        std::max(tl_[succ.index()], first_finish + avg_edge_weight_[e]);
+    CAFT_CHECK_MSG(pending_preds_[succ.index()] > 0,
+                   "successor released twice");
+    if (--pending_preds_[succ.index()] == 0) push_free(succ);
+  }
+}
+
+double PriorityTracker::priority(TaskId t) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  return tl_[t.index()] + bl_[t.index()];
+}
+
+void PriorityTracker::push_free(TaskId t) {
+  alpha_.push(Entry{priority(t), t});
+}
+
+}  // namespace caft

@@ -1,0 +1,72 @@
+/// \file priorities.hpp
+/// Task priorities and the free list α of the paper's Algorithm 5.1.
+///
+/// The priority of a free task t is tℓ(t) + bℓ(t) (Section 5): bℓ is the
+/// static bottom level over *average* execution/communication weights
+/// ([27, 4]); tℓ is maintained dynamically over the partially built schedule
+/// ("the current partially clustered DAG") — when a task is committed, each
+/// successor's top level is relaxed with the task's earliest replica finish
+/// plus the average communication weight of the connecting edge.
+///
+/// H(α) (the head function) returns the free task with the highest priority;
+/// the paper breaks ties randomly, we break them by lowest task id so
+/// experiments are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "dag/analysis.hpp"
+#include "dag/task_graph.hpp"
+#include "platform/cost_model.hpp"
+
+namespace caft {
+
+/// Tracks tℓ/bℓ, pending-predecessor counts and the free list α.
+class PriorityTracker {
+ public:
+  PriorityTracker(const TaskGraph& graph, const CostModel& costs);
+
+  /// True while unscheduled tasks remain.
+  [[nodiscard]] bool has_free_task() const { return !alpha_.empty(); }
+
+  /// Pops H(α): the free task with maximum tℓ + bℓ (ties: lowest id).
+  TaskId pop_highest();
+
+  /// Declares `t` committed with earliest replica finish `first_finish`;
+  /// relaxes successors' top levels and releases the ones that become free.
+  void mark_scheduled(TaskId t, double first_finish);
+
+  /// Current priority tℓ(t) + bℓ(t).
+  [[nodiscard]] double priority(TaskId t) const;
+
+  [[nodiscard]] double top_level(TaskId t) const { return tl_[t.index()]; }
+  [[nodiscard]] double bottom_level(TaskId t) const { return bl_[t.index()]; }
+
+  /// Number of tasks popped so far.
+  [[nodiscard]] std::size_t scheduled_count() const { return scheduled_count_; }
+
+ private:
+  struct Entry {
+    double priority;
+    TaskId task;
+    /// Max-heap on priority; ties favour the lowest task id.
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return task > other.task;
+    }
+  };
+
+  void push_free(TaskId t);
+
+  const TaskGraph* graph_;
+  std::vector<double> tl_;
+  std::vector<double> bl_;
+  std::vector<double> avg_edge_weight_;  ///< V(e) · average pair delay
+  std::vector<std::size_t> pending_preds_;
+  std::priority_queue<Entry> alpha_;
+  std::size_t scheduled_count_ = 0;
+};
+
+}  // namespace caft

@@ -1,0 +1,48 @@
+#include "comm/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+CommEngine::CommEngine(const Platform& platform, const CostModel& costs)
+    : platform_(&platform),
+      costs_(&costs),
+      proc_ready_(platform.proc_count(), 0.0) {
+  CAFT_CHECK_MSG(&costs.platform() == &platform,
+                 "cost model was built for a different platform");
+}
+
+double CommEngine::proc_ready(ProcId p) const {
+  CAFT_CHECK(p.index() < proc_ready_.size());
+  return proc_ready_[p.index()];
+}
+
+TaskTimes CommEngine::post_exec(ProcId p, double earliest_start,
+                                double exec_time) {
+  CAFT_CHECK(p.index() < proc_ready_.size());
+  CAFT_CHECK(exec_time >= 0.0);
+  TaskTimes times;
+  times.start = std::max(earliest_start, proc_ready_[p.index()]);
+  times.finish = times.start + exec_time;
+  proc_ready_[p.index()] = times.finish;
+  return times;
+}
+
+EngineSnapshot CommEngine::snapshot() const {
+  EngineSnapshot snap;
+  snap.proc_ready = proc_ready_;
+  return snap;
+}
+
+void CommEngine::restore(const EngineSnapshot& snap) {
+  CAFT_CHECK(snap.proc_ready.size() == proc_ready_.size());
+  proc_ready_ = snap.proc_ready;
+}
+
+void CommEngine::reset() {
+  std::fill(proc_ready_.begin(), proc_ready_.end(), 0.0);
+}
+
+}  // namespace caft

@@ -1,0 +1,111 @@
+/// \file engine.hpp
+/// Communication engines: the resource-accounting substrate the schedulers
+/// place work on. Two implementations share this interface:
+///
+///  - MacroDataflowEngine — the traditional contention-free model (Section 2
+///    of the paper): a message leaves as soon as its source task finishes and
+///    arrives W time units later; ports and links are unlimited.
+///  - OnePortEngine — the bi-directional one-port model (Sections 2/4.3):
+///    per-processor sending/receiving serialization (inequalities (2), (3)),
+///    per-link exclusivity (inequality (1)), with start/finish/arrival times
+///    per equations (4) and (6).
+///
+/// Schedulers *tentatively* place a task on every candidate processor, read
+/// the resulting finish time, and roll back; `snapshot()` / `restore()` make
+/// that cheap (the whole mutable state is a handful of time vectors; the
+/// paper: "the incoming communications are removed from the links before the
+/// procedure is repeated on the next processor").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/platform.hpp"
+
+namespace caft {
+
+/// Occupancy of one link by one message (sparse routes have several).
+struct LinkOccupancy {
+  LinkId link;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Timing of one posted communication. The send interval occupies the
+/// sender's port, the receive interval the receiver's port; on a clique both
+/// coincide with the single link's occupancy when nothing contends.
+struct CommTimes {
+  double link_start = 0.0;   ///< S(c, l): when the message enters its first link
+  double link_finish = 0.0;  ///< F(c, l): when it leaves its last link
+  double send_finish = 0.0;  ///< when the sender's port is released
+  double recv_start = 0.0;   ///< when the receiver's port starts the reception
+  double arrival = 0.0;      ///< A(c, P): when the receiver has fully received it
+  /// Per-hop link occupancy; empty for intra-processor hand-offs and for the
+  /// macro-dataflow model (which has no link exclusivity to validate).
+  std::vector<LinkOccupancy> segments;
+};
+
+/// Timing of one posted task execution.
+struct TaskTimes {
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Opaque copy of an engine's mutable state.
+struct EngineSnapshot {
+  std::vector<double> proc_ready;
+  std::vector<double> sending_free;
+  std::vector<double> receiving_free;
+  std::vector<double> link_ready;
+};
+
+/// Resource accounting interface shared by both platform models.
+class CommEngine {
+ public:
+  CommEngine(const Platform& platform, const CostModel& costs);
+  virtual ~CommEngine() = default;
+
+  CommEngine(const CommEngine&) = delete;
+  CommEngine& operator=(const CommEngine&) = delete;
+
+  [[nodiscard]] const Platform& platform() const { return *platform_; }
+  [[nodiscard]] const CostModel& costs() const { return *costs_; }
+  [[nodiscard]] std::size_t proc_count() const { return platform_->proc_count(); }
+
+  /// r(P): maximum finish time of the tasks already placed on P.
+  [[nodiscard]] double proc_ready(ProcId p) const;
+
+  /// Places a communication of `volume` data units from `from` to `to` whose
+  /// payload becomes available at the sender at `data_ready` (the source
+  /// task's finish time). Mutates the engine state. `from == to` is the
+  /// intra-processor case: free and instantaneous (arrival = data_ready).
+  virtual CommTimes post_comm(ProcId from, ProcId to, double volume,
+                              double data_ready) = 0;
+
+  /// Finish time on the link(s) that `post_comm` would produce, *without*
+  /// mutating state — the sort key of Algorithm 5.2 line 3.
+  [[nodiscard]] virtual double peek_link_finish(ProcId from, ProcId to,
+                                                double volume,
+                                                double data_ready) const = 0;
+
+  /// Executes a task on `p`, not before `earliest_start`, for `exec_time`.
+  /// Processors run one task at a time: start = max(earliest_start, r(P)).
+  TaskTimes post_exec(ProcId p, double earliest_start, double exec_time);
+
+  /// Copies the mutable state (O(m + links)).
+  [[nodiscard]] virtual EngineSnapshot snapshot() const;
+  /// Restores a state previously returned by snapshot().
+  virtual void restore(const EngineSnapshot& snap);
+
+  /// Resets every clock to zero (new scheduling run).
+  virtual void reset();
+
+ protected:
+  const Platform* platform_;
+  const CostModel* costs_;
+  std::vector<double> proc_ready_;
+};
+
+}  // namespace caft

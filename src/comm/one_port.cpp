@@ -1,0 +1,122 @@
+#include "comm/one_port.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+OnePortEngine::OnePortEngine(const Platform& platform, const CostModel& costs)
+    : CommEngine(platform, costs),
+      sending_free_(platform.proc_count(), 0.0),
+      receiving_free_(platform.proc_count(), 0.0),
+      link_ready_(platform.topology().link_count(), 0.0) {}
+
+CommTimes OnePortEngine::post_comm(ProcId from, ProcId to, double volume,
+                                   double data_ready) {
+  CAFT_CHECK(from.index() < proc_count() && to.index() < proc_count());
+  CAFT_CHECK(volume >= 0.0);
+
+  CommTimes times;
+  if (from == to) {
+    // Intra-processor: free, instantaneous, touches no port (Section 2).
+    times.link_start = times.link_finish = data_ready;
+    times.send_finish = times.recv_start = times.arrival = data_ready;
+    return times;
+  }
+
+  const auto route = platform().topology().route(from, to);
+  CAFT_CHECK_MSG(!route.empty(), "no route between distinct processors");
+
+  // First segment holds the sender port: equation (4).
+  double segment_start = std::max({sending_free_[from.index()], data_ready,
+                                   link_ready_[route.front().index()]});
+  double segment_finish =
+      segment_start + volume * costs().unit_delay(route.front());
+  times.link_start = segment_start;
+  times.send_finish = segment_finish;
+  sending_free_[from.index()] = segment_finish;
+  link_ready_[route.front().index()] = segment_finish;
+  times.segments.push_back({route.front(), segment_start, segment_finish});
+
+  // Intermediate hops (sparse-topology extension; empty loop on a clique).
+  double last_segment_start = segment_start;
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const LinkId l = route[i];
+    segment_start = std::max(segment_finish, link_ready_[l.index()]);
+    segment_finish = segment_start + volume * costs().unit_delay(l);
+    link_ready_[l.index()] = segment_finish;
+    last_segment_start = segment_start;
+    times.segments.push_back({l, segment_start, segment_finish});
+  }
+  times.link_finish = segment_finish;
+
+  // Reception on the last hop: equation (6) with the RF(P) running update.
+  const double reception_duration =
+      volume * costs().unit_delay(route.back());
+  const double reception_start =
+      std::max(receiving_free_[to.index()], last_segment_start);
+  times.recv_start = reception_start;
+  times.arrival = reception_start + reception_duration;
+  receiving_free_[to.index()] = times.arrival;
+  return times;
+}
+
+double OnePortEngine::peek_link_finish(ProcId from, ProcId to, double volume,
+                                       double data_ready) const {
+  CAFT_CHECK(from.index() < proc_count() && to.index() < proc_count());
+  if (from == to) return data_ready;
+  const auto route = platform().topology().route(from, to);
+  CAFT_CHECK_MSG(!route.empty(), "no route between distinct processors");
+  double finish = std::max({sending_free_[from.index()], data_ready,
+                            link_ready_[route.front().index()]}) +
+                  volume * costs().unit_delay(route.front());
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const LinkId l = route[i];
+    finish = std::max(finish, link_ready_[l.index()]) +
+             volume * costs().unit_delay(l);
+  }
+  return finish;
+}
+
+double OnePortEngine::sending_free(ProcId p) const {
+  CAFT_CHECK(p.index() < proc_count());
+  return sending_free_[p.index()];
+}
+
+double OnePortEngine::receiving_free(ProcId p) const {
+  CAFT_CHECK(p.index() < proc_count());
+  return receiving_free_[p.index()];
+}
+
+double OnePortEngine::link_ready(LinkId l) const {
+  CAFT_CHECK(l.index() < link_ready_.size());
+  return link_ready_[l.index()];
+}
+
+EngineSnapshot OnePortEngine::snapshot() const {
+  EngineSnapshot snap = CommEngine::snapshot();
+  snap.sending_free = sending_free_;
+  snap.receiving_free = receiving_free_;
+  snap.link_ready = link_ready_;
+  return snap;
+}
+
+void OnePortEngine::restore(const EngineSnapshot& snap) {
+  CommEngine::restore(snap);
+  CAFT_CHECK(snap.sending_free.size() == sending_free_.size());
+  CAFT_CHECK(snap.receiving_free.size() == receiving_free_.size());
+  CAFT_CHECK(snap.link_ready.size() == link_ready_.size());
+  sending_free_ = snap.sending_free;
+  receiving_free_ = snap.receiving_free;
+  link_ready_ = snap.link_ready;
+}
+
+void OnePortEngine::reset() {
+  CommEngine::reset();
+  std::fill(sending_free_.begin(), sending_free_.end(), 0.0);
+  std::fill(receiving_free_.begin(), receiving_free_.end(), 0.0);
+  std::fill(link_ready_.begin(), link_ready_.end(), 0.0);
+}
+
+}  // namespace caft

@@ -1,0 +1,43 @@
+/// \file check.hpp
+/// Lightweight precondition / invariant checking. Violations indicate
+/// programming errors inside the library or misuse of its API, so they throw
+/// `std::logic_error` with a formatted location message; they are *not* used
+/// for recoverable conditions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace caft {
+
+/// Thrown when a CAFT_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(std::string_view expr, std::string_view file,
+                                      int line, std::string_view msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace caft
+
+/// Check `cond`; on failure throw CheckError naming the expression/location.
+#define CAFT_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) ::caft::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// CAFT_CHECK with an extra human-readable message.
+#define CAFT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) ::caft::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

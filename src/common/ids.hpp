@@ -1,0 +1,80 @@
+/// \file ids.hpp
+/// Strongly-typed integral identifiers for tasks, processors, links, and
+/// replicas. A dedicated wrapper per entity prevents the classic "passed the
+/// processor index where a task index was expected" bug at compile time while
+/// staying a zero-cost abstraction (a single 32-bit value).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace caft {
+
+/// CRTP-free tagged id. `Tag` is an empty struct unique per entity kind.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  /// Underlying integral value, for indexing into dense arrays.
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  /// Convenience conversion for container indexing.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  /// Sentinel meaning "no entity". Default-constructed ids are invalid.
+  [[nodiscard]] static constexpr Id invalid() {
+    return Id(std::numeric_limits<value_type>::max());
+  }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid().value_; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  value_type value_ = std::numeric_limits<value_type>::max();
+};
+
+struct TaskTag {};
+struct ProcTag {};
+struct LinkTag {};
+
+/// A node of the task graph (the paper's t_i).
+using TaskId = Id<TaskTag>;
+/// A processor of the platform (the paper's P_k).
+using ProcId = Id<ProcTag>;
+/// A directed communication link l_{P_k P_h}.
+using LinkId = Id<LinkTag>;
+
+/// Index of a replica of a task within its replica set B(t); 0 <= r <= eps.
+using ReplicaIndex = std::uint32_t;
+
+/// Globally identifies one replica t^{(r)} of task t.
+struct ReplicaRef {
+  TaskId task;
+  ReplicaIndex replica = 0;
+
+  friend constexpr auto operator<=>(const ReplicaRef&, const ReplicaRef&) = default;
+};
+
+}  // namespace caft
+
+template <typename Tag>
+struct std::hash<caft::Id<Tag>> {
+  std::size_t operator()(caft::Id<Tag> id) const noexcept {
+    return std::hash<typename caft::Id<Tag>::value_type>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<caft::ReplicaRef> {
+  std::size_t operator()(const caft::ReplicaRef& r) const noexcept {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(r.task.value()) << 32) | r.replica;
+    return std::hash<std::uint64_t>{}(packed);
+  }
+};

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+namespace {
+
+std::string render_cell(const Cell& cell, int precision) {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << std::get<double>(cell);
+  return os.str();
+}
+
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  CAFT_CHECK_MSG(!header_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  CAFT_CHECK_MSG(row.size() == header_.size(),
+                 "row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+double Table::number_at(std::size_t row, std::size_t col) const {
+  CAFT_CHECK(row < rows_.size() && col < header_.size());
+  const auto* num = std::get_if<double>(&rows_[row][col]);
+  CAFT_CHECK_MSG(num != nullptr, "cell does not hold a number");
+  return *num;
+}
+
+void Table::print(std::ostream& os, int precision) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c], precision));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << ' ' << std::setw(static_cast<int>(widths[c])) << header_[c] << " |";
+  os << '\n';
+  rule();
+  for (const auto& cells : rendered) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::write_csv(std::ostream& os, int precision) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << header_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << render_cell(row[c], precision);
+    }
+    os << '\n';
+  }
+}
+
+bool Table::save_csv(const std::string& path, int precision) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out, precision);
+  return static_cast<bool>(out);
+}
+
+}  // namespace caft

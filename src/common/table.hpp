@@ -1,0 +1,50 @@
+/// \file table.hpp
+/// Minimal tabular report writer used by the benchmark harness: aligned text
+/// tables for the terminal and CSV for downstream plotting. Kept deliberately
+/// simple — rows of doubles/strings with a header — because every figure of
+/// the paper is a family of (x, series...) rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace caft {
+
+/// One table cell: either text or a number (formatted with fixed precision).
+using Cell = std::variant<std::string, double>;
+
+/// Column-aligned table with a title, header and homogeneous-width rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+  /// Numeric value at (row, col); throws if the cell holds text.
+  [[nodiscard]] double number_at(std::size_t row, std::size_t col) const;
+
+  /// Renders an aligned, boxed text table.
+  void print(std::ostream& os, int precision = 3) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  void write_csv(std::ostream& os, int precision = 6) const;
+
+  /// Writes the CSV form to `path`; returns false on I/O failure.
+  bool save_csv(const std::string& path, int precision = 6) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace caft

@@ -1,0 +1,178 @@
+#include "dag/analysis.hpp"
+
+#include <algorithm>
+
+namespace caft {
+
+std::vector<TaskId> topological_order(const TaskGraph& g) {
+  std::vector<std::size_t> pending(g.task_count());
+  std::vector<TaskId> order;
+  order.reserve(g.task_count());
+  std::vector<TaskId> frontier;
+  for (const TaskId t : g.all_tasks()) {
+    pending[t.index()] = g.in_degree(t);
+    if (pending[t.index()] == 0) frontier.push_back(t);
+  }
+  // Process lowest-id-first for a deterministic order independent of
+  // insertion history; a simple sorted frontier suffices at our sizes.
+  std::make_heap(frontier.begin(), frontier.end(), std::greater<>{});
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), std::greater<>{});
+    const TaskId t = frontier.back();
+    frontier.pop_back();
+    order.push_back(t);
+    for (const EdgeIndex e : g.out_edges(t)) {
+      const TaskId next = g.edge(e).dst;
+      if (--pending[next.index()] == 0) {
+        frontier.push_back(next);
+        std::push_heap(frontier.begin(), frontier.end(), std::greater<>{});
+      }
+    }
+  }
+  CAFT_CHECK_MSG(order.size() == g.task_count(), "graph has a cycle");
+  return order;
+}
+
+namespace {
+
+void check_weights(const TaskGraph& g, const DagWeights& w) {
+  CAFT_CHECK_MSG(w.node.size() == g.task_count(),
+                 "node weight vector size mismatch");
+  CAFT_CHECK_MSG(w.edge.size() == g.edge_count(),
+                 "edge weight vector size mismatch");
+}
+
+}  // namespace
+
+std::vector<double> top_levels(const TaskGraph& g, const DagWeights& w) {
+  check_weights(g, w);
+  std::vector<double> tl(g.task_count(), 0.0);
+  for (const TaskId t : topological_order(g)) {
+    for (const EdgeIndex e : g.in_edges(t)) {
+      const Edge& edge = g.edge(e);
+      const double via = tl[edge.src.index()] + w.node[edge.src.index()] +
+                         w.edge[e];
+      tl[t.index()] = std::max(tl[t.index()], via);
+    }
+  }
+  return tl;
+}
+
+std::vector<double> bottom_levels(const TaskGraph& g, const DagWeights& w) {
+  check_weights(g, w);
+  std::vector<double> bl(g.task_count(), 0.0);
+  const auto order = topological_order(g);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best_tail = 0.0;
+    for (const EdgeIndex e : g.out_edges(t)) {
+      const Edge& edge = g.edge(e);
+      best_tail = std::max(best_tail, w.edge[e] + bl[edge.dst.index()]);
+    }
+    bl[t.index()] = w.node[t.index()] + best_tail;
+  }
+  return bl;
+}
+
+double critical_path_length(const TaskGraph& g, const DagWeights& w) {
+  if (g.task_count() == 0) return 0.0;
+  const auto tl = top_levels(g, w);
+  const auto bl = bottom_levels(g, w);
+  double best = 0.0;
+  for (std::size_t i = 0; i < g.task_count(); ++i)
+    best = std::max(best, tl[i] + bl[i]);
+  return best;
+}
+
+std::vector<TaskId> critical_path(const TaskGraph& g, const DagWeights& w) {
+  if (g.task_count() == 0) return {};
+  const auto tl = top_levels(g, w);
+  const auto bl = bottom_levels(g, w);
+
+  // Start from the entry task on the longest path, then greedily follow
+  // successors that keep tℓ + bℓ maximal (standard CP extraction).
+  TaskId current = TaskId::invalid();
+  double best = -1.0;
+  for (const TaskId t : g.all_tasks()) {
+    if (g.in_degree(t) != 0) continue;
+    if (tl[t.index()] + bl[t.index()] > best) {
+      best = tl[t.index()] + bl[t.index()];
+      current = t;
+    }
+  }
+  std::vector<TaskId> path;
+  while (current.valid()) {
+    path.push_back(current);
+    TaskId next = TaskId::invalid();
+    double next_len = -1.0;
+    for (const EdgeIndex e : g.out_edges(current)) {
+      const Edge& edge = g.edge(e);
+      // The successor continues the critical path iff the path through this
+      // edge realises bℓ(current).
+      const double tail = w.edge[e] + bl[edge.dst.index()];
+      if (tail > next_len) {
+        next_len = tail;
+        next = edge.dst;
+      }
+    }
+    current = next;
+  }
+  return path;
+}
+
+std::vector<std::size_t> depths(const TaskGraph& g) {
+  std::vector<std::size_t> depth(g.task_count(), 0);
+  for (const TaskId t : topological_order(g))
+    for (const EdgeIndex e : g.out_edges(t)) {
+      const TaskId next = g.edge(e).dst;
+      depth[next.index()] = std::max(depth[next.index()], depth[t.index()] + 1);
+    }
+  return depth;
+}
+
+bool reachable(const TaskGraph& g, TaskId src, TaskId dst) {
+  if (src == dst) return true;
+  std::vector<bool> seen(g.task_count(), false);
+  std::vector<TaskId> stack{src};
+  seen[src.index()] = true;
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    for (const EdgeIndex e : g.out_edges(t)) {
+      const TaskId next = g.edge(e).dst;
+      if (next == dst) return true;
+      if (!seen[next.index()]) {
+        seen[next.index()] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+Reachability::Reachability(const TaskGraph& g)
+    : n_(g.task_count()), words_per_row_((n_ + 63) / 64) {
+  bits_.assign(n_ * words_per_row_, 0);
+  const auto order = topological_order(g);
+  // Reverse topological sweep: row(t) = union over successors s of
+  // ({s} ∪ row(s)). Bitset unions keep this O(v·e/64).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    std::uint64_t* row = &bits_[t.index() * words_per_row_];
+    for (const EdgeIndex e : g.out_edges(t)) {
+      const TaskId s = g.edge(e).dst;
+      row[s.index() / 64] |= (std::uint64_t{1} << (s.index() % 64));
+      const std::uint64_t* srow = &bits_[s.index() * words_per_row_];
+      for (std::size_t wi = 0; wi < words_per_row_; ++wi) row[wi] |= srow[wi];
+    }
+  }
+}
+
+bool Reachability::reaches(TaskId src, TaskId dst) const {
+  CAFT_CHECK(src.index() < n_ && dst.index() < n_);
+  const std::uint64_t word =
+      bits_[src.index() * words_per_row_ + dst.index() / 64];
+  return (word >> (dst.index() % 64)) & 1;
+}
+
+}  // namespace caft

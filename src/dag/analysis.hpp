@@ -1,0 +1,65 @@
+/// \file analysis.hpp
+/// Structural analyses over a TaskGraph that only need abstract node/edge
+/// weights: topological order, top level tℓ, bottom level bℓ, critical path.
+/// The scheduling layer supplies the paper's weights (average execution time
+/// per task, average communication time per edge, Section 5 / [27, 4]); the
+/// analyses themselves are weight-agnostic so tests can use simple integers.
+#pragma once
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace caft {
+
+/// Tasks sorted so every edge goes forward. Throws CheckError on cycles.
+[[nodiscard]] std::vector<TaskId> topological_order(const TaskGraph& g);
+
+/// Per-task weights indexed by TaskId::index(); per-edge weights indexed by
+/// the EdgeIndex inside TaskGraph::edges().
+struct DagWeights {
+  std::vector<double> node;  ///< size task_count()
+  std::vector<double> edge;  ///< size edge_count()
+};
+
+/// Top level tℓ(t): length of the longest path from an entry node to t,
+/// *excluding* t's own weight (paper Section 5). Entry nodes have tℓ = 0.
+[[nodiscard]] std::vector<double> top_levels(const TaskGraph& g,
+                                             const DagWeights& w);
+
+/// Bottom level bℓ(t): length of the longest path from t to an exit node,
+/// *including* t's own weight; bℓ(exit) = weight(exit) (paper Section 5).
+[[nodiscard]] std::vector<double> bottom_levels(const TaskGraph& g,
+                                                const DagWeights& w);
+
+/// Length of the longest node+edge-weighted path: max_t tℓ(t) + bℓ(t).
+[[nodiscard]] double critical_path_length(const TaskGraph& g,
+                                          const DagWeights& w);
+
+/// The tasks of one longest path, in precedence order.
+[[nodiscard]] std::vector<TaskId> critical_path(const TaskGraph& g,
+                                                const DagWeights& w);
+
+/// Per-task depth: number of edges on the longest entry->t path (levels of a
+/// layered drawing). Entry tasks have depth 0.
+[[nodiscard]] std::vector<std::size_t> depths(const TaskGraph& g);
+
+/// True iff there is a directed path src ->* dst (src == dst counts as true).
+[[nodiscard]] bool reachable(const TaskGraph& g, TaskId src, TaskId dst);
+
+/// Transitive closure as a row-major bit matrix: row t lists every task
+/// reachable from t (excluding t itself). Packed into uint64 words.
+class Reachability {
+ public:
+  explicit Reachability(const TaskGraph& g);
+
+  [[nodiscard]] bool reaches(TaskId src, TaskId dst) const;
+  [[nodiscard]] std::size_t task_count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace caft

@@ -1,0 +1,305 @@
+#include "dag/generators.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace caft {
+
+namespace {
+
+double draw_volume(Rng& rng, double lo, double hi) { return rng.uniform(lo, hi); }
+
+}  // namespace
+
+TaskGraph random_dag(const RandomDagParams& params, Rng& rng) {
+  CAFT_CHECK_MSG(params.min_tasks >= 2, "need at least two tasks");
+  CAFT_CHECK(params.min_tasks <= params.max_tasks);
+  CAFT_CHECK(params.min_out_degree >= 1);
+  CAFT_CHECK(params.min_out_degree <= params.max_out_degree);
+  CAFT_CHECK(params.min_volume <= params.max_volume);
+
+  const auto n = static_cast<std::size_t>(
+      rng.uniform_int(params.min_tasks, params.max_tasks));
+  TaskGraph g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_task();
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t remaining = n - 1 - i;
+    const std::size_t degree = std::min(
+        remaining, static_cast<std::size_t>(rng.uniform_int(
+                       params.min_out_degree, params.max_out_degree)));
+    // Distinct successors among the higher-indexed tasks.
+    auto offsets = rng.sample_without_replacement(remaining, degree);
+    for (const std::size_t off : offsets) {
+      const auto src = TaskId(static_cast<TaskId::value_type>(i));
+      const auto dst = TaskId(static_cast<TaskId::value_type>(i + 1 + off));
+      g.add_edge(src, dst,
+                 draw_volume(rng, params.min_volume, params.max_volume));
+    }
+  }
+  return g;
+}
+
+TaskGraph chain(std::size_t n, double volume) {
+  CAFT_CHECK(n >= 1);
+  TaskGraph g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_task();
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(TaskId(static_cast<TaskId::value_type>(i)),
+               TaskId(static_cast<TaskId::value_type>(i + 1)), volume);
+  return g;
+}
+
+TaskGraph fork(std::size_t leaves, double volume) {
+  TaskGraph g(leaves + 1);
+  const TaskId root = g.add_task("root");
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const TaskId leaf = g.add_task("leaf" + std::to_string(i));
+    g.add_edge(root, leaf, volume);
+  }
+  return g;
+}
+
+TaskGraph join(std::size_t sources, double volume) {
+  TaskGraph g(sources + 1);
+  std::vector<TaskId> srcs;
+  srcs.reserve(sources);
+  for (std::size_t i = 0; i < sources; ++i)
+    srcs.push_back(g.add_task("src" + std::to_string(i)));
+  const TaskId sink = g.add_task("sink");
+  for (const TaskId s : srcs) g.add_edge(s, sink, volume);
+  return g;
+}
+
+TaskGraph fork_join(std::size_t middle, double volume) {
+  TaskGraph g(middle + 2);
+  const TaskId src = g.add_task("source");
+  std::vector<TaskId> mids;
+  mids.reserve(middle);
+  for (std::size_t i = 0; i < middle; ++i)
+    mids.push_back(g.add_task("mid" + std::to_string(i)));
+  const TaskId sink = g.add_task("sink");
+  for (const TaskId m : mids) {
+    g.add_edge(src, m, volume);
+    g.add_edge(m, sink, volume);
+  }
+  return g;
+}
+
+TaskGraph random_out_forest(std::size_t tasks, std::size_t roots, Rng& rng,
+                            double min_volume, double max_volume) {
+  CAFT_CHECK(roots >= 1 && roots <= tasks);
+  TaskGraph g(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) g.add_task();
+  for (std::size_t i = roots; i < tasks; ++i) {
+    const auto parent =
+        static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    g.add_edge(TaskId(static_cast<TaskId::value_type>(parent)),
+               TaskId(static_cast<TaskId::value_type>(i)),
+               draw_volume(rng, min_volume, max_volume));
+  }
+  return g;
+}
+
+TaskGraph random_in_forest(std::size_t tasks, std::size_t sinks, Rng& rng,
+                           double min_volume, double max_volume) {
+  CAFT_CHECK(sinks >= 1 && sinks <= tasks);
+  TaskGraph g(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) g.add_task();
+  // Task i (for i < tasks - sinks) sends to one uniformly chosen later task,
+  // so every task has out-degree <= 1 and the last `sinks` tasks are sinks.
+  for (std::size_t i = 0; i + sinks < tasks; ++i) {
+    const auto child = static_cast<std::size_t>(
+        rng.uniform_int(i + 1, tasks - 1));
+    g.add_edge(TaskId(static_cast<TaskId::value_type>(i)),
+               TaskId(static_cast<TaskId::value_type>(child)),
+               draw_volume(rng, min_volume, max_volume));
+  }
+  return g;
+}
+
+TaskGraph diamond(std::size_t width, double volume) {
+  TaskGraph g(width + 2);
+  const TaskId src = g.add_task("source");
+  std::vector<TaskId> mids;
+  for (std::size_t i = 0; i < width; ++i)
+    mids.push_back(g.add_task("mid" + std::to_string(i)));
+  const TaskId sink = g.add_task("sink");
+  for (const TaskId m : mids) {
+    g.add_edge(src, m, volume);
+    g.add_edge(m, sink, volume);
+  }
+  return g;
+}
+
+namespace {
+
+/// Recursive series-parallel skeleton: expands abstract edges until the task
+/// budget is spent, then materialises the DAG.
+struct SpBuilder {
+  struct AbstractEdge {
+    std::size_t src;
+    std::size_t dst;
+  };
+
+  std::size_t next_node = 2;  // 0 = source, 1 = sink
+  std::vector<AbstractEdge> final_edges;
+  Rng& rng;
+  std::size_t budget;
+
+  SpBuilder(Rng& r, std::size_t b) : rng(r), budget(b) {}
+
+  void expand(std::size_t src, std::size_t dst, std::size_t depth) {
+    if (budget == 0 || depth > 12 || rng.bernoulli(0.25)) {
+      final_edges.push_back({src, dst});
+      return;
+    }
+    if (rng.bernoulli(0.5)) {
+      // Series: src -> mid -> dst.
+      if (budget == 0) {
+        final_edges.push_back({src, dst});
+        return;
+      }
+      const std::size_t mid = next_node++;
+      --budget;
+      expand(src, mid, depth + 1);
+      expand(mid, dst, depth + 1);
+    } else {
+      // Parallel: duplicate the edge 2-3 times.
+      const auto branches = static_cast<std::size_t>(rng.uniform_int(2, 3));
+      for (std::size_t b = 0; b < branches; ++b) expand(src, dst, depth + 1);
+    }
+  }
+};
+
+}  // namespace
+
+TaskGraph series_parallel(std::size_t approx_tasks, Rng& rng, double min_volume,
+                          double max_volume) {
+  CAFT_CHECK(approx_tasks >= 2);
+  SpBuilder builder(rng, approx_tasks - 2);
+  builder.expand(0, 1, 0);
+
+  TaskGraph g(builder.next_node);
+  for (std::size_t i = 0; i < builder.next_node; ++i) g.add_task();
+  for (const auto& e : builder.final_edges) {
+    const auto src = TaskId(static_cast<TaskId::value_type>(e.src));
+    const auto dst = TaskId(static_cast<TaskId::value_type>(e.dst));
+    if (!g.has_edge(src, dst))
+      g.add_edge(src, dst, draw_volume(rng, min_volume, max_volume));
+  }
+  return g;
+}
+
+TaskGraph gaussian_elimination(std::size_t k, double volume) {
+  CAFT_CHECK_MSG(k >= 2, "Gaussian elimination needs k >= 2");
+  TaskGraph g(k * (k + 1) / 2);
+  // id(s, j): update task of column j at elimination step s (j > s), plus the
+  // pivot task id(s, s). Steps run s = 1..k-1; the trailing pivot of the last
+  // step is omitted (it would be the solved 1x1 system).
+  std::vector<std::vector<TaskId>> id(k, std::vector<TaskId>(k + 1, TaskId::invalid()));
+  for (std::size_t s = 1; s < k; ++s)
+    for (std::size_t j = s; j <= k; ++j) {
+      if (j == s)
+        id[s][j] = g.add_task("piv(" + std::to_string(s) + ")");
+      else
+        id[s][j] = g.add_task("upd(" + std::to_string(s) + "," +
+                              std::to_string(j) + ")");
+    }
+  for (std::size_t s = 1; s < k; ++s) {
+    for (std::size_t j = s + 1; j <= k; ++j) {
+      g.add_edge(id[s][s], id[s][j], volume);     // pivot feeds the updates
+      if (s + 1 < k && j >= s + 1)
+        g.add_edge(id[s][j], id[s + 1][j], volume);  // update feeds next step
+    }
+  }
+  return g;
+}
+
+TaskGraph cholesky(std::size_t tiles, double volume) {
+  CAFT_CHECK_MSG(tiles >= 1, "need at least one tile");
+  TaskGraph g;
+  // Kernel tasks indexed by their tile coordinates.
+  const auto key = [tiles](std::size_t i, std::size_t j, std::size_t k) {
+    return (i * (tiles + 1) + j) * (tiles + 1) + k;
+  };
+  std::vector<TaskId> potrf(tiles, TaskId::invalid());
+  std::vector<TaskId> trsm(tiles * (tiles + 1), TaskId::invalid());
+  std::vector<TaskId> syrk(tiles * (tiles + 1), TaskId::invalid());
+  std::vector<TaskId> gemm((tiles + 1) * (tiles + 1) * (tiles + 1),
+                           TaskId::invalid());
+
+  for (std::size_t k = 0; k < tiles; ++k) {
+    potrf[k] = g.add_task("potrf(" + std::to_string(k) + ")");
+    if (k > 0) {
+      // POTRF(k) consumes SYRK(k, k-1).
+      g.add_edge(syrk[k * (tiles + 1) + (k - 1)], potrf[k], volume);
+    }
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      trsm[i * (tiles + 1) + k] =
+          g.add_task("trsm(" + std::to_string(i) + "," + std::to_string(k) + ")");
+      g.add_edge(potrf[k], trsm[i * (tiles + 1) + k], volume);
+      if (k > 0)
+        g.add_edge(gemm[key(i, k, k - 1)], trsm[i * (tiles + 1) + k], volume);
+    }
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      syrk[i * (tiles + 1) + k] =
+          g.add_task("syrk(" + std::to_string(i) + "," + std::to_string(k) + ")");
+      g.add_edge(trsm[i * (tiles + 1) + k], syrk[i * (tiles + 1) + k], volume);
+      if (k > 0)
+        g.add_edge(syrk[i * (tiles + 1) + (k - 1)], syrk[i * (tiles + 1) + k],
+                   volume);
+      for (std::size_t j = k + 1; j < i; ++j) {
+        gemm[key(i, j, k)] = g.add_task("gemm(" + std::to_string(i) + "," +
+                                        std::to_string(j) + "," +
+                                        std::to_string(k) + ")");
+        g.add_edge(trsm[i * (tiles + 1) + k], gemm[key(i, j, k)], volume);
+        g.add_edge(trsm[j * (tiles + 1) + k], gemm[key(i, j, k)], volume);
+        if (k > 0)
+          g.add_edge(gemm[key(i, j, k - 1)], gemm[key(i, j, k)], volume);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph fft(std::size_t stages, double volume) {
+  CAFT_CHECK_MSG(stages >= 1, "need at least one butterfly stage");
+  const std::size_t points = std::size_t{1} << stages;
+  TaskGraph g(points * (stages + 1));
+  // Grid of tasks: row r (0..stages), column c (0..points-1). Row 0 holds the
+  // input tasks; row r applies the r-th butterfly stage.
+  std::vector<std::vector<TaskId>> node(stages + 1, std::vector<TaskId>(points));
+  for (std::size_t r = 0; r <= stages; ++r)
+    for (std::size_t c = 0; c < points; ++c)
+      node[r][c] =
+          g.add_task("fft(" + std::to_string(r) + "," + std::to_string(c) + ")");
+  for (std::size_t r = 0; r < stages; ++r) {
+    const std::size_t stride = points >> (r + 1);
+    for (std::size_t c = 0; c < points; ++c) {
+      const std::size_t partner = c ^ stride;
+      g.add_edge(node[r][c], node[r + 1][c], volume);
+      g.add_edge(node[r][c], node[r + 1][partner], volume);
+    }
+  }
+  return g;
+}
+
+TaskGraph stencil(std::size_t rows, std::size_t cols, double volume) {
+  CAFT_CHECK(rows >= 1 && cols >= 1);
+  TaskGraph g(rows * cols);
+  std::vector<TaskId> cell(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      cell[i * cols + j] =
+          g.add_task("cell(" + std::to_string(i) + "," + std::to_string(j) + ")");
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (i + 1 < rows) g.add_edge(cell[i * cols + j], cell[(i + 1) * cols + j], volume);
+      if (j + 1 < cols) g.add_edge(cell[i * cols + j], cell[i * cols + j + 1], volume);
+    }
+  return g;
+}
+
+}  // namespace caft

@@ -1,0 +1,84 @@
+/// \file generators.hpp
+/// Task-graph families. `random_dag` follows the paper's experimental setup
+/// (Section 6): task count uniform in [80,120], per-task fan-out in [1,3],
+/// edge volumes uniform in [50,150]. The structured families serve the
+/// examples, the property tests (Prop. 5.1 needs forks and out-forests) and
+/// the domain workloads (Gaussian elimination, tiled Cholesky, FFT,
+/// wavefront stencil are the classic DAGs of the list-scheduling literature).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "dag/task_graph.hpp"
+
+namespace caft {
+
+/// Parameters of the paper's random layered DAGs.
+struct RandomDagParams {
+  std::size_t min_tasks = 80;   ///< inclusive
+  std::size_t max_tasks = 120;  ///< inclusive
+  std::size_t min_out_degree = 1;
+  std::size_t max_out_degree = 3;
+  double min_volume = 50.0;  ///< edge data volume lower bound
+  double max_volume = 150.0;
+};
+
+/// Random DAG per the paper's Section 6 protocol. Every non-exit task gets a
+/// fan-out drawn from [min_out_degree, max_out_degree] toward distinct
+/// higher-indexed tasks, which yields layered-looking DAGs whose in/out
+/// degrees match the published range.
+[[nodiscard]] TaskGraph random_dag(const RandomDagParams& params, Rng& rng);
+
+/// Path t0 -> t1 -> ... -> t_{n-1}.
+[[nodiscard]] TaskGraph chain(std::size_t n, double volume = 1.0);
+
+/// One root fanning out to `leaves` children (an out-tree of depth 1).
+[[nodiscard]] TaskGraph fork(std::size_t leaves, double volume = 1.0);
+
+/// `sources` parents all feeding one sink (an in-tree of depth 1).
+[[nodiscard]] TaskGraph join(std::size_t sources, double volume = 1.0);
+
+/// Fork followed by a join: 1 -> `middle` -> 1.
+[[nodiscard]] TaskGraph fork_join(std::size_t middle, double volume = 1.0);
+
+/// Random out-forest (every task has in-degree <= 1): `roots` roots, then
+/// each further task attaches under a uniformly chosen earlier task.
+/// This is the graph class of Proposition 5.1.
+[[nodiscard]] TaskGraph random_out_forest(std::size_t tasks, std::size_t roots,
+                                          Rng& rng, double min_volume = 50.0,
+                                          double max_volume = 150.0);
+
+/// Mirror image of random_out_forest: every task has out-degree <= 1.
+[[nodiscard]] TaskGraph random_in_forest(std::size_t tasks, std::size_t sinks,
+                                         Rng& rng, double min_volume = 50.0,
+                                         double max_volume = 150.0);
+
+/// Diamond: source, `width` independent middles, sink.
+[[nodiscard]] TaskGraph diamond(std::size_t width, double volume = 1.0);
+
+/// Random series-parallel DAG with ~`approx_tasks` tasks, built by recursive
+/// series/parallel expansion of a single edge.
+[[nodiscard]] TaskGraph series_parallel(std::size_t approx_tasks, Rng& rng,
+                                        double min_volume = 50.0,
+                                        double max_volume = 150.0);
+
+/// Gaussian-elimination DAG over a k x k matrix: pivot tasks T(s,s) feed the
+/// column updates T(s,j), which feed the next step's T(s+1,j).
+/// Task count: k(k+1)/2 - 1 for k >= 2.
+[[nodiscard]] TaskGraph gaussian_elimination(std::size_t k, double volume = 1.0);
+
+/// Tiled Cholesky factorization DAG on a `tiles` x `tiles` lower-triangular
+/// tile matrix with POTRF/TRSM/SYRK/GEMM kernels and their standard
+/// dependencies.
+[[nodiscard]] TaskGraph cholesky(std::size_t tiles, double volume = 1.0);
+
+/// Fast-Fourier-Transform butterfly DAG with 2^stages points: the classic
+/// recursive FFT task graph (used in the HEFT evaluation [27]).
+[[nodiscard]] TaskGraph fft(std::size_t stages, double volume = 1.0);
+
+/// Wavefront stencil over a rows x cols grid: (i,j) -> (i+1,j) and (i,j+1).
+[[nodiscard]] TaskGraph stencil(std::size_t rows, std::size_t cols,
+                                double volume = 1.0);
+
+}  // namespace caft

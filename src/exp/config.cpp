@@ -1,0 +1,69 @@
+#include "exp/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace caft {
+
+std::vector<double> granularity_sweep_a() {
+  std::vector<double> sweep;
+  for (int i = 1; i <= 10; ++i) sweep.push_back(0.2 * i);
+  return sweep;
+}
+
+std::vector<double> granularity_sweep_b() {
+  std::vector<double> sweep;
+  for (int i = 1; i <= 10; ++i) sweep.push_back(static_cast<double>(i));
+  return sweep;
+}
+
+namespace {
+
+ExperimentConfig base_config(std::string name, std::vector<double> sweep,
+                             std::size_t m, std::size_t eps,
+                             std::size_t crashes) {
+  ExperimentConfig config;
+  config.name = std::move(name);
+  config.granularities = std::move(sweep);
+  config.proc_count = m;
+  config.eps = eps;
+  config.crashes = crashes;
+  return config;
+}
+
+}  // namespace
+
+ExperimentConfig figure1() {
+  return base_config("fig1", granularity_sweep_a(), 10, 1, 1);
+}
+ExperimentConfig figure2() {
+  return base_config("fig2", granularity_sweep_a(), 10, 3, 2);
+}
+ExperimentConfig figure3() {
+  return base_config("fig3", granularity_sweep_a(), 20, 5, 3);
+}
+ExperimentConfig figure4() {
+  return base_config("fig4", granularity_sweep_b(), 10, 1, 1);
+}
+ExperimentConfig figure5() {
+  return base_config("fig5", granularity_sweep_b(), 10, 3, 2);
+}
+ExperimentConfig figure6() {
+  return base_config("fig6", granularity_sweep_b(), 20, 5, 3);
+}
+
+ExperimentConfig scaled_down(ExperimentConfig config, std::size_t factor) {
+  config.graphs_per_point =
+      std::max<std::size_t>(1, config.graphs_per_point / std::max<std::size_t>(1, factor));
+  return config;
+}
+
+std::size_t bench_reps_from_env(std::size_t fallback) {
+  const char* env = std::getenv("CAFT_BENCH_REPS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  if (parsed < 1) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace caft

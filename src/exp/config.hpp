@@ -1,0 +1,55 @@
+/// \file config.hpp
+/// Experiment configurations replicating the paper's Section 6 protocol:
+/// random graphs with 80-120 tasks, fan-out 1-3, edge volumes U[50, 150],
+/// unit link delays U[0.5, 1], granularity sweeps of type A ([0.2, 2.0] step
+/// 0.2) and type B ([1, 10] step 1), 60 graphs per point, on m = 10 or 20
+/// fully-connected processors with ε ∈ {1, 3, 5}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/generators.hpp"
+#include "platform/cost_synthesis.hpp"
+
+namespace caft {
+
+/// One figure's worth of experiment.
+struct ExperimentConfig {
+  std::string name;                  ///< e.g. "fig1"
+  std::vector<double> granularities; ///< sweep points (x axis)
+  std::size_t proc_count = 10;       ///< m
+  std::size_t eps = 1;               ///< ε, replicas per task = ε+1
+  std::size_t crashes = 1;           ///< processors killed in the crash runs
+  std::size_t graphs_per_point = 60; ///< repetitions averaged per point
+  RandomDagParams dag;               ///< paper defaults already set
+  CostSynthesisParams costs;         ///< granularity is overridden per point
+  std::uint64_t seed = 20080201;     ///< RR-6606 is dated February 2008
+};
+
+/// Granularity sweep A: 0.2 to 2.0, step 0.2 (Figures 1-3).
+[[nodiscard]] std::vector<double> granularity_sweep_a();
+/// Granularity sweep B: 1 to 10, step 1 (Figures 4-6).
+[[nodiscard]] std::vector<double> granularity_sweep_b();
+
+/// The paper's six figures.
+[[nodiscard]] ExperimentConfig figure1();  ///< sweep A, m=10, ε=1, 1 crash
+[[nodiscard]] ExperimentConfig figure2();  ///< sweep A, m=10, ε=3, 2 crashes
+[[nodiscard]] ExperimentConfig figure3();  ///< sweep A, m=20, ε=5, 3 crashes
+[[nodiscard]] ExperimentConfig figure4();  ///< sweep B, m=10, ε=1, 1 crash
+[[nodiscard]] ExperimentConfig figure5();  ///< sweep B, m=10, ε=3, 2 crashes
+[[nodiscard]] ExperimentConfig figure6();  ///< sweep B, m=20, ε=5, 3 crashes
+
+/// Scales down repetitions (for quick runs / CI): keeps the sweep, divides
+/// graphs_per_point by `factor` (minimum 1).
+[[nodiscard]] ExperimentConfig scaled_down(ExperimentConfig config,
+                                           std::size_t factor);
+
+/// Reads the CAFT_BENCH_REPS environment variable: repetitions per point for
+/// bench binaries (default `fallback`). Lets `for b in build/bench/*; do $b;
+/// done` finish promptly while full 60-rep runs stay one env var away.
+[[nodiscard]] std::size_t bench_reps_from_env(std::size_t fallback);
+
+}  // namespace caft

@@ -1,0 +1,95 @@
+#include "exp/report.hpp"
+
+#include <ostream>
+
+namespace caft {
+
+namespace {
+
+std::string crash_label(const ExperimentConfig& config, const char* alg) {
+  return std::string(alg) + " " + std::to_string(config.crashes) + "-crash";
+}
+
+}  // namespace
+
+Table panel_a(const ExperimentConfig& config,
+              const std::vector<PointAverages>& points) {
+  Table table(config.name + "(a): average normalized latency (eps=" +
+                  std::to_string(config.eps) +
+                  ", m=" + std::to_string(config.proc_count) + ")",
+              {"granularity", "FTSA 0-crash", "FTSA UB", "FTBAR 0-crash",
+               "FTBAR UB", "CAFT 0-crash", "CAFT UB", "FaultFree-CAFT",
+               "FaultFree-FTBAR"});
+  for (const PointAverages& p : points)
+    table.add_row({p.granularity, p.ftsa0, p.ftsa_ub, p.ftbar0, p.ftbar_ub,
+                   p.caft0, p.caft_ub, p.ff_caft, p.ff_ftbar});
+  return table;
+}
+
+Table panel_b(const ExperimentConfig& config,
+              const std::vector<PointAverages>& points) {
+  Table table(config.name + "(b): normalized latency, 0 crash vs " +
+                  std::to_string(config.crashes) + " crash",
+              {"granularity", "FTSA 0-crash", crash_label(config, "FTSA"),
+               "FTBAR 0-crash", crash_label(config, "FTBAR"), "CAFT 0-crash",
+               crash_label(config, "CAFT")});
+  for (const PointAverages& p : points)
+    table.add_row({p.granularity, p.ftsa0, p.ftsa_c, p.ftbar0, p.ftbar_c,
+                   p.caft0, p.caft_c});
+  return table;
+}
+
+Table panel_c(const ExperimentConfig& config,
+              const std::vector<PointAverages>& points) {
+  Table table(config.name + "(c): average overhead (%) vs fault-free CAFT",
+              {"granularity", "FTSA 0-crash", crash_label(config, "FTSA"),
+               "FTBAR 0-crash", crash_label(config, "FTBAR"), "CAFT 0-crash",
+               crash_label(config, "CAFT")});
+  for (const PointAverages& p : points)
+    table.add_row({p.granularity, p.ovh_ftsa0, p.ovh_ftsa_c, p.ovh_ftbar0,
+                   p.ovh_ftbar_c, p.ovh_caft0, p.ovh_caft_c});
+  return table;
+}
+
+Table panel_messages(const ExperimentConfig& config,
+                     const std::vector<PointAverages>& points) {
+  Table table(config.name + ": average inter-processor messages",
+              {"granularity", "FTSA msgs", "FTBAR msgs", "CAFT msgs",
+               "FTSA msgs/edge", "FTBAR msgs/edge", "CAFT msgs/edge"});
+  for (const PointAverages& p : points)
+    table.add_row({p.granularity, p.msgs_ftsa, p.msgs_ftbar, p.msgs_caft,
+                   p.msgs_per_edge_ftsa, p.msgs_per_edge_ftbar,
+                   p.msgs_per_edge_caft});
+  return table;
+}
+
+void report_figure(std::ostream& os, const ExperimentConfig& config,
+                   const std::vector<PointAverages>& points,
+                   const std::string& csv_prefix) {
+  const Table a = panel_a(config, points);
+  const Table b = panel_b(config, points);
+  const Table c = panel_c(config, points);
+  const Table msgs = panel_messages(config, points);
+  a.print(os);
+  os << '\n';
+  b.print(os);
+  os << '\n';
+  c.print(os);
+  os << '\n';
+  msgs.print(os);
+  os << '\n';
+
+  std::size_t crash_failures = 0;
+  for (const PointAverages& p : points) crash_failures += p.crash_failures;
+  os << "crash re-executions with lost results: " << crash_failures
+     << " (expected 0)\n";
+
+  if (!csv_prefix.empty()) {
+    a.save_csv(csv_prefix + "_a.csv");
+    b.save_csv(csv_prefix + "_b.csv");
+    c.save_csv(csv_prefix + "_c.csv");
+    msgs.save_csv(csv_prefix + "_msgs.csv");
+  }
+}
+
+}  // namespace caft

@@ -1,0 +1,42 @@
+/// \file report.hpp
+/// Turns run_experiment output into the paper's three panels per figure —
+/// (a) normalized latency with bounds and fault-free baselines, (b) 0-crash
+/// versus c-crash latency, (c) average overhead % — as printable tables and
+/// CSV files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+
+namespace caft {
+
+/// Panel (a): granularity, FTSA0, FTSA-UB, FTBAR0, FTBAR-UB, CAFT0,
+/// CAFT-UB, FaultFree-CAFT, FaultFree-FTBAR.
+[[nodiscard]] Table panel_a(const ExperimentConfig& config,
+                            const std::vector<PointAverages>& points);
+
+/// Panel (b): granularity, {FTSA, FTBAR, CAFT} x {0 crash, c crash}.
+[[nodiscard]] Table panel_b(const ExperimentConfig& config,
+                            const std::vector<PointAverages>& points);
+
+/// Panel (c): granularity, overhead % for the six series of panel (b).
+[[nodiscard]] Table panel_c(const ExperimentConfig& config,
+                            const std::vector<PointAverages>& points);
+
+/// Bonus panel: average inter-processor messages (and per edge) per
+/// algorithm — the communication analysis of Section 6.
+[[nodiscard]] Table panel_messages(const ExperimentConfig& config,
+                                   const std::vector<PointAverages>& points);
+
+/// Prints all panels and, when `csv_prefix` is non-empty, writes
+/// `<csv_prefix>_{a,b,c,msgs}.csv`.
+void report_figure(std::ostream& os, const ExperimentConfig& config,
+                   const std::vector<PointAverages>& points,
+                   const std::string& csv_prefix = "");
+
+}  // namespace caft

@@ -1,0 +1,57 @@
+/// \file runner.hpp
+/// Executes one ExperimentConfig: for every granularity point it generates
+/// `graphs_per_point` random (graph, costs) instances, runs the fault-free
+/// baselines plus FTSA, FTBAR and CAFT under the one-port model, re-executes
+/// each fault-tolerant schedule under a uniformly drawn crash set, and
+/// averages the paper's metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/config.hpp"
+
+namespace caft {
+
+/// Averages for one granularity point — one x position of the figures.
+struct PointAverages {
+  double granularity = 0.0;
+
+  // Panel (a): normalized latencies, fault-free + 0-crash + upper bounds.
+  double ff_caft = 0.0;   ///< fault-free CAFT ≡ HEFT (the paper's CAFT*)
+  double ff_ftbar = 0.0;  ///< fault-free FTBAR
+  double ftsa0 = 0.0, ftsa_ub = 0.0;
+  double ftbar0 = 0.0, ftbar_ub = 0.0;
+  double caft0 = 0.0, caft_ub = 0.0;
+
+  // Panel (b): re-executed latency under `crashes` failures.
+  double ftsa_c = 0.0, ftbar_c = 0.0, caft_c = 0.0;
+
+  // Panel (c): overhead % versus the fault-free CAFT latency.
+  double ovh_ftsa0 = 0.0, ovh_ftsa_c = 0.0;
+  double ovh_ftbar0 = 0.0, ovh_ftbar_c = 0.0;
+  double ovh_caft0 = 0.0, ovh_caft_c = 0.0;
+
+  // Message accounting (Section 6's communication analysis).
+  double msgs_ftsa = 0.0, msgs_ftbar = 0.0, msgs_caft = 0.0;
+  double msgs_per_edge_ftsa = 0.0, msgs_per_edge_ftbar = 0.0,
+         msgs_per_edge_caft = 0.0;
+
+  /// Crash re-executions in which some task delivered no result (should be
+  /// 0: all three algorithms tolerate up to ε failures and crashes ≤ ε).
+  std::size_t crash_failures = 0;
+};
+
+/// Runs the experiment; one PointAverages per granularity, in sweep order.
+/// Repetitions run in parallel across hardware threads (override with the
+/// CAFT_THREADS environment variable); results are bit-for-bit independent
+/// of the thread count because every repetition owns a pre-split random
+/// stream and the fold happens in repetition order.
+[[nodiscard]] std::vector<PointAverages> run_experiment(
+    const ExperimentConfig& config);
+
+/// Worker threads run_experiment will use (CAFT_THREADS env var, else the
+/// hardware concurrency, else 1).
+[[nodiscard]] std::size_t experiment_thread_count();
+
+}  // namespace caft

@@ -1,0 +1,97 @@
+#include "io/dot_export.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace caft {
+
+namespace {
+
+/// DOT identifiers must be quoted when they carry punctuation; task names
+/// like "gemm(1,2,0)" do.
+std::string quoted(const std::string& name) {
+  std::string out = "\"";
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string replica_node(const Schedule& schedule, TaskId t, ReplicaIndex r) {
+  return quoted(schedule.graph().name(t) + "#" + std::to_string(r));
+}
+
+}  // namespace
+
+std::string to_dot(const TaskGraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph taskgraph {\n";
+  if (options.left_to_right) os << "  rankdir=LR;\n";
+  os << "  node [shape=ellipse];\n";
+  for (const TaskId t : graph.all_tasks())
+    os << "  " << quoted(graph.name(t)) << ";\n";
+  os << std::fixed << std::setprecision(1);
+  for (const Edge& e : graph.edges()) {
+    os << "  " << quoted(graph.name(e.src)) << " -> "
+       << quoted(graph.name(e.dst));
+    if (options.show_volumes) os << " [label=\"" << e.volume << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Schedule& schedule, const DotOptions& options) {
+  const TaskGraph& graph = schedule.graph();
+  std::ostringstream os;
+  os << "digraph schedule {\n";
+  if (options.left_to_right) os << "  rankdir=LR;\n";
+  os << "  node [shape=box];\n" << std::fixed << std::setprecision(1);
+
+  // One cluster per processor, replicas sorted by start time.
+  const std::size_t m = schedule.platform().proc_count();
+  std::vector<std::vector<std::pair<double, std::string>>> lanes(m);
+  for (const TaskId t : graph.all_tasks()) {
+    const std::size_t total = schedule.total_replicas(t);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      const ReplicaAssignment& a = schedule.replica(t, r);
+      std::ostringstream node;
+      node << "    " << replica_node(schedule, t, r) << " [label=\""
+           << graph.name(t) << "#" << r << "\\n[" << a.start << ", "
+           << a.finish << ")\"";
+      if (r >= schedule.primary_count())
+        node << " style=filled fillcolor=lightyellow";  // MST duplicate
+      node << "];\n";
+      lanes[a.proc.index()].emplace_back(a.start, node.str());
+    }
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    os << "  subgraph cluster_P" << p << " {\n    label=\"P" << p << "\";\n";
+    std::sort(lanes[p].begin(), lanes[p].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [start, node] : lanes[p]) os << node;
+    os << "  }\n";
+  }
+
+  for (const CommAssignment& c : schedule.comms()) {
+    os << "  " << replica_node(schedule, c.from.task, c.from.replica) << " -> "
+       << replica_node(schedule, c.to.task, c.to.replica);
+    if (c.intra()) {
+      os << " [color=gray]";
+    } else {
+      os << " [style=dashed";
+      if (options.show_volumes)
+        os << " label=\"@" << c.times.arrival << "\"";
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace caft

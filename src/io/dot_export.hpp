@@ -1,0 +1,31 @@
+/// \file dot_export.hpp
+/// Graphviz DOT rendering of task graphs and schedules, for papers, docs and
+/// debugging. `dot -Tsvg graph.dot -o graph.svg` does the rest.
+#pragma once
+
+#include <string>
+
+#include "dag/task_graph.hpp"
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// Rendering knobs for graph export.
+struct DotOptions {
+  bool show_volumes = true;     ///< label edges with V(ti, tj)
+  bool left_to_right = true;    ///< rankdir=LR instead of top-down
+};
+
+/// DOT source of the bare task graph.
+[[nodiscard]] std::string to_dot(const TaskGraph& graph,
+                                 const DotOptions& options = {});
+
+/// DOT source of a schedule: one cluster per processor containing its
+/// replicas (ordered by start time), committed communications as edges
+/// between replicas (dashed when they cross processors). Duplicates appear
+/// with a distinct fill.
+[[nodiscard]] std::string to_dot(const Schedule& schedule,
+                                 const DotOptions& options = {});
+
+}  // namespace caft

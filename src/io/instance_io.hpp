@@ -1,0 +1,59 @@
+/// \file instance_io.hpp
+/// Plain-text serialization of a full scheduling instance — task graph,
+/// platform topology, cost model, and (optionally) a committed schedule —
+/// with exact round-tripping. The format is line-oriented and versioned, so
+/// instances can be archived next to experiment results, diffed, or fed to
+/// external tooling.
+///
+/// Format sketch (whitespace separated, names are the rest of their line):
+///   caft-instance v1
+///   graph <tasks> <edges>
+///   task <id> <name...>
+///   edge <src> <dst> <volume>
+///   platform <m> <cables>
+///   cable <a> <b>
+///   exec <task> <proc> <time>
+///   delay <link> <unit-delay>
+///   schedule <eps> <macro|oneport> <duplicate-count>
+///   replica <task> <r> <proc> <start> <finish>
+///   duplicate <task> <proc> <start> <finish>
+///   comm <edge> <from-r> <to-r> <src-proc> <dst-proc> <volume>
+///        <link-start> <link-finish> <send-finish> <recv-start> <arrival>
+///        <segments> {<link> <start> <finish>}*   (one line per comm)
+///   end
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "platform/cost_model.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// A loaded instance. Platform/costs/schedule sit behind unique_ptr so the
+/// internal cross-references stay valid when the bundle moves.
+struct InstanceBundle {
+  TaskGraph graph;
+  std::unique_ptr<Platform> platform;
+  std::unique_ptr<CostModel> costs;
+  std::unique_ptr<Schedule> schedule;  ///< null when none was serialized
+};
+
+/// Writes an instance; `schedule` may be null.
+void save_instance(std::ostream& os, const TaskGraph& graph,
+                   const Platform& platform, const CostModel& costs,
+                   const Schedule* schedule = nullptr);
+
+/// Parses an instance; throws CheckError on malformed input.
+[[nodiscard]] InstanceBundle load_instance(std::istream& is);
+
+/// Convenience file wrappers; the loader throws on unreadable paths.
+void save_instance_file(const std::string& path, const TaskGraph& graph,
+                        const Platform& platform, const CostModel& costs,
+                        const Schedule* schedule = nullptr);
+[[nodiscard]] InstanceBundle load_instance_file(const std::string& path);
+
+}  // namespace caft

@@ -1,0 +1,148 @@
+#include "io/trace_export.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace caft {
+
+namespace {
+
+/// Lane ids inside one processor's "process": execution, send port, receive
+/// port. Chrome sorts threads by tid.
+constexpr int kExecLane = 0;
+constexpr int kSendLane = 1;
+constexpr int kRecvLane = 2;
+
+class TraceWriter {
+ public:
+  TraceWriter() {
+    os_ << "{\"traceEvents\":[\n";
+    os_ << std::fixed << std::setprecision(3);
+  }
+
+  void metadata(std::size_t proc_count) {
+    for (std::size_t p = 0; p < proc_count; ++p) {
+      meta_name(p, kExecLane, "P" + std::to_string(p) + " exec");
+      meta_name(p, kSendLane, "P" + std::to_string(p) + " send");
+      meta_name(p, kRecvLane, "P" + std::to_string(p) + " recv");
+    }
+  }
+
+  void duration(const std::string& name, std::size_t proc, int lane,
+                double start, double finish, const std::string& category) {
+    separator();
+    os_ << "{\"name\":\"" << name << "\",\"cat\":\"" << category
+        << "\",\"ph\":\"X\",\"ts\":" << start << ",\"dur\":" << finish - start
+        << ",\"pid\":" << proc << ",\"tid\":" << lane << "}";
+  }
+
+  void flow(std::size_t id, std::size_t src_proc, double src_time,
+            std::size_t dst_proc, double dst_time) {
+    separator();
+    os_ << "{\"name\":\"msg\",\"cat\":\"comm\",\"ph\":\"s\",\"id\":" << id
+        << ",\"ts\":" << src_time << ",\"pid\":" << src_proc
+        << ",\"tid\":" << kSendLane << "}";
+    separator();
+    os_ << "{\"name\":\"msg\",\"cat\":\"comm\",\"ph\":\"f\",\"bp\":\"e\","
+        << "\"id\":" << id << ",\"ts\":" << dst_time << ",\"pid\":" << dst_proc
+        << ",\"tid\":" << kRecvLane << "}";
+  }
+
+  void instant(const std::string& name, std::size_t proc, double time) {
+    separator();
+    os_ << "{\"name\":\"" << name << "\",\"cat\":\"fault\",\"ph\":\"i\","
+        << "\"s\":\"p\",\"ts\":" << time << ",\"pid\":" << proc
+        << ",\"tid\":" << kExecLane << "}";
+  }
+
+  std::string finish() {
+    os_ << "\n]}\n";
+    return os_.str();
+  }
+
+ private:
+  void meta_name(std::size_t proc, int lane, const std::string& label) {
+    separator();
+    os_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << proc
+        << ",\"tid\":" << lane << ",\"args\":{\"name\":\"" << label << "\"}}";
+  }
+
+  void separator() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+void emit_comms(TraceWriter& writer, const Schedule& schedule,
+                const CrashResult* result) {
+  for (std::size_t ci = 0; ci < schedule.comms().size(); ++ci) {
+    const CommAssignment& c = schedule.comms()[ci];
+    if (c.intra()) continue;
+    if (result != nullptr) {
+      // In a replay trace only delivered messages appear; a message was
+      // delivered iff both endpoints' data exists (approximation: source
+      // replica completed and destination processor not dead at arrival).
+      const bool src_done =
+          result->completed[c.from.task.index()][c.from.replica];
+      if (!src_done) continue;
+    }
+    const std::string label = schedule.graph().name(c.from.task) + "#" +
+                              std::to_string(c.from.replica) + "->" +
+                              schedule.graph().name(c.to.task) + "#" +
+                              std::to_string(c.to.replica);
+    writer.duration(label, c.src_proc.index(), kSendLane, c.times.link_start,
+                    c.times.send_finish, "send");
+    writer.duration(label, c.dst_proc.index(), kRecvLane, c.times.recv_start,
+                    c.times.arrival, "recv");
+    writer.flow(ci, c.src_proc.index(), c.times.link_start, c.dst_proc.index(),
+                c.times.arrival);
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Schedule& schedule) {
+  TraceWriter writer;
+  writer.metadata(schedule.platform().proc_count());
+  for (const TaskId t : schedule.graph().all_tasks()) {
+    const std::size_t total = schedule.total_replicas(t);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      const ReplicaAssignment& a = schedule.replica(t, r);
+      writer.duration(
+          schedule.graph().name(t) + "#" + std::to_string(r), a.proc.index(),
+          kExecLane, a.start, a.finish,
+          r < schedule.primary_count() ? "exec" : "duplicate");
+    }
+  }
+  emit_comms(writer, schedule, nullptr);
+  return writer.finish();
+}
+
+std::string to_chrome_trace(const Schedule& schedule, const CrashResult& result,
+                            const CrashScenario& scenario) {
+  TraceWriter writer;
+  writer.metadata(schedule.platform().proc_count());
+  for (std::size_t p = 0; p < scenario.proc_count(); ++p) {
+    const auto proc = ProcId(static_cast<ProcId::value_type>(p));
+    if (scenario.crash_time(proc) < std::numeric_limits<double>::infinity())
+      writer.instant("CRASH", p, scenario.crash_time(proc));
+  }
+  for (const TaskId t : schedule.graph().all_tasks()) {
+    const std::size_t total = schedule.total_replicas(t);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      if (!result.completed[t.index()][r]) continue;
+      const ReplicaAssignment& a = schedule.replica(t, r);
+      const double finish = result.finish[t.index()][r];
+      writer.duration(schedule.graph().name(t) + "#" + std::to_string(r),
+                      a.proc.index(), kExecLane, finish - (a.finish - a.start),
+                      finish, "exec");
+    }
+  }
+  emit_comms(writer, schedule, &result);
+  return writer.finish();
+}
+
+}  // namespace caft

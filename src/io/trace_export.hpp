@@ -1,0 +1,25 @@
+/// \file trace_export.hpp
+/// Chrome trace-event JSON export of schedules and crash replays: open the
+/// file in chrome://tracing or https://ui.perfetto.dev to scrub through the
+/// execution. Processors map to "threads" (execution lane plus send/receive
+/// port lanes), replicas and message legs to duration events, and committed
+/// communications to flow arrows from sender to receiver.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sim/crash_sim.hpp"
+
+namespace caft {
+
+/// Trace of the committed schedule.
+[[nodiscard]] std::string to_chrome_trace(const Schedule& schedule);
+
+/// Trace of a crash re-execution: only the work that actually happened,
+/// with the crash set recorded as instant events.
+[[nodiscard]] std::string to_chrome_trace(const Schedule& schedule,
+                                          const CrashResult& result,
+                                          const CrashScenario& scenario);
+
+}  // namespace caft

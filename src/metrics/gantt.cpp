@@ -1,0 +1,128 @@
+#include "metrics/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+namespace {
+
+struct Bar {
+  double start;
+  double finish;
+  std::string label;
+};
+
+std::string render_lanes(const std::vector<std::vector<Bar>>& lanes,
+                         const std::vector<std::string>& lane_names,
+                         double horizon, std::size_t width) {
+  std::ostringstream os;
+  const double scale =
+      horizon > 0.0 ? static_cast<double>(width) / horizon : 0.0;
+  std::size_t name_width = 0;
+  for (const auto& n : lane_names) name_width = std::max(name_width, n.size());
+
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    std::string row(width, '.');
+    for (const Bar& bar : lanes[lane]) {
+      auto from = static_cast<std::size_t>(std::floor(bar.start * scale));
+      auto to = static_cast<std::size_t>(std::ceil(bar.finish * scale));
+      from = std::min(from, width != 0 ? width - 1 : 0);
+      to = std::min(std::max(to, from + 1), width);
+      for (std::size_t col = from; col < to; ++col) row[col] = '#';
+      // Stamp as much of the label as fits inside the bar.
+      for (std::size_t k = 0; k < bar.label.size() && from + k < to; ++k)
+        row[from + k] = bar.label[k];
+    }
+    os << std::setw(static_cast<int>(name_width)) << lane_names[lane] << " |"
+       << row << "|\n";
+  }
+  os << std::setw(static_cast<int>(name_width)) << "" << " 0" << std::string(width > 10 ? width - 10 : 0, ' ')
+     << std::fixed << std::setprecision(1) << horizon << '\n';
+  return os.str();
+}
+
+std::string comm_table(const Schedule& schedule, std::size_t max_comms) {
+  std::ostringstream os;
+  os << "communications (first " << max_comms << "):\n";
+  std::size_t listed = 0;
+  for (const CommAssignment& c : schedule.comms()) {
+    if (listed == max_comms) {
+      os << "  ... (" << schedule.comms().size() - listed << " more)\n";
+      break;
+    }
+    const TaskGraph& g = schedule.graph();
+    os << "  " << g.name(c.from.task) << "#" << c.from.replica << "@P"
+       << c.src_proc.value() << " -> " << g.name(c.to.task) << "#"
+       << c.to.replica << "@P" << c.dst_proc.value();
+    if (c.intra()) {
+      os << " (intra, t=" << c.times.arrival << ")\n";
+    } else {
+      os << " [" << c.times.link_start << ", " << c.times.arrival << "]\n";
+    }
+    ++listed;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_gantt(const Schedule& schedule, const GanttOptions& options) {
+  const std::size_t m = schedule.platform().proc_count();
+  std::vector<std::vector<Bar>> lanes(m);
+  std::vector<std::string> names(m);
+  for (std::size_t p = 0; p < m; ++p) names[p] = "P" + std::to_string(p);
+
+  double horizon = 0.0;
+  for (const TaskId t : schedule.graph().all_tasks()) {
+    const std::size_t total = schedule.total_replicas(t);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      const ReplicaAssignment& a = schedule.replica(t, r);
+      lanes[a.proc.index()].push_back(
+          Bar{a.start, a.finish, schedule.graph().name(t)});
+      horizon = std::max(horizon, a.finish);
+    }
+  }
+  std::ostringstream os;
+  os << render_lanes(lanes, names, horizon, options.width);
+  if (options.show_comms) os << comm_table(schedule, options.max_comms);
+  return os.str();
+}
+
+std::string render_crash_gantt(const Schedule& schedule,
+                               const CrashResult& result,
+                               const CrashScenario& scenario,
+                               const GanttOptions& options) {
+  const std::size_t m = schedule.platform().proc_count();
+  std::vector<std::vector<Bar>> lanes(m);
+  std::vector<std::string> names(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    const auto proc = ProcId(static_cast<ProcId::value_type>(p));
+    names[p] = "P" + std::to_string(p);
+    if (scenario.dead_from_start(proc)) names[p] += " (DEAD)";
+  }
+
+  double horizon = 0.0;
+  for (const TaskId t : schedule.graph().all_tasks()) {
+    const std::size_t total = schedule.total_replicas(t);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      if (!result.completed[t.index()][r]) continue;
+      const ReplicaAssignment& a = schedule.replica(t, r);
+      const double finish = result.finish[t.index()][r];
+      const double start = finish - (a.finish - a.start);
+      lanes[a.proc.index()].push_back(
+          Bar{start, finish, schedule.graph().name(t)});
+      horizon = std::max(horizon, finish);
+    }
+  }
+  std::ostringstream os;
+  if (!result.success) os << "(schedule FAILED under this crash pattern)\n";
+  os << render_lanes(lanes, names, horizon, options.width);
+  return os.str();
+}
+
+}  // namespace caft

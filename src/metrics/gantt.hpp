@@ -1,0 +1,33 @@
+/// \file gantt.hpp
+/// Text Gantt rendering of a schedule: one lane per processor showing the
+/// replica executions, plus an optional communication table. Used by the
+/// crash-replay example and handy when debugging schedulers.
+#pragma once
+
+#include <string>
+
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+#include "sim/crash_sim.hpp"
+
+namespace caft {
+
+/// Rendering knobs.
+struct GanttOptions {
+  std::size_t width = 100;     ///< character columns for the time axis
+  bool show_comms = false;     ///< append the communication table
+  std::size_t max_comms = 40;  ///< cap on listed communications
+};
+
+/// ASCII Gantt chart of the committed schedule.
+[[nodiscard]] std::string render_gantt(const Schedule& schedule,
+                                       const GanttOptions& options = {});
+
+/// ASCII Gantt chart of a crash re-execution: completed replicas only,
+/// crashed processors marked.
+[[nodiscard]] std::string render_crash_gantt(const Schedule& schedule,
+                                             const CrashResult& result,
+                                             const CrashScenario& scenario,
+                                             const GanttOptions& options = {});
+
+}  // namespace caft

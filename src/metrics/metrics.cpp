@@ -1,0 +1,71 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dag/analysis.hpp"
+
+namespace caft {
+
+double slr_denominator(const TaskGraph& graph, const CostModel& costs) {
+  if (graph.task_count() == 0) return 0.0;
+  return critical_path_length(graph, costs.fastest_weights(graph));
+}
+
+double normalized_latency(double latency, const TaskGraph& graph,
+                          const CostModel& costs) {
+  if (std::isinf(latency)) return latency;
+  const double denom = slr_denominator(graph, costs);
+  if (denom <= 0.0) return 0.0;
+  return latency / denom;
+}
+
+double overhead_percent(double latency, double reference) {
+  CAFT_CHECK_MSG(reference > 0.0, "overhead needs a positive reference");
+  return 100.0 * (latency - reference) / reference;
+}
+
+double makespan_lower_bound(const TaskGraph& graph, const CostModel& costs) {
+  const double critical = slr_denominator(graph, costs);
+  double work = 0.0;
+  for (const TaskId t : graph.all_tasks()) work += costs.fastest_exec(t);
+  const double balance = work / static_cast<double>(costs.proc_count());
+  return std::max(critical, balance);
+}
+
+double replicated_lower_bound(const TaskGraph& graph, const CostModel& costs,
+                              std::size_t eps) {
+  CAFT_CHECK_MSG(eps + 1 <= costs.proc_count(),
+                 "need at least eps+1 processors");
+  const double critical = slr_denominator(graph, costs);
+  // Each task runs on eps+1 *distinct* processors, so at best it uses its
+  // eps+1 cheapest options; that work has to fit on m processors.
+  double work = 0.0;
+  std::vector<double> execs(costs.proc_count());
+  for (const TaskId t : graph.all_tasks()) {
+    for (std::size_t p = 0; p < costs.proc_count(); ++p)
+      execs[p] = costs.exec(t, ProcId(static_cast<ProcId::value_type>(p)));
+    std::partial_sort(execs.begin(),
+                      execs.begin() + static_cast<std::ptrdiff_t>(eps + 1),
+                      execs.end());
+    for (std::size_t r = 0; r <= eps; ++r) work += execs[r];
+  }
+  const double balance = work / static_cast<double>(costs.proc_count());
+  return std::max(critical, balance);
+}
+
+LatencySummary summarize_latency(const Schedule& schedule,
+                                 const CostModel& costs) {
+  LatencySummary summary;
+  summary.zero_crash = schedule.zero_crash_latency();
+  summary.upper_bound = schedule.upper_bound_latency();
+  summary.normalized_zero_crash =
+      normalized_latency(summary.zero_crash, schedule.graph(), costs);
+  summary.normalized_upper_bound =
+      normalized_latency(summary.upper_bound, schedule.graph(), costs);
+  return summary;
+}
+
+}  // namespace caft

@@ -1,0 +1,65 @@
+/// \file metrics.hpp
+/// The evaluation quantities of the paper's Section 6: normalized latency
+/// and the fault-tolerance overhead.
+///
+/// Normalization: the paper plots "Normalized Latency" without giving the
+/// formula; we use the Schedule Length Ratio customary in the HEFT lineage
+/// [27] — latency divided by the length of the critical path with per-task
+/// *minimum* execution times and zero communication. Any fixed per-graph
+/// normalization preserves the orderings and crossovers the paper reports.
+///
+/// Overhead (Section 6, verbatim):
+///   Overhead = (ALG^{0|c} − CAFT*) / CAFT*
+/// where CAFT* is the latency of the fault-free schedule (an implementation
+/// of HEFT) on the same graph and platform; reported in percent.
+#pragma once
+
+#include "dag/task_graph.hpp"
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// Length of the critical path with minimal execution times and free
+/// communications — the SLR denominator. Returns 0 for an empty graph.
+[[nodiscard]] double slr_denominator(const TaskGraph& graph,
+                                     const CostModel& costs);
+
+/// latency / slr_denominator; passes +inf through, returns 0 when the
+/// denominator is 0 (single-task graphs cannot have latency without work).
+[[nodiscard]] double normalized_latency(double latency, const TaskGraph& graph,
+                                        const CostModel& costs);
+
+/// The paper's overhead, in percent. `reference` is CAFT* (fault-free).
+[[nodiscard]] double overhead_percent(double latency, double reference);
+
+/// All latency figures of one schedule in one struct (convenience for the
+/// benches and examples).
+struct LatencySummary {
+  double zero_crash = 0.0;
+  double upper_bound = 0.0;
+  double normalized_zero_crash = 0.0;
+  double normalized_upper_bound = 0.0;
+};
+
+[[nodiscard]] LatencySummary summarize_latency(const Schedule& schedule,
+                                               const CostModel& costs);
+
+/// Model-independent makespan lower bound for a fault-free schedule:
+/// max(critical path with per-task minimum execution and free communication,
+///     total minimum work / m).
+/// Every valid schedule's latency is at least this (property-tested).
+[[nodiscard]] double makespan_lower_bound(const TaskGraph& graph,
+                                          const CostModel& costs);
+
+/// Lower bound for an ε-replicated schedule's *upper-bound* latency: every
+/// task must occupy ε+1 distinct processors, so at least the sum over tasks
+/// of their ε+1 smallest execution times must be processed, spread over m
+/// processors — combined with the critical path term. The zero-crash
+/// latency of a replicated schedule is only bounded by
+/// makespan_lower_bound (the earliest copies race like a fault-free run).
+[[nodiscard]] double replicated_lower_bound(const TaskGraph& graph,
+                                            const CostModel& costs,
+                                            std::size_t eps);
+
+}  // namespace caft

@@ -1,0 +1,130 @@
+#include "platform/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace caft {
+
+CostModel::CostModel(std::size_t task_count, const Platform& platform)
+    : task_count_(task_count),
+      platform_(&platform),
+      exec_(task_count * platform.proc_count(), 0.0),
+      link_delay_(platform.topology().link_count(), 0.0) {}
+
+void CostModel::set_exec(TaskId t, ProcId p, double time) {
+  CAFT_CHECK(t.index() < task_count_ && p.index() < proc_count());
+  CAFT_CHECK_MSG(time >= 0.0, "execution time must be non-negative");
+  exec_[t.index() * proc_count() + p.index()] = time;
+}
+
+void CostModel::set_exec_all(TaskId t, double time) {
+  for (std::size_t p = 0; p < proc_count(); ++p)
+    set_exec(t, ProcId(static_cast<ProcId::value_type>(p)), time);
+}
+
+void CostModel::set_unit_delay(LinkId l, double delay) {
+  CAFT_CHECK(l.index() < link_delay_.size());
+  CAFT_CHECK_MSG(delay >= 0.0, "unit delay must be non-negative");
+  link_delay_[l.index()] = delay;
+}
+
+void CostModel::set_all_unit_delays(double delay) {
+  CAFT_CHECK_MSG(delay >= 0.0, "unit delay must be non-negative");
+  std::fill(link_delay_.begin(), link_delay_.end(), delay);
+}
+
+double CostModel::pair_delay(ProcId from, ProcId to) const {
+  if (from == to) return 0.0;
+  double total = 0.0;
+  const auto path = platform_->topology().route(from, to);
+  CAFT_CHECK_MSG(!path.empty(), "no route between distinct processors");
+  for (const LinkId l : path) total += unit_delay(l);
+  return total;
+}
+
+double CostModel::avg_exec(TaskId t) const {
+  CAFT_CHECK(t.index() < task_count_);
+  double sum = 0.0;
+  for (std::size_t p = 0; p < proc_count(); ++p)
+    sum += exec_[t.index() * proc_count() + p];
+  return sum / static_cast<double>(proc_count());
+}
+
+double CostModel::slowest_exec(TaskId t) const {
+  CAFT_CHECK(t.index() < task_count_);
+  double worst = 0.0;
+  for (std::size_t p = 0; p < proc_count(); ++p)
+    worst = std::max(worst, exec_[t.index() * proc_count() + p]);
+  return worst;
+}
+
+double CostModel::fastest_exec(TaskId t) const {
+  CAFT_CHECK(t.index() < task_count_);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t p = 0; p < proc_count(); ++p)
+    best = std::min(best, exec_[t.index() * proc_count() + p]);
+  return best;
+}
+
+double CostModel::avg_pair_delay() const {
+  const std::size_t m = proc_count();
+  if (m < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b)
+      if (a != b)
+        sum += pair_delay(ProcId(static_cast<ProcId::value_type>(a)),
+                          ProcId(static_cast<ProcId::value_type>(b)));
+  return sum / static_cast<double>(m * (m - 1));
+}
+
+double CostModel::max_pair_delay() const {
+  const std::size_t m = proc_count();
+  double worst = 0.0;
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b)
+      if (a != b)
+        worst = std::max(worst,
+                         pair_delay(ProcId(static_cast<ProcId::value_type>(a)),
+                                    ProcId(static_cast<ProcId::value_type>(b))));
+  return worst;
+}
+
+double CostModel::granularity(const TaskGraph& g) const {
+  CAFT_CHECK(g.task_count() == task_count_);
+  double comp = 0.0;
+  for (const TaskId t : g.all_tasks()) comp += slowest_exec(t);
+  const double worst_delay = max_pair_delay();
+  double comm = 0.0;
+  for (const Edge& e : g.edges()) comm += e.volume * worst_delay;
+  if (comm == 0.0) return std::numeric_limits<double>::infinity();
+  return comp / comm;
+}
+
+DagWeights CostModel::average_weights(const TaskGraph& g) const {
+  CAFT_CHECK(g.task_count() == task_count_);
+  DagWeights w;
+  w.node.resize(g.task_count());
+  for (const TaskId t : g.all_tasks()) w.node[t.index()] = avg_exec(t);
+  const double avg_delay = avg_pair_delay();
+  w.edge.resize(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    w.edge[e] = g.edge(static_cast<EdgeIndex>(e)).volume * avg_delay;
+  return w;
+}
+
+DagWeights CostModel::fastest_weights(const TaskGraph& g) const {
+  CAFT_CHECK(g.task_count() == task_count_);
+  DagWeights w;
+  w.node.resize(g.task_count());
+  for (const TaskId t : g.all_tasks()) w.node[t.index()] = fastest_exec(t);
+  w.edge.assign(g.edge_count(), 0.0);
+  return w;
+}
+
+void CostModel::scale_exec(double factor) {
+  CAFT_CHECK_MSG(factor > 0.0, "scale factor must be positive");
+  for (double& e : exec_) e *= factor;
+}
+
+}  // namespace caft

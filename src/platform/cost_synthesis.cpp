@@ -1,0 +1,50 @@
+#include "platform/cost_synthesis.hpp"
+
+#include <cmath>
+
+namespace caft {
+
+CostModel synthesize_costs(const TaskGraph& g, const Platform& platform,
+                           const CostSynthesisParams& params, Rng& rng) {
+  CAFT_CHECK_MSG(params.granularity > 0.0, "granularity target must be positive");
+  CAFT_CHECK(params.min_unit_delay >= 0.0);
+  CAFT_CHECK(params.min_unit_delay <= params.max_unit_delay);
+  CAFT_CHECK(params.base_spread >= 0.0 && params.base_spread < 1.0);
+  CAFT_CHECK(params.heterogeneity >= 0.0 && params.heterogeneity < 1.0);
+  CAFT_CHECK_MSG(g.task_count() >= 1, "cannot cost an empty graph");
+
+  CostModel costs(g.task_count(), platform);
+
+  for (std::size_t l = 0; l < platform.topology().link_count(); ++l)
+    costs.set_unit_delay(LinkId(static_cast<LinkId::value_type>(l)),
+                         rng.uniform(params.min_unit_delay, params.max_unit_delay));
+
+  // Unit-mean draws; the absolute scale is fixed by the rescaling below, so
+  // only the *relative* spread across tasks and processors matters here.
+  for (const TaskId t : g.all_tasks()) {
+    const double base =
+        rng.uniform(1.0 - params.base_spread, 1.0 + params.base_spread);
+    for (const ProcId p : platform.all_procs()) {
+      const double factor =
+          rng.uniform(1.0 - params.heterogeneity, 1.0 + params.heterogeneity);
+      costs.set_exec(t, p, base * factor);
+    }
+  }
+
+  const double g_now = costs.granularity(g);
+  CAFT_CHECK_MSG(std::isfinite(g_now) && g_now > 0.0,
+                 "granularity targeting needs at least one weighted edge");
+  costs.scale_exec(params.granularity / g_now);
+  return costs;
+}
+
+CostModel uniform_costs(const TaskGraph& g, const Platform& platform,
+                        double exec, double delay) {
+  CAFT_CHECK(exec >= 0.0 && delay >= 0.0);
+  CostModel costs(g.task_count(), platform);
+  for (const TaskId t : g.all_tasks()) costs.set_exec_all(t, exec);
+  costs.set_all_unit_delays(delay);
+  return costs;
+}
+
+}  // namespace caft

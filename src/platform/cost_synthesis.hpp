@@ -1,0 +1,39 @@
+/// \file cost_synthesis.hpp
+/// Random cost generation following the paper's experimental protocol
+/// (Section 6): unit link delays uniform in [0.5, 1], edge volumes uniform in
+/// [50, 150] (already drawn by the DAG generators), and execution times
+/// synthesized so that the granularity g(G, P) of Section 2 hits the sweep's
+/// exact target. Heterogeneity is "inconsistent" (a per-(task, processor)
+/// factor), matching the arbitrary E : V x P -> R+ of the paper's framework.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dag/task_graph.hpp"
+#include "platform/cost_model.hpp"
+
+namespace caft {
+
+/// Knobs of the paper's cost distributions.
+struct CostSynthesisParams {
+  double granularity = 1.0;      ///< exact g(G, P) target
+  double min_unit_delay = 0.5;   ///< link delay lower bound (paper: 0.5)
+  double max_unit_delay = 1.0;   ///< link delay upper bound (paper: 1.0)
+  double base_spread = 0.5;      ///< task base cost varies in mean·[1∓spread]
+  double heterogeneity = 0.5;    ///< per-(t,P) factor varies in [1∓heterogeneity]
+};
+
+/// Draws link delays and execution times, then rescales execution times so
+/// g(G, P) equals `params.granularity` exactly. Requires at least one edge
+/// with positive volume (otherwise granularity is undefined).
+[[nodiscard]] CostModel synthesize_costs(const TaskGraph& g,
+                                         const Platform& platform,
+                                         const CostSynthesisParams& params,
+                                         Rng& rng);
+
+/// Homogeneous costs — every task costs `exec`, every link delay is `delay`.
+/// Useful for tests with hand-computable schedules.
+[[nodiscard]] CostModel uniform_costs(const TaskGraph& g,
+                                      const Platform& platform, double exec,
+                                      double delay);
+
+}  // namespace caft

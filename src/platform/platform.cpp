@@ -1,0 +1,4 @@
+#include "platform/platform.hpp"
+
+// Platform is header-only today; this translation unit anchors the target so
+// future out-of-line members have a home without touching the build.

@@ -1,0 +1,49 @@
+#include "sched/bounds.hpp"
+
+#include "common/check.hpp"
+
+namespace caft {
+
+ScheduleStats schedule_stats(const Schedule& schedule) {
+  CAFT_CHECK_MSG(schedule.complete(), "schedule is incomplete");
+  ScheduleStats stats;
+  stats.zero_crash_latency = schedule.zero_crash_latency();
+  stats.upper_bound_latency = schedule.upper_bound_latency();
+
+  for (const CommAssignment& c : schedule.comms()) {
+    if (c.intra()) {
+      ++stats.intra_proc_handoffs;
+    } else {
+      ++stats.inter_proc_messages;
+      stats.inter_proc_volume += c.volume;
+    }
+  }
+  const std::size_t edges = schedule.graph().edge_count();
+  stats.messages_per_edge =
+      edges == 0 ? 0.0
+                 : static_cast<double>(stats.inter_proc_messages) /
+                       static_cast<double>(edges);
+
+  stats.busy_time.assign(schedule.platform().proc_count(), 0.0);
+  for (const TaskId t : schedule.graph().all_tasks()) {
+    for (const ReplicaAssignment& a : schedule.primaries(t))
+      stats.busy_time[a.proc.index()] += a.finish - a.start;
+    for (const ReplicaAssignment& a : schedule.duplicates(t))
+      stats.busy_time[a.proc.index()] += a.finish - a.start;
+  }
+
+  const double makespan = stats.upper_bound_latency;
+  double utilization_sum = 0.0;
+  for (const double busy : stats.busy_time) {
+    if (busy <= 0.0) continue;
+    ++stats.procs_used;
+    if (makespan > 0.0) utilization_sum += busy / makespan;
+  }
+  stats.mean_utilization =
+      stats.procs_used == 0
+          ? 0.0
+          : utilization_sum / static_cast<double>(stats.procs_used);
+  return stats;
+}
+
+}  // namespace caft

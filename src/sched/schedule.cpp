@@ -1,0 +1,151 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+Schedule::Schedule(const TaskGraph& graph, const Platform& platform,
+                   std::size_t eps, CommModelKind model)
+    : graph_(&graph), platform_(&platform), eps_(eps), model_(model) {
+  CAFT_CHECK_MSG(eps + 1 <= platform.proc_count(),
+                 "need at least eps+1 processors for space exclusion");
+  replicas_.assign(graph.task_count(),
+                   std::vector<ReplicaAssignment>(primary_count()));
+  primary_set_.assign(graph.task_count(),
+                      std::vector<bool>(primary_count(), false));
+  incoming_.assign(graph.task_count(),
+                   std::vector<std::vector<std::size_t>>(primary_count()));
+}
+
+void Schedule::set_replica(TaskId t, ReplicaIndex r,
+                           ReplicaAssignment assignment) {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  CAFT_CHECK_MSG(r < primary_count(), "primary replica index out of range");
+  CAFT_CHECK_MSG(!primary_set_[t.index()][r], "replica already placed");
+  CAFT_CHECK(assignment.proc.index() < platform_->proc_count());
+  CAFT_CHECK(assignment.start >= 0.0 && assignment.finish >= assignment.start);
+  replicas_[t.index()][r] = assignment;
+  primary_set_[t.index()][r] = true;
+}
+
+ReplicaIndex Schedule::add_duplicate(TaskId t, ReplicaAssignment assignment) {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  CAFT_CHECK(assignment.proc.index() < platform_->proc_count());
+  CAFT_CHECK(assignment.start >= 0.0 && assignment.finish >= assignment.start);
+  const auto r = static_cast<ReplicaIndex>(replicas_[t.index()].size());
+  replicas_[t.index()].push_back(assignment);
+  incoming_[t.index()].emplace_back();
+  return r;
+}
+
+void Schedule::patch_duplicate(TaskId t, ReplicaIndex r,
+                               ReplicaAssignment assignment) {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  CAFT_CHECK_MSG(r >= primary_count() && r < replicas_[t.index()].size(),
+                 "patch_duplicate only addresses duplicate slots");
+  CAFT_CHECK(assignment.proc.index() < platform_->proc_count());
+  CAFT_CHECK(assignment.start >= 0.0 && assignment.finish >= assignment.start);
+  replicas_[t.index()][r] = assignment;
+}
+
+bool Schedule::has_replica(TaskId t, ReplicaIndex r) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  CAFT_CHECK(r < primary_count());
+  return primary_set_[t.index()][r];
+}
+
+std::size_t Schedule::primaries_recorded(TaskId t) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  const auto& flags = primary_set_[t.index()];
+  return static_cast<std::size_t>(std::count(flags.begin(), flags.end(), true));
+}
+
+std::size_t Schedule::total_replicas(TaskId t) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  const std::size_t extras = replicas_[t.index()].size() - primary_count();
+  return primaries_recorded(t) + extras;
+}
+
+const ReplicaAssignment& Schedule::replica(TaskId t, ReplicaIndex r) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  CAFT_CHECK_MSG(r < replicas_[t.index()].size(), "replica index out of range");
+  if (r < primary_count())
+    CAFT_CHECK_MSG(primary_set_[t.index()][r], "replica not placed yet");
+  return replicas_[t.index()][r];
+}
+
+std::span<const ReplicaAssignment> Schedule::primaries(TaskId t) const {
+  CAFT_CHECK_MSG(primaries_recorded(t) == primary_count(),
+                 "task does not have all primary replicas yet");
+  return {replicas_[t.index()].data(), primary_count()};
+}
+
+std::span<const ReplicaAssignment> Schedule::duplicates(TaskId t) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  const auto& all = replicas_[t.index()];
+  return {all.data() + primary_count(), all.size() - primary_count()};
+}
+
+void Schedule::add_comm(CommAssignment comm) {
+  CAFT_CHECK(comm.edge < graph_->edge_count());
+  const Edge& e = graph_->edge(comm.edge);
+  CAFT_CHECK_MSG(comm.from.task == e.src && comm.to.task == e.dst,
+                 "communication endpoints must match the edge");
+  CAFT_CHECK(comm.from.replica < replicas_[comm.from.task.index()].size());
+  CAFT_CHECK(comm.to.replica < replicas_[comm.to.task.index()].size());
+  incoming_[comm.to.task.index()][comm.to.replica].push_back(comms_.size());
+  comms_.push_back(std::move(comm));
+}
+
+std::span<const std::size_t> Schedule::incoming_comms(TaskId t,
+                                                      ReplicaIndex r) const {
+  CAFT_CHECK(t.index() < graph_->task_count());
+  CAFT_CHECK(r < incoming_[t.index()].size());
+  return incoming_[t.index()][r];
+}
+
+bool Schedule::complete() const {
+  for (const auto& flags : primary_set_)
+    if (!std::all_of(flags.begin(), flags.end(), [](bool b) { return b; }))
+      return false;
+  return true;
+}
+
+double Schedule::zero_crash_latency() const {
+  CAFT_CHECK_MSG(complete(), "schedule is incomplete");
+  double latency = 0.0;
+  for (const TaskId t : graph_->all_tasks()) {
+    double first = std::numeric_limits<double>::infinity();
+    for (const ReplicaAssignment& a : replicas_[t.index()])
+      first = std::min(first, a.finish);
+    latency = std::max(latency, first);
+  }
+  return latency;
+}
+
+double Schedule::upper_bound_latency() const {
+  CAFT_CHECK_MSG(complete(), "schedule is incomplete");
+  double latency = 0.0;
+  for (const TaskId t : graph_->all_tasks())
+    for (const ReplicaAssignment& a : replicas_[t.index()])
+      latency = std::max(latency, a.finish);
+  return latency;
+}
+
+std::size_t Schedule::message_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(comms_.begin(), comms_.end(),
+                    [](const CommAssignment& c) { return !c.intra(); }));
+}
+
+double Schedule::message_volume() const {
+  double volume = 0.0;
+  for (const CommAssignment& c : comms_)
+    if (!c.intra()) volume += c.volume;
+  return volume;
+}
+
+}  // namespace caft

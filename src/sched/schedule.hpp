@@ -1,0 +1,136 @@
+/// \file schedule.hpp
+/// The fault-tolerant schedule a scheduler emits: for every task its ε+1
+/// *primary* replica placements B(t) = {t^(1), ..., t^(ε+1)} with start and
+/// finish times, plus every committed communication between replica pairs.
+///
+/// Beyond the primaries, a task may carry extra *duplicates*: FTBAR's
+/// Minimize-Start-Time procedure (Ahmad & Kwok [1]) copies a predecessor onto
+/// the processor of its consumer to shorten the start time. Duplicates are
+/// addressed by replica indices >= ε+1 and participate in data availability
+/// and latency exactly like primaries, but the space-exclusion guarantee
+/// (Proposition 5.2) is carried by the primaries alone.
+///
+/// The crash simulator, the validator, the bounds and all metrics read this
+/// structure; schedulers only append to it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "comm/engine.hpp"
+#include "common/ids.hpp"
+#include "dag/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace caft {
+
+/// Which platform model produced (and must re-execute) a schedule.
+enum class CommModelKind {
+  kMacroDataflow,  ///< contention-free (Section 2's traditional model)
+  kOnePort,        ///< bi-directional one-port (this paper's model)
+};
+
+/// Placement of one replica t^(r).
+struct ReplicaAssignment {
+  ProcId proc;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// One committed communication from a replica of edge.src to a replica of
+/// edge.dst (or an intra-processor hand-off when src_proc == dst_proc).
+struct CommAssignment {
+  EdgeIndex edge = 0;
+  ReplicaRef from;
+  ReplicaRef to;
+  ProcId src_proc;
+  ProcId dst_proc;
+  double volume = 0.0;
+  CommTimes times;
+
+  /// True iff both endpoints run on the same processor (free hand-off).
+  [[nodiscard]] bool intra() const { return src_proc == dst_proc; }
+};
+
+/// Complete fault-tolerant mapping of a task graph on a platform.
+class Schedule {
+ public:
+  /// `eps` is the number of supported failures ε; every task must receive
+  /// exactly ε+1 primary replicas before the schedule is used.
+  Schedule(const TaskGraph& graph, const Platform& platform, std::size_t eps,
+           CommModelKind model);
+
+  [[nodiscard]] const TaskGraph& graph() const { return *graph_; }
+  [[nodiscard]] const Platform& platform() const { return *platform_; }
+  [[nodiscard]] std::size_t eps() const { return eps_; }
+  /// ε + 1: primary replicas required per task.
+  [[nodiscard]] std::size_t primary_count() const { return eps_ + 1; }
+  [[nodiscard]] CommModelKind model() const { return model_; }
+
+  /// Records primary replica `r` (< ε+1) of task `t`; each slot set once.
+  void set_replica(TaskId t, ReplicaIndex r, ReplicaAssignment assignment);
+
+  /// Appends a duplicate of task `t`; returns its replica index (>= ε+1).
+  ReplicaIndex add_duplicate(TaskId t, ReplicaAssignment assignment);
+
+  /// Overwrites the placement of duplicate `r` of `t` (duplicate slots are
+  /// reserved before their communications are posted, then patched).
+  void patch_duplicate(TaskId t, ReplicaIndex r, ReplicaAssignment assignment);
+
+  /// True once set_replica was called for primary (t, r).
+  [[nodiscard]] bool has_replica(TaskId t, ReplicaIndex r) const;
+  /// Number of primary replicas recorded for `t` so far.
+  [[nodiscard]] std::size_t primaries_recorded(TaskId t) const;
+  /// Total replicas of `t` (recorded primaries + duplicates).
+  [[nodiscard]] std::size_t total_replicas(TaskId t) const;
+
+  /// Placement of replica (t, r); r may address a duplicate.
+  [[nodiscard]] const ReplicaAssignment& replica(TaskId t, ReplicaIndex r) const;
+  /// The ε+1 primary replicas (requires all recorded).
+  [[nodiscard]] std::span<const ReplicaAssignment> primaries(TaskId t) const;
+  /// Duplicates of `t` (possibly empty).
+  [[nodiscard]] std::span<const ReplicaAssignment> duplicates(TaskId t) const;
+
+  /// Records a committed communication.
+  void add_comm(CommAssignment comm);
+
+  [[nodiscard]] const std::vector<CommAssignment>& comms() const { return comms_; }
+
+  /// Indices into comms() of the communications received by replica (t, r).
+  [[nodiscard]] std::span<const std::size_t> incoming_comms(TaskId t,
+                                                            ReplicaIndex r) const;
+
+  /// True once every task has all ε+1 primaries.
+  [[nodiscard]] bool complete() const;
+
+  /// Zero-crash latency (the paper's lower bound): the latest time at which
+  /// at least one replica of each task has completed, i.e.
+  /// max_t min_r finish(t^(r)). Requires complete().
+  [[nodiscard]] double zero_crash_latency() const;
+
+  /// Upper bound (Section 4.2 / [4]): same expression with the *last*
+  /// replica, max_t max_r finish(t^(r)).
+  [[nodiscard]] double upper_bound_latency() const;
+
+  /// Number of inter-processor messages (intra-processor hand-offs excluded),
+  /// the quantity Proposition 5.1 bounds.
+  [[nodiscard]] std::size_t message_count() const;
+
+  /// Total inter-processor data volume.
+  [[nodiscard]] double message_volume() const;
+
+ private:
+  const TaskGraph* graph_;
+  const Platform* platform_;
+  std::size_t eps_;
+  CommModelKind model_;
+  /// Per task: slots 0..ε hold primaries, further slots hold duplicates.
+  std::vector<std::vector<ReplicaAssignment>> replicas_;
+  std::vector<std::vector<bool>> primary_set_;
+  std::vector<CommAssignment> comms_;
+  /// incoming_[task][replica] = indices into comms_.
+  std::vector<std::vector<std::vector<std::size_t>>> incoming_;
+};
+
+}  // namespace caft

@@ -1,0 +1,48 @@
+/// \file validator.hpp
+/// Structural and model-conformance validation of a Schedule. Every schedule
+/// an algorithm in this library emits must pass; the property tests assert it
+/// across random graphs, platforms and ε values.
+///
+/// Checks performed:
+///   1. completeness — every task has exactly ε+1 replicas;
+///   2. space exclusion — replicas of one task occupy distinct processors
+///      (Proposition 5.2's prerequisite);
+///   3. duration — finish − start equals E(t, P) for every replica;
+///   4. processor exclusivity — replicas sharing a processor never overlap;
+///   5. data availability — every replica has, for each predecessor edge,
+///      at least one recorded communication whose arrival precedes its start
+///      (intra-processor hand-offs count with arrival = source finish);
+///   6. communication sanity — endpoints match placements, volumes match the
+///      edge, the message leaves no earlier than its source replica finishes;
+///   7. one-port conformance (one-port schedules only) — per-processor
+///      emissions serialized (ineq. (2)), receptions serialized (ineq. (3)),
+///      per-link exclusivity (ineq. (1)).
+///
+/// ε-failure *resistance* is a semantic property checked separately by
+/// sim/resilience.hpp (it needs re-execution, not just interval checks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// Outcome of validation: empty issue list means the schedule is valid.
+struct ValidationResult {
+  std::vector<std::string> issues;
+
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  /// All issues joined with newlines (empty string when ok()).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validates `schedule` against `costs`. `tolerance` absorbs floating-point
+/// noise in time comparisons.
+[[nodiscard]] ValidationResult validate_schedule(const Schedule& schedule,
+                                                 const CostModel& costs,
+                                                 double tolerance = 1e-6);
+
+}  // namespace caft

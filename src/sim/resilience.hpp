@@ -1,0 +1,53 @@
+/// \file resilience.hpp
+/// ε-failure resistance checking: does a schedule deliver every task's
+/// result under ANY ε processor crashes (Proposition 5.2's guarantee)?
+///
+/// Survival is monotone in the set of healthy processors — a replica
+/// completes iff its processor is alive and every in-edge has a delivered
+/// message from a completed sender, which only improves as fewer processors
+/// fail (timing shifts but existence of inputs cannot be lost). Checking all
+/// subsets of size exactly ε therefore covers all smaller crash sets too.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+#include "sim/crash_sim.hpp"
+
+namespace caft {
+
+/// Aggregated outcome of a resilience sweep.
+struct ResilienceReport {
+  bool resistant = true;          ///< every tested scenario succeeded
+  std::size_t scenarios_tested = 0;
+  std::size_t failures = 0;       ///< scenarios where some task produced nothing
+  std::vector<ProcId> witness;    ///< one failing crash set, when any exists
+  /// Largest re-executed latency among *surviving* scenarios — an
+  /// empirical, adversarial counterpart to Schedule::upper_bound_latency().
+  double worst_latency = 0.0;
+  /// Smallest re-executed latency among surviving scenarios.
+  double best_latency = 0.0;
+};
+
+/// Simulates every crash set of exactly `failures` processors
+/// (C(m, failures) scenarios — affordable for the paper's platforms).
+[[nodiscard]] ResilienceReport check_resilience_exhaustive(
+    const Schedule& schedule, const CostModel& costs, std::size_t failures);
+
+/// Simulates `samples` uniformly drawn crash sets of exactly `failures`
+/// processors (for platforms where the exhaustive sweep is too wide).
+[[nodiscard]] ResilienceReport check_resilience_sampled(
+    const Schedule& schedule, const CostModel& costs, std::size_t failures,
+    std::size_t samples, Rng& rng);
+
+/// Convenience: one uniformly drawn crash set of exactly `failures`
+/// processors, re-executed — the paper's "With c Crash" data point.
+[[nodiscard]] CrashResult simulate_random_crashes(const Schedule& schedule,
+                                                  const CostModel& costs,
+                                                  std::size_t failures,
+                                                  Rng& rng);
+
+}  // namespace caft

@@ -1,0 +1,65 @@
+/// \file helpers.hpp
+/// Shared fixtures for the scheduler-layer tests: (graph, platform, costs)
+/// bundles with stable addresses (CostModel keeps a pointer to its Platform,
+/// so both live behind unique_ptr) and convenience runners.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dag/generators.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "platform/platform.hpp"
+
+namespace caft::test {
+
+/// One scheduling scenario. Movable: platform/costs have stable addresses.
+/// (Named Scenario, not Setup: gtest reserves Setup inside TEST bodies.)
+struct Scenario {
+  TaskGraph graph;
+  std::unique_ptr<Platform> platform;
+  std::unique_ptr<CostModel> costs;
+};
+
+/// Homogeneous scenario: every task costs `exec` everywhere, every link has
+/// unit delay `delay` (hand-computable schedules).
+inline Scenario uniform_setup(TaskGraph graph, std::size_t procs, double exec,
+                           double delay) {
+  Scenario s;
+  s.graph = std::move(graph);
+  s.platform = std::make_unique<Platform>(procs);
+  s.costs = std::make_unique<CostModel>(
+      uniform_costs(s.graph, *s.platform, exec, delay));
+  return s;
+}
+
+/// Paper-protocol random scenario at the given granularity.
+inline Scenario random_setup(std::uint64_t seed, std::size_t procs,
+                          double granularity,
+                          RandomDagParams dag_params = RandomDagParams{}) {
+  Rng rng(seed);
+  Scenario s;
+  s.graph = random_dag(dag_params, rng);
+  s.platform = std::make_unique<Platform>(procs);
+  CostSynthesisParams params;
+  params.granularity = granularity;
+  s.costs = std::make_unique<CostModel>(
+      synthesize_costs(s.graph, *s.platform, params, rng));
+  return s;
+}
+
+/// Random scenario over an arbitrary graph family.
+inline Scenario graph_setup(TaskGraph graph, std::uint64_t seed,
+                         std::size_t procs, double granularity) {
+  Rng rng(seed);
+  Scenario s;
+  s.graph = std::move(graph);
+  s.platform = std::make_unique<Platform>(procs);
+  CostSynthesisParams params;
+  params.granularity = granularity;
+  s.costs = std::make_unique<CostModel>(
+      synthesize_costs(s.graph, *s.platform, params, rng));
+  return s;
+}
+
+}  // namespace caft::test

@@ -1,0 +1,187 @@
+// Tests for DAG analyses: topological order, levels, critical path,
+// reachability (dag/analysis).
+#include "dag/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dag/generators.hpp"
+
+namespace caft {
+namespace {
+
+/// a -> b -> d, a -> c -> d with unit node weights and edge weights 2.
+TaskGraph diamond4(TaskId& a, TaskId& b, TaskId& c, TaskId& d) {
+  TaskGraph g;
+  a = g.add_task("a");
+  b = g.add_task("b");
+  c = g.add_task("c");
+  d = g.add_task("d");
+  g.add_edge(a, b, 1.0);
+  g.add_edge(a, c, 1.0);
+  g.add_edge(b, d, 1.0);
+  g.add_edge(c, d, 1.0);
+  return g;
+}
+
+DagWeights unit_weights(const TaskGraph& g, double node, double edge) {
+  DagWeights w;
+  w.node.assign(g.task_count(), node);
+  w.edge.assign(g.edge_count(), edge);
+  return w;
+}
+
+TEST(TopologicalOrder, RespectsEdges) {
+  Rng rng(5);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), g.task_count());
+  std::vector<std::size_t> position(g.task_count());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i].index()] = i;
+  for (const Edge& e : g.edges())
+    EXPECT_LT(position[e.src.index()], position[e.dst.index()]);
+}
+
+TEST(TopologicalOrder, ThrowsOnCycle) {
+  TaskGraph g;
+  const TaskId a = g.add_task();
+  const TaskId b = g.add_task();
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, a, 1.0);
+  EXPECT_THROW(topological_order(g), CheckError);
+}
+
+TEST(TopologicalOrder, EmptyGraph) {
+  EXPECT_TRUE(topological_order(TaskGraph{}).empty());
+}
+
+TEST(Levels, DiamondTopLevels) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  const auto tl = top_levels(g, unit_weights(g, 1.0, 2.0));
+  EXPECT_DOUBLE_EQ(tl[a.index()], 0.0);
+  EXPECT_DOUBLE_EQ(tl[b.index()], 3.0);  // 1 (a) + 2 (edge)
+  EXPECT_DOUBLE_EQ(tl[c.index()], 3.0);
+  EXPECT_DOUBLE_EQ(tl[d.index()], 6.0);  // a + e + b + e
+}
+
+TEST(Levels, DiamondBottomLevels) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  const auto bl = bottom_levels(g, unit_weights(g, 1.0, 2.0));
+  EXPECT_DOUBLE_EQ(bl[d.index()], 1.0);  // own weight only
+  EXPECT_DOUBLE_EQ(bl[b.index()], 4.0);  // 1 + 2 + 1
+  EXPECT_DOUBLE_EQ(bl[a.index()], 7.0);  // 1 + 2 + 1 + 2 + 1
+}
+
+TEST(Levels, EntryTopLevelZeroExitBottomIsOwnWeight) {
+  Rng rng(11);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  DagWeights w;
+  w.node.assign(g.task_count(), 0.0);
+  w.edge.assign(g.edge_count(), 0.0);
+  for (std::size_t i = 0; i < g.task_count(); ++i)
+    w.node[i] = 1.0 + static_cast<double>(i % 7);
+  const auto tl = top_levels(g, w);
+  const auto bl = bottom_levels(g, w);
+  for (const TaskId t : g.entry_tasks()) EXPECT_DOUBLE_EQ(tl[t.index()], 0.0);
+  for (const TaskId t : g.exit_tasks())
+    EXPECT_DOUBLE_EQ(bl[t.index()], w.node[t.index()]);
+}
+
+TEST(Levels, WeightSizeMismatchThrows) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  DagWeights w = unit_weights(g, 1.0, 1.0);
+  w.node.pop_back();
+  EXPECT_THROW(top_levels(g, w), CheckError);
+}
+
+TEST(CriticalPath, LengthMatchesLevels) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  const auto w = unit_weights(g, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(g, w), 7.0);
+}
+
+TEST(CriticalPath, PathIsRealAndMaximal) {
+  Rng rng(13);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  DagWeights w;
+  w.node.resize(g.task_count());
+  w.edge.resize(g.edge_count());
+  Rng wrng(14);
+  for (auto& x : w.node) x = wrng.uniform(1.0, 5.0);
+  for (auto& x : w.edge) x = wrng.uniform(0.0, 3.0);
+
+  const auto path = critical_path(g, w);
+  ASSERT_FALSE(path.empty());
+  // Consecutive elements are connected.
+  double length = w.node[path[0].index()];
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    ASSERT_TRUE(g.has_edge(path[i - 1], path[i]));
+    // Locate the edge weight.
+    for (const EdgeIndex e : g.out_edges(path[i - 1]))
+      if (g.edge(e).dst == path[i]) length += w.edge[e];
+    length += w.node[path[i].index()];
+  }
+  EXPECT_NEAR(length, critical_path_length(g, w), 1e-9);
+}
+
+TEST(CriticalPath, ChainIsWholeChain) {
+  const TaskGraph g = chain(6);
+  const auto w = unit_weights(g, 1.0, 1.0);
+  EXPECT_EQ(critical_path(g, w).size(), 6u);
+  EXPECT_DOUBLE_EQ(critical_path_length(g, w), 11.0);  // 6 nodes + 5 edges
+}
+
+TEST(CriticalPath, EmptyGraphZero) {
+  const TaskGraph g;
+  EXPECT_DOUBLE_EQ(critical_path_length(g, DagWeights{}), 0.0);
+  EXPECT_TRUE(critical_path(g, DagWeights{}).empty());
+}
+
+TEST(Depths, DiamondDepths) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  const auto depth = depths(g);
+  EXPECT_EQ(depth[a.index()], 0u);
+  EXPECT_EQ(depth[b.index()], 1u);
+  EXPECT_EQ(depth[c.index()], 1u);
+  EXPECT_EQ(depth[d.index()], 2u);
+}
+
+TEST(Reachable, DirectAndTransitive) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  EXPECT_TRUE(reachable(g, a, d));
+  EXPECT_TRUE(reachable(g, a, a));
+  EXPECT_FALSE(reachable(g, b, c));
+  EXPECT_FALSE(reachable(g, d, a));
+}
+
+TEST(Reachability, MatchesDfsOnRandomGraph) {
+  Rng rng(17);
+  RandomDagParams params;
+  params.min_tasks = 30;
+  params.max_tasks = 40;
+  const TaskGraph g = random_dag(params, rng);
+  const Reachability closure(g);
+  for (const TaskId u : g.all_tasks())
+    for (const TaskId v : g.all_tasks()) {
+      if (u == v) continue;
+      EXPECT_EQ(closure.reaches(u, v), reachable(g, u, v))
+          << "pair " << u.value() << " -> " << v.value();
+    }
+}
+
+TEST(Reachability, SelfNotIncluded) {
+  TaskId a, b, c, d;
+  const TaskGraph g = diamond4(a, b, c, d);
+  const Reachability closure(g);
+  EXPECT_FALSE(closure.reaches(a, a));
+  EXPECT_TRUE(closure.reaches(a, d));
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,251 @@
+// Tests for CAFT (algo/caft): the one-to-one mapping procedure, the message
+// bounds of Proposition 5.1, locking, and the HEFT equivalence at ε = 0.
+#include "algo/caft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/ftsa.hpp"
+#include "algo/heft.hpp"
+#include "helpers.hpp"
+#include "sched/validator.hpp"
+
+namespace caft {
+namespace {
+
+using test::Scenario;
+using test::graph_setup;
+using test::random_setup;
+using test::uniform_setup;
+
+CaftOptions options_for(std::size_t eps,
+                        CommModelKind model = CommModelKind::kOnePort,
+                        bool one_to_one = true) {
+  CaftOptions options;
+  options.base = SchedulerOptions{eps, model};
+  options.one_to_one = one_to_one;
+  return options;
+}
+
+TEST(Caft, EveryTaskGetsEpsPlusOneReplicas) {
+  Scenario s = random_setup(1, 10, 1.0);
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  for (const TaskId t : s.graph.all_tasks()) {
+    EXPECT_EQ(sched.primaries_recorded(t), 3u);
+    EXPECT_EQ(sched.total_replicas(t), 3u);  // CAFT never duplicates
+  }
+}
+
+TEST(Caft, ReplicasOnDistinctProcessors) {
+  Scenario s = random_setup(2, 10, 1.0);
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(3));
+  for (const TaskId t : s.graph.all_tasks()) {
+    std::set<ProcId> procs;
+    for (const ReplicaAssignment& a : sched.primaries(t)) procs.insert(a.proc);
+    EXPECT_EQ(procs.size(), 4u);
+  }
+}
+
+TEST(Caft, FaultFreeReducesToHeft) {
+  // Section 6: "the fault-free version of CAFT reduces to an implementation
+  // of HEFT".
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Scenario s = random_setup(seed, 10, 1.0);
+    const Schedule caft =
+        caft_schedule(s.graph, *s.platform, *s.costs, options_for(0));
+    const Schedule heft =
+        heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+    EXPECT_DOUBLE_EQ(caft.zero_crash_latency(), heft.zero_crash_latency())
+        << "seed " << seed;
+  }
+}
+
+TEST(Caft, Proposition51ForkMessageBound) {
+  // Prop. 5.1: on fork graphs CAFT sends at most e(ε+1) messages.
+  for (const std::size_t eps : {1u, 2u, 3u}) {
+    Scenario s = graph_setup(fork(8, 100.0), 10 + eps, 10, 1.0);
+    const Schedule sched =
+        caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps));
+    EXPECT_LE(sched.message_count(), s.graph.edge_count() * (eps + 1))
+        << "eps " << eps;
+  }
+}
+
+TEST(Caft, Proposition51OutForestMessageBound) {
+  for (const std::size_t eps : {1u, 2u, 3u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng rng(seed);
+      TaskGraph forest = random_out_forest(40, 2, rng);
+      Scenario s = graph_setup(std::move(forest), seed * 100 + eps, 10, 1.0);
+      const Schedule sched =
+          caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps));
+      EXPECT_LE(sched.message_count(), s.graph.edge_count() * (eps + 1))
+          << "eps " << eps << " seed " << seed;
+    }
+  }
+}
+
+TEST(Caft, Proposition51ChainMessageBound) {
+  for (const std::size_t eps : {1u, 3u}) {
+    Scenario s = graph_setup(chain(20, 100.0), 30 + eps, 10, 0.5);
+    const Schedule sched =
+        caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps));
+    EXPECT_LE(sched.message_count(), s.graph.edge_count() * (eps + 1));
+  }
+}
+
+TEST(Caft, FarFewerMessagesThanFtsa) {
+  // The headline claim: CAFT drastically reduces communications vs FTSA.
+  Scenario s = random_setup(3, 10, 0.5);
+  const std::size_t eps = 3;
+  const Schedule caft =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps));
+  const Schedule ftsa =
+      ftsa_schedule(s.graph, *s.platform, *s.costs,
+                    SchedulerOptions{eps, CommModelKind::kOnePort});
+  EXPECT_LT(caft.message_count(), ftsa.message_count());
+}
+
+TEST(Caft, StatsAccountAllCommits) {
+  Scenario s = random_setup(4, 10, 1.0);
+  const std::size_t eps = 2;
+  CaftRunStats stats;
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps), &stats);
+  EXPECT_EQ(stats.one_to_one_commits + stats.fallback_commits,
+            s.graph.task_count() * (eps + 1));
+  EXPECT_GT(stats.one_to_one_commits, 0u);
+}
+
+TEST(Caft, OneToOneDisabledStillValid) {
+  Scenario s = random_setup(5, 10, 1.0);
+  CaftRunStats stats;
+  const Schedule sched = caft_schedule(
+      s.graph, *s.platform, *s.costs,
+      options_for(2, CommModelKind::kOnePort, /*one_to_one=*/false), &stats);
+  EXPECT_EQ(stats.one_to_one_commits, 0u);
+  EXPECT_TRUE(validate_schedule(sched, *s.costs).ok());
+}
+
+TEST(Caft, OneToOneReducesMessagesVsDisabled) {
+  Scenario s = random_setup(6, 10, 0.5);
+  const Schedule with =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  const Schedule without = caft_schedule(
+      s.graph, *s.platform, *s.costs,
+      options_for(2, CommModelKind::kOnePort, /*one_to_one=*/false));
+  EXPECT_LE(with.message_count(), without.message_count());
+}
+
+TEST(Caft, UpperBoundStaysWithinTwiceZeroCrash) {
+  // The paper reports CAFT's upper bound close to its 0-crash latency. In
+  // this reproduction the relationship is looser (our contention-aware FTSA
+  // places near-symmetric replicas, so *its* bound is the tight one — see
+  // EXPERIMENTS.md), but CAFT's straggling stays bounded: the last replica
+  // never doubles the earliest-copy latency on the paper's configurations.
+  for (std::uint64_t seed = 5; seed <= 9; ++seed) {
+    Scenario s = random_setup(seed, 10, 0.5);
+    const std::size_t eps = 2;
+    const Schedule caft =
+        caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps));
+    EXPECT_GE(caft.upper_bound_latency(), caft.zero_crash_latency());
+    EXPECT_LE(caft.upper_bound_latency(), 2.0 * caft.zero_crash_latency())
+        << "seed " << seed;
+  }
+}
+
+TEST(Caft, SingleEntryTaskGraph) {
+  Scenario s = uniform_setup(chain(1), 4, 10.0, 1.0);
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  EXPECT_TRUE(sched.complete());
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), 10.0);
+  EXPECT_EQ(sched.message_count(), 0u);
+}
+
+TEST(Caft, ExactlyEpsPlusOneProcessors) {
+  // m = ε+1: every processor hosts exactly one replica of every task.
+  Scenario s = uniform_setup(chain(3, 10.0), 3, 10.0, 1.0);
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  EXPECT_TRUE(sched.complete());
+  for (const TaskId t : s.graph.all_tasks()) {
+    std::set<ProcId> procs;
+    for (const ReplicaAssignment& a : sched.primaries(t)) procs.insert(a.proc);
+    EXPECT_EQ(procs.size(), 3u);
+  }
+  EXPECT_TRUE(validate_schedule(sched, *s.costs).ok());
+}
+
+TEST(Caft, DeterministicAcrossRuns) {
+  Scenario s = random_setup(8, 10, 1.0);
+  const Schedule a =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  const Schedule b =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  EXPECT_DOUBLE_EQ(a.zero_crash_latency(), b.zero_crash_latency());
+  EXPECT_EQ(a.message_count(), b.message_count());
+  for (const TaskId t : s.graph.all_tasks())
+    for (ReplicaIndex r = 0; r < 3; ++r)
+      EXPECT_EQ(a.replica(t, r).proc, b.replica(t, r).proc);
+}
+
+TEST(Caft, RequiresEnoughProcessors) {
+  Scenario s = uniform_setup(chain(2), 2, 1.0, 1.0);
+  EXPECT_THROW(
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2)),
+      CheckError);
+}
+
+/// Validity sweep over seeds, ε, models, graph families.
+class CaftValidity
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::size_t, CommModelKind>> {};
+
+TEST_P(CaftValidity, SchedulesValidate) {
+  const auto [seed, eps, model] = GetParam();
+  Scenario s = random_setup(seed, 10, 1.0);
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(eps, model));
+  const ValidationResult result = validate_schedule(sched, *s.costs);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CaftValidity,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(0u, 1u, 3u),
+                       ::testing::Values(CommModelKind::kOnePort,
+                                         CommModelKind::kMacroDataflow)));
+
+/// Validity across structured graph families at ε = 2.
+class CaftFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaftFamilies, SchedulesValidate) {
+  TaskGraph g;
+  switch (GetParam()) {
+    case 0: g = fork(10, 100.0); break;
+    case 1: g = join(10, 100.0); break;
+    case 2: g = fork_join(8, 100.0); break;
+    case 3: g = gaussian_elimination(5, 100.0); break;
+    case 4: g = cholesky(4, 100.0); break;
+    case 5: g = fft(3, 100.0); break;
+    default: g = stencil(4, 5, 100.0); break;
+  }
+  Scenario s =
+      graph_setup(std::move(g), 50u + static_cast<std::uint64_t>(GetParam()),
+                  8, 1.0);
+  const Schedule sched =
+      caft_schedule(s.graph, *s.platform, *s.costs, options_for(2));
+  const ValidationResult result = validate_schedule(sched, *s.costs);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CaftFamilies,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,160 @@
+// Tests for the heterogeneous cost functions (platform/cost_model).
+#include "platform/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dag/generators.hpp"
+
+namespace caft {
+namespace {
+
+ProcId P(std::size_t i) { return ProcId(static_cast<ProcId::value_type>(i)); }
+TaskId T(std::size_t i) { return TaskId(static_cast<TaskId::value_type>(i)); }
+
+TEST(CostModel, ExecSetAndGet) {
+  const TaskGraph g = chain(3);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec(T(0), P(0), 5.0);
+  costs.set_exec(T(0), P(1), 7.0);
+  EXPECT_DOUBLE_EQ(costs.exec(T(0), P(0)), 5.0);
+  EXPECT_DOUBLE_EQ(costs.exec(T(0), P(1)), 7.0);
+  EXPECT_DOUBLE_EQ(costs.exec(T(1), P(0)), 0.0);  // default
+}
+
+TEST(CostModel, SetExecAll) {
+  const TaskGraph g = chain(2);
+  const Platform platform(3);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec_all(T(1), 4.0);
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_DOUBLE_EQ(costs.exec(T(1), P(p)), 4.0);
+}
+
+TEST(CostModel, RejectsNegativeCosts) {
+  const TaskGraph g = chain(2);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  EXPECT_THROW(costs.set_exec(T(0), P(0), -1.0), CheckError);
+  EXPECT_THROW(costs.set_unit_delay(LinkId(0), -0.5), CheckError);
+}
+
+TEST(CostModel, PairDelayCliqueIsDirectLink) {
+  const TaskGraph g = chain(2);
+  const Platform platform(3);
+  CostModel costs(g.task_count(), platform);
+  const LinkId l = platform.topology().direct_link(P(0), P(2));
+  costs.set_unit_delay(l, 0.75);
+  EXPECT_DOUBLE_EQ(costs.pair_delay(P(0), P(2)), 0.75);
+  EXPECT_DOUBLE_EQ(costs.pair_delay(P(1), P(1)), 0.0);
+}
+
+TEST(CostModel, PairDelaySumsAlongSparseRoute) {
+  const TaskGraph g = chain(2);
+  const Platform platform(Topology::star(4));
+  CostModel costs(g.task_count(), platform);
+  costs.set_all_unit_delays(0.5);
+  // Leaf -> leaf goes through the hub: two hops of 0.5 per unit.
+  EXPECT_DOUBLE_EQ(costs.pair_delay(P(1), P(3)), 1.0);
+  EXPECT_DOUBLE_EQ(costs.comm_time(10.0, P(1), P(3)), 10.0);
+}
+
+TEST(CostModel, AvgSlowestFastestExec) {
+  const TaskGraph g = chain(2);
+  const Platform platform(3);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec(T(0), P(0), 2.0);
+  costs.set_exec(T(0), P(1), 4.0);
+  costs.set_exec(T(0), P(2), 9.0);
+  EXPECT_DOUBLE_EQ(costs.avg_exec(T(0)), 5.0);
+  EXPECT_DOUBLE_EQ(costs.slowest_exec(T(0)), 9.0);
+  EXPECT_DOUBLE_EQ(costs.fastest_exec(T(0)), 2.0);
+}
+
+TEST(CostModel, AvgAndMaxPairDelay) {
+  const TaskGraph g = chain(2);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_unit_delay(platform.topology().direct_link(P(0), P(1)), 0.6);
+  costs.set_unit_delay(platform.topology().direct_link(P(1), P(0)), 1.0);
+  EXPECT_DOUBLE_EQ(costs.avg_pair_delay(), 0.8);
+  EXPECT_DOUBLE_EQ(costs.max_pair_delay(), 1.0);
+}
+
+TEST(CostModel, SingleProcessorNoDelays) {
+  const TaskGraph g = chain(2);
+  const Platform platform(1);
+  CostModel costs(g.task_count(), platform);
+  EXPECT_DOUBLE_EQ(costs.avg_pair_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(costs.max_pair_delay(), 0.0);
+}
+
+TEST(CostModel, GranularityDefinition) {
+  // Two tasks, one edge of volume 10; delays 0.5 everywhere; exec 5 / 15.
+  const TaskGraph g = chain(2, 10.0);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_all_unit_delays(0.5);
+  costs.set_exec_all(T(0), 5.0);
+  costs.set_exec_all(T(1), 15.0);
+  // slowest comp = 5 + 15 = 20; slowest comm = 10 * 0.5 = 5; g = 4.
+  EXPECT_DOUBLE_EQ(costs.granularity(g), 4.0);
+}
+
+TEST(CostModel, GranularityInfiniteWithoutComm) {
+  TaskGraph g;
+  g.add_task();
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec_all(T(0), 3.0);
+  EXPECT_TRUE(std::isinf(costs.granularity(g)));
+}
+
+TEST(CostModel, AverageWeightsForPriorities) {
+  const TaskGraph g = chain(2, 10.0);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec(T(0), P(0), 2.0);
+  costs.set_exec(T(0), P(1), 6.0);
+  costs.set_exec_all(T(1), 3.0);
+  costs.set_all_unit_delays(0.5);
+  const DagWeights w = costs.average_weights(g);
+  EXPECT_DOUBLE_EQ(w.node[0], 4.0);
+  EXPECT_DOUBLE_EQ(w.node[1], 3.0);
+  EXPECT_DOUBLE_EQ(w.edge[0], 5.0);  // 10 * 0.5 average delay
+}
+
+TEST(CostModel, FastestWeightsZeroComm) {
+  const TaskGraph g = chain(2, 10.0);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec(T(0), P(0), 2.0);
+  costs.set_exec(T(0), P(1), 6.0);
+  costs.set_all_unit_delays(0.5);
+  const DagWeights w = costs.fastest_weights(g);
+  EXPECT_DOUBLE_EQ(w.node[0], 2.0);
+  EXPECT_DOUBLE_EQ(w.edge[0], 0.0);
+}
+
+TEST(CostModel, ScaleExec) {
+  const TaskGraph g = chain(2);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  costs.set_exec_all(T(0), 3.0);
+  costs.scale_exec(2.0);
+  EXPECT_DOUBLE_EQ(costs.exec(T(0), P(0)), 6.0);
+  EXPECT_THROW(costs.scale_exec(0.0), CheckError);
+}
+
+TEST(CostModel, MismatchedPlatformRejected) {
+  const TaskGraph g = chain(2);
+  const Platform platform(2);
+  CostModel costs(g.task_count(), platform);
+  const TaskGraph bigger = chain(3);
+  EXPECT_THROW((void)costs.granularity(bigger), CheckError);
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,156 @@
+// Tests for the paper-protocol random cost generation
+// (platform/cost_synthesis): exact granularity targeting and ranges.
+#include "platform/cost_synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+
+namespace caft {
+namespace {
+
+TEST(CostSynthesis, HitsGranularityExactly) {
+  Rng rng(1);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(10);
+  for (const double target : {0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    CostSynthesisParams params;
+    params.granularity = target;
+    Rng local(17);
+    const CostModel costs = synthesize_costs(g, platform, params, local);
+    EXPECT_NEAR(costs.granularity(g), target, 1e-9) << "target " << target;
+  }
+}
+
+TEST(CostSynthesis, LinkDelaysWithinPaperRange) {
+  Rng rng(2);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(6);
+  const CostModel costs =
+      synthesize_costs(g, platform, CostSynthesisParams{}, rng);
+  for (std::size_t l = 0; l < platform.topology().link_count(); ++l) {
+    const double d = costs.unit_delay(LinkId(static_cast<LinkId::value_type>(l)));
+    EXPECT_GE(d, 0.5);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(CostSynthesis, ExecTimesPositive) {
+  Rng rng(3);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(8);
+  const CostModel costs =
+      synthesize_costs(g, platform, CostSynthesisParams{}, rng);
+  for (const TaskId t : g.all_tasks())
+    for (const ProcId p : platform.all_procs())
+      EXPECT_GT(costs.exec(t, p), 0.0);
+}
+
+TEST(CostSynthesis, HeterogeneityProducesSpread) {
+  Rng rng(4);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(10);
+  CostSynthesisParams params;
+  params.heterogeneity = 0.5;
+  const CostModel costs = synthesize_costs(g, platform, params, rng);
+  // At least one task must see noticeably different speeds across procs.
+  bool spread = false;
+  for (const TaskId t : g.all_tasks())
+    if (costs.slowest_exec(t) > 1.5 * costs.fastest_exec(t)) spread = true;
+  EXPECT_TRUE(spread);
+}
+
+TEST(CostSynthesis, ZeroHeterogeneityUniformAcrossProcs) {
+  Rng rng(5);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(4);
+  CostSynthesisParams params;
+  params.heterogeneity = 0.0;
+  params.base_spread = 0.0;
+  const CostModel costs = synthesize_costs(g, platform, params, rng);
+  for (const TaskId t : g.all_tasks())
+    EXPECT_NEAR(costs.slowest_exec(t), costs.fastest_exec(t), 1e-12);
+}
+
+TEST(CostSynthesis, DeterministicGivenSeed) {
+  Rng g1(6);
+  const TaskGraph g = random_dag(RandomDagParams{}, g1);
+  const Platform platform(5);
+  Rng a(7), b(7);
+  const CostModel ca = synthesize_costs(g, platform, CostSynthesisParams{}, a);
+  const CostModel cb = synthesize_costs(g, platform, CostSynthesisParams{}, b);
+  for (const TaskId t : g.all_tasks())
+    for (const ProcId p : platform.all_procs())
+      EXPECT_DOUBLE_EQ(ca.exec(t, p), cb.exec(t, p));
+}
+
+TEST(CostSynthesis, RejectsBadParams) {
+  Rng rng(8);
+  const TaskGraph g = chain(3, 10.0);
+  const Platform platform(3);
+  CostSynthesisParams params;
+  params.granularity = 0.0;
+  EXPECT_THROW(synthesize_costs(g, platform, params, rng), CheckError);
+  params = CostSynthesisParams{};
+  params.heterogeneity = 1.0;
+  EXPECT_THROW(synthesize_costs(g, platform, params, rng), CheckError);
+}
+
+TEST(CostSynthesis, RejectsGraphWithoutEdges) {
+  Rng rng(9);
+  TaskGraph g;
+  g.add_task();
+  const Platform platform(2);
+  EXPECT_THROW(synthesize_costs(g, platform, CostSynthesisParams{}, rng),
+               CheckError);
+}
+
+TEST(CostSynthesis, WorksOnSparseTopology) {
+  Rng rng(10);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(Topology::ring(8));
+  CostSynthesisParams params;
+  params.granularity = 1.5;
+  const CostModel costs = synthesize_costs(g, platform, params, rng);
+  EXPECT_NEAR(costs.granularity(g), 1.5, 1e-9);
+}
+
+TEST(UniformCosts, AllEqual) {
+  const TaskGraph g = chain(4, 2.0);
+  const Platform platform(3);
+  const CostModel costs = uniform_costs(g, platform, 5.0, 0.5);
+  for (const TaskId t : g.all_tasks())
+    for (const ProcId p : platform.all_procs())
+      EXPECT_DOUBLE_EQ(costs.exec(t, p), 5.0);
+  EXPECT_DOUBLE_EQ(costs.pair_delay(ProcId(0), ProcId(1)), 0.5);
+}
+
+/// Parameterized: granularity targeting holds across graph families.
+class GranularityTargeting
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GranularityTargeting, ExactOnFamilies) {
+  const double target = std::get<0>(GetParam());
+  const int family = std::get<1>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(family) + 100);
+  TaskGraph g;
+  switch (family) {
+    case 0: g = chain(12, 100.0); break;
+    case 1: g = fork_join(8, 100.0); break;
+    case 2: g = gaussian_elimination(5, 100.0); break;
+    default: g = stencil(4, 4, 100.0); break;
+  }
+  const Platform platform(6);
+  CostSynthesisParams params;
+  params.granularity = target;
+  const CostModel costs = synthesize_costs(g, platform, params, rng);
+  EXPECT_NEAR(costs.granularity(g), target, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GranularityTargeting,
+    ::testing::Combine(::testing::Values(0.2, 1.0, 4.0),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace caft

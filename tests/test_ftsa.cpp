@@ -1,0 +1,147 @@
+// Tests for FTSA (algo/ftsa): replication structure, message bounds,
+// validity across models and ε values.
+#include "algo/ftsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/heft.hpp"
+#include "helpers.hpp"
+#include "sched/validator.hpp"
+
+namespace caft {
+namespace {
+
+using test::Scenario;
+using test::random_setup;
+using test::uniform_setup;
+
+TEST(Ftsa, EveryTaskGetsEpsPlusOneReplicas) {
+  Scenario s = random_setup(1, 10, 1.0);
+  const Schedule sched = ftsa_schedule(s.graph, *s.platform, *s.costs,
+                                       SchedulerOptions{2, CommModelKind::kOnePort});
+  for (const TaskId t : s.graph.all_tasks()) {
+    EXPECT_EQ(sched.primaries_recorded(t), 3u);
+    EXPECT_EQ(sched.total_replicas(t), 3u);  // FTSA never duplicates
+  }
+}
+
+TEST(Ftsa, ReplicasOnDistinctProcessors) {
+  Scenario s = random_setup(2, 10, 1.0);
+  const Schedule sched = ftsa_schedule(s.graph, *s.platform, *s.costs,
+                                       SchedulerOptions{3, CommModelKind::kOnePort});
+  for (const TaskId t : s.graph.all_tasks()) {
+    std::set<ProcId> procs;
+    for (const ReplicaAssignment& a : sched.primaries(t)) procs.insert(a.proc);
+    EXPECT_EQ(procs.size(), 4u);
+  }
+}
+
+TEST(Ftsa, EpsZeroIsHeft) {
+  Scenario s = random_setup(3, 10, 1.0);
+  const Schedule ftsa = ftsa_schedule(s.graph, *s.platform, *s.costs,
+                                      SchedulerOptions{0, CommModelKind::kOnePort});
+  const Schedule heft =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(ftsa.zero_crash_latency(), heft.zero_crash_latency());
+  EXPECT_EQ(ftsa.message_count(), heft.message_count());
+}
+
+TEST(Ftsa, MessageCountAtMostQuadratic) {
+  // Section 4.2: at most e(ε+1)² messages.
+  for (const std::size_t eps : {1u, 2u, 3u}) {
+    Scenario s = random_setup(4 + eps, 10, 1.0);
+    const Schedule sched = ftsa_schedule(
+        s.graph, *s.platform, *s.costs,
+        SchedulerOptions{eps, CommModelKind::kOnePort});
+    EXPECT_LE(sched.message_count(),
+              s.graph.edge_count() * (eps + 1) * (eps + 1));
+  }
+}
+
+TEST(Ftsa, MessageCountAboveLinearOnRandomGraphs) {
+  // The quadratic replication is the point of comparison with CAFT: on
+  // multi-predecessor graphs FTSA sends clearly more than e(ε+1).
+  Scenario s = random_setup(8, 10, 0.5);
+  const std::size_t eps = 2;
+  const Schedule sched =
+      ftsa_schedule(s.graph, *s.platform, *s.costs,
+                    SchedulerOptions{eps, CommModelKind::kOnePort});
+  EXPECT_GT(sched.message_count(), s.graph.edge_count() * (eps + 1));
+}
+
+TEST(Ftsa, LatencyGrowsWithEps) {
+  Scenario s = random_setup(5, 10, 0.5);
+  double previous = 0.0;
+  for (const std::size_t eps : {0u, 1u, 3u}) {
+    const Schedule sched = ftsa_schedule(
+        s.graph, *s.platform, *s.costs,
+        SchedulerOptions{eps, CommModelKind::kOnePort});
+    const double latency = sched.zero_crash_latency();
+    EXPECT_GE(latency, previous - 1e-9) << "eps " << eps;
+    previous = latency;
+  }
+}
+
+TEST(Ftsa, UpperBoundAtLeastZeroCrash) {
+  Scenario s = random_setup(6, 10, 1.0);
+  const Schedule sched = ftsa_schedule(s.graph, *s.platform, *s.costs,
+                                       SchedulerOptions{2, CommModelKind::kOnePort});
+  EXPECT_GE(sched.upper_bound_latency(), sched.zero_crash_latency());
+}
+
+TEST(Ftsa, IntraProcessorRuleSuppressesRedundantSends) {
+  // chain(2), eps=1: t1 replicas land where t0 replicas are (intra, free),
+  // so at most... the rule means a co-located source serves alone.
+  Scenario s = uniform_setup(chain(2, 10.0), 4, 10.0, 1.0);
+  const Schedule sched = ftsa_schedule(s.graph, *s.platform, *s.costs,
+                                       SchedulerOptions{1, CommModelKind::kOnePort});
+  // Best placement co-locates both replicas of t1 with replicas of t0:
+  // zero inter-processor messages.
+  EXPECT_EQ(sched.message_count(), 0u);
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), 20.0);
+}
+
+TEST(Ftsa, RequiresEnoughProcessors) {
+  Scenario s = uniform_setup(chain(2), 2, 1.0, 1.0);
+  EXPECT_THROW(ftsa_schedule(s.graph, *s.platform, *s.costs,
+                             SchedulerOptions{2, CommModelKind::kOnePort}),
+               CheckError);
+}
+
+TEST(Ftsa, DeterministicAcrossRuns) {
+  Scenario s = random_setup(7, 10, 1.0);
+  const SchedulerOptions options{1, CommModelKind::kOnePort};
+  const Schedule a = ftsa_schedule(s.graph, *s.platform, *s.costs, options);
+  const Schedule b = ftsa_schedule(s.graph, *s.platform, *s.costs, options);
+  EXPECT_DOUBLE_EQ(a.zero_crash_latency(), b.zero_crash_latency());
+  EXPECT_EQ(a.message_count(), b.message_count());
+  for (const TaskId t : s.graph.all_tasks())
+    for (ReplicaIndex r = 0; r < 2; ++r)
+      EXPECT_EQ(a.replica(t, r).proc, b.replica(t, r).proc);
+}
+
+/// Validity sweep over seeds, ε, and models.
+class FtsaValidity : public ::testing::TestWithParam<
+                         std::tuple<std::uint64_t, std::size_t, CommModelKind>> {
+};
+
+TEST_P(FtsaValidity, SchedulesValidate) {
+  const auto [seed, eps, model] = GetParam();
+  Scenario s = random_setup(seed, 10, 1.0);
+  const Schedule sched =
+      ftsa_schedule(s.graph, *s.platform, *s.costs, SchedulerOptions{eps, model});
+  const ValidationResult result = validate_schedule(sched, *s.costs);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FtsaValidity,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0u, 1u, 3u),
+                       ::testing::Values(CommModelKind::kOnePort,
+                                         CommModelKind::kMacroDataflow)));
+
+}  // namespace
+}  // namespace caft

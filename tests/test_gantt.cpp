@@ -1,0 +1,88 @@
+// Tests for the text Gantt rendering (metrics/gantt).
+#include "metrics/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/ftsa.hpp"
+#include "algo/heft.hpp"
+#include "helpers.hpp"
+#include "sim/crash_sim.hpp"
+
+namespace caft {
+namespace {
+
+using test::Scenario;
+using test::uniform_setup;
+
+TEST(Gantt, RendersEveryProcessorLane) {
+  Scenario s = uniform_setup(fork_join(3, 1.0), 4, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  const std::string out = render_gantt(sched);
+  for (int p = 0; p < 4; ++p)
+    EXPECT_NE(out.find("P" + std::to_string(p)), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);  // at least one bar
+}
+
+TEST(Gantt, ShowsTaskNames) {
+  Scenario s = uniform_setup(chain(2, 1.0), 2, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  const std::string out = render_gantt(sched);
+  EXPECT_NE(out.find("t0"), std::string::npos);
+}
+
+TEST(Gantt, CommTableOnDemand) {
+  Scenario s = uniform_setup(fork(3, 50.0), 4, 10.0, 1.0);
+  const Schedule sched = ftsa_schedule(
+      s.graph, *s.platform, *s.costs, SchedulerOptions{1, CommModelKind::kOnePort});
+  GanttOptions options;
+  options.show_comms = true;
+  const std::string out = render_gantt(sched, options);
+  EXPECT_NE(out.find("communications"), std::string::npos);
+  EXPECT_NE(out.find("->"), std::string::npos);
+}
+
+TEST(Gantt, CrashRenderMarksDeadProcessors) {
+  Scenario s = uniform_setup(chain(2, 1.0), 3, 10.0, 1.0);
+  const Schedule sched = ftsa_schedule(
+      s.graph, *s.platform, *s.costs, SchedulerOptions{1, CommModelKind::kOnePort});
+  const CrashScenario scenario = CrashScenario::at_zero(3, {ProcId(0)});
+  const CrashResult result = simulate_crashes(sched, *s.costs, scenario);
+  const std::string out = render_crash_gantt(sched, result, scenario);
+  EXPECT_NE(out.find("P0 (DEAD)"), std::string::npos);
+  EXPECT_EQ(out.find("P1 (DEAD)"), std::string::npos);
+}
+
+TEST(Gantt, FailedCrashRenderSaysSo) {
+  Scenario s = uniform_setup(chain(2, 1.0), 3, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  const ProcId used = sched.replica(TaskId(0), 0).proc;
+  const CrashScenario scenario = CrashScenario::at_zero(3, {used});
+  const CrashResult result = simulate_crashes(sched, *s.costs, scenario);
+  const std::string out = render_crash_gantt(sched, result, scenario);
+  EXPECT_NE(out.find("FAILED"), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleOfSingleTask) {
+  Scenario s = uniform_setup(chain(1), 2, 5.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  const std::string out = render_gantt(sched);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Gantt, WidthOptionRespected) {
+  Scenario s = uniform_setup(chain(3, 1.0), 2, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  GanttOptions narrow;
+  narrow.width = 40;
+  GanttOptions wide;
+  wide.width = 120;
+  EXPECT_LT(render_gantt(sched, narrow).size(), render_gantt(sched, wide).size());
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,243 @@
+// Tests for every task-graph family (dag/generators), including the
+// paper-protocol random DAGs and the structured workloads.
+#include "dag/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+
+namespace caft {
+namespace {
+
+TEST(RandomDag, SizeWithinPaperRange) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskGraph g = random_dag(RandomDagParams{}, rng);
+    EXPECT_GE(g.task_count(), 80u);
+    EXPECT_LE(g.task_count(), 120u);
+    EXPECT_TRUE(g.is_acyclic());
+  }
+}
+
+TEST(RandomDag, OutDegreeWithinRange) {
+  Rng rng(2);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  for (const TaskId t : g.all_tasks()) {
+    if (t.index() + 1 == g.task_count()) continue;  // last task: no targets
+    EXPECT_GE(g.out_degree(t), 1u);
+    EXPECT_LE(g.out_degree(t), 3u);
+  }
+}
+
+TEST(RandomDag, VolumesWithinPaperRange) {
+  Rng rng(3);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.volume, 50.0);
+    EXPECT_LE(e.volume, 150.0);
+  }
+}
+
+TEST(RandomDag, Deterministic) {
+  Rng a(99), b(99);
+  const TaskGraph ga = random_dag(RandomDagParams{}, a);
+  const TaskGraph gb = random_dag(RandomDagParams{}, b);
+  ASSERT_EQ(ga.task_count(), gb.task_count());
+  ASSERT_EQ(ga.edge_count(), gb.edge_count());
+  for (std::size_t e = 0; e < ga.edge_count(); ++e) {
+    EXPECT_EQ(ga.edge(static_cast<EdgeIndex>(e)).src,
+              gb.edge(static_cast<EdgeIndex>(e)).src);
+    EXPECT_DOUBLE_EQ(ga.edge(static_cast<EdgeIndex>(e)).volume,
+                     gb.edge(static_cast<EdgeIndex>(e)).volume);
+  }
+}
+
+TEST(RandomDag, CustomParams) {
+  Rng rng(4);
+  RandomDagParams params;
+  params.min_tasks = 10;
+  params.max_tasks = 10;
+  params.min_out_degree = 2;
+  params.max_out_degree = 2;
+  const TaskGraph g = random_dag(params, rng);
+  EXPECT_EQ(g.task_count(), 10u);
+  // Tasks with >= 2 later tasks available must have out-degree exactly 2.
+  for (const TaskId t : g.all_tasks())
+    if (t.index() + 2 < g.task_count()) {
+      EXPECT_EQ(g.out_degree(t), 2u);
+    }
+}
+
+TEST(RandomDag, RejectsBadParams) {
+  Rng rng(5);
+  RandomDagParams params;
+  params.min_tasks = 1;
+  params.max_tasks = 1;
+  EXPECT_THROW(random_dag(params, rng), CheckError);
+  params = RandomDagParams{};
+  params.min_out_degree = 0;
+  EXPECT_THROW(random_dag(params, rng), CheckError);
+}
+
+TEST(Chain, Structure) {
+  const TaskGraph g = chain(5, 2.0);
+  EXPECT_EQ(g.task_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  for (const Edge& e : g.edges()) EXPECT_DOUBLE_EQ(e.volume, 2.0);
+}
+
+TEST(Chain, SingleTask) {
+  const TaskGraph g = chain(1);
+  EXPECT_EQ(g.task_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Fork, Structure) {
+  const TaskGraph g = fork(4);
+  EXPECT_EQ(g.task_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  for (const TaskId t : g.all_tasks()) EXPECT_LE(g.in_degree(t), 1u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 4u);
+}
+
+TEST(Join, Structure) {
+  const TaskGraph g = join(4);
+  EXPECT_EQ(g.task_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.entry_tasks().size(), 4u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(ForkJoin, Structure) {
+  const TaskGraph g = fork_join(3);
+  EXPECT_EQ(g.task_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(OutForest, InDegreeAtMostOne) {
+  Rng rng(6);
+  const TaskGraph g = random_out_forest(40, 3, rng);
+  EXPECT_EQ(g.task_count(), 40u);
+  EXPECT_EQ(g.edge_count(), 37u);  // tasks - roots
+  for (const TaskId t : g.all_tasks()) EXPECT_LE(g.in_degree(t), 1u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 3u);
+}
+
+TEST(OutForest, SingleRootIsTree) {
+  Rng rng(7);
+  const TaskGraph g = random_out_forest(20, 1, rng);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.edge_count(), 19u);
+}
+
+TEST(InForest, OutDegreeAtMostOne) {
+  Rng rng(8);
+  const TaskGraph g = random_in_forest(40, 3, rng);
+  for (const TaskId t : g.all_tasks()) EXPECT_LE(g.out_degree(t), 1u);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(Diamond, Structure) {
+  const TaskGraph g = diamond(6);
+  EXPECT_EQ(g.task_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 12u);
+}
+
+TEST(SeriesParallel, AcyclicSingleSourceSink) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskGraph g = series_parallel(30, rng);
+    EXPECT_TRUE(g.is_acyclic());
+    EXPECT_GE(g.task_count(), 2u);
+    // Node 0 is the source, node 1 the sink of the SP skeleton.
+    EXPECT_EQ(g.in_degree(TaskId(0)), 0u);
+    EXPECT_EQ(g.out_degree(TaskId(1)), 0u);
+  }
+}
+
+TEST(GaussianElimination, SizeFormula) {
+  for (std::size_t k = 2; k <= 6; ++k) {
+    const TaskGraph g = gaussian_elimination(k);
+    // Steps s = 1..k-1 contribute (k - s + 1) tasks each.
+    std::size_t expected = 0;
+    for (std::size_t s = 1; s < k; ++s) expected += k - s + 1;
+    EXPECT_EQ(g.task_count(), expected) << "k=" << k;
+    EXPECT_TRUE(g.is_acyclic());
+  }
+}
+
+TEST(GaussianElimination, PivotFeedsUpdates) {
+  const TaskGraph g = gaussian_elimination(4);
+  // First pivot has out-degree k-1 = 3 (updates of step 1).
+  const auto entries = g.entry_tasks();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(g.out_degree(entries[0]), 3u);
+}
+
+TEST(Cholesky, KernelCounts) {
+  // tiles = 3: potrf 3, trsm 3, syrk 3, gemm 1 -> 10 tasks.
+  const TaskGraph g = cholesky(3);
+  EXPECT_EQ(g.task_count(), 10u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);  // potrf(0)
+}
+
+TEST(Cholesky, SingleTile) {
+  const TaskGraph g = cholesky(1);
+  EXPECT_EQ(g.task_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Fft, ButterflyShape) {
+  const TaskGraph g = fft(3);  // 8 points, 4 rows of 8 tasks
+  EXPECT_EQ(g.task_count(), 32u);
+  EXPECT_EQ(g.edge_count(), 48u);  // 3 stages x 8 points x 2 edges
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 8u);
+  EXPECT_EQ(g.exit_tasks().size(), 8u);
+  // Interior rows have in-degree exactly 2.
+  for (const TaskId t : g.all_tasks())
+    if (g.in_degree(t) != 0) {
+      EXPECT_EQ(g.in_degree(t), 2u);
+    }
+}
+
+TEST(Stencil, WavefrontShape) {
+  const TaskGraph g = stencil(3, 4);
+  EXPECT_EQ(g.task_count(), 12u);
+  // Edges: right 3*3 + down 2*4 = 17.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Stencil, SingleRowIsChain) {
+  const TaskGraph g = stencil(1, 5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  const auto depth = depths(g);
+  EXPECT_EQ(depth[4], 4u);
+}
+
+/// Parameterized sweep: every generator yields acyclic graphs across seeds.
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, AllFamiliesAcyclic) {
+  Rng rng(GetParam());
+  EXPECT_TRUE(random_dag(RandomDagParams{}, rng).is_acyclic());
+  EXPECT_TRUE(random_out_forest(30, 2, rng).is_acyclic());
+  EXPECT_TRUE(random_in_forest(30, 2, rng).is_acyclic());
+  EXPECT_TRUE(series_parallel(25, rng).is_acyclic());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,125 @@
+// Tests for the fault-free HEFT baseline (algo/heft).
+#include "algo/heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "metrics/metrics.hpp"
+#include "sched/validator.hpp"
+
+namespace caft {
+namespace {
+
+using test::Scenario;
+using test::graph_setup;
+using test::random_setup;
+using test::uniform_setup;
+
+TEST(Heft, SingleTaskRunsImmediately) {
+  Scenario s = uniform_setup(chain(1), 3, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_TRUE(sched.complete());
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), 10.0);
+  EXPECT_EQ(sched.message_count(), 0u);
+}
+
+TEST(Heft, ChainStaysOnOneProcessor) {
+  // With positive comm costs and uniform processors, moving a chain task to
+  // another processor only adds transfer time — HEFT keeps it local.
+  Scenario s = uniform_setup(chain(5, 10.0), 3, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), 50.0);
+  EXPECT_EQ(sched.message_count(), 0u);  // everything intra
+}
+
+TEST(Heft, ForkSpreadsAcrossProcessors) {
+  // Root (exec 10) then 3 children (exec 10 each) with tiny comm volumes:
+  // running children in parallel beats serialising them locally.
+  Scenario s = uniform_setup(fork(3, 0.1), 4, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  // Local child: 20. Remote children: comm 0.1 serialized after root.
+  EXPECT_LT(sched.zero_crash_latency(), 30.0);
+  EXPECT_GE(sched.message_count(), 2u);
+}
+
+TEST(Heft, SingleProcessorSerializesEverything) {
+  Scenario s = uniform_setup(fork_join(3, 1.0), 1, 10.0, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), 50.0);  // 5 tasks x 10
+  EXPECT_EQ(sched.message_count(), 0u);
+}
+
+TEST(Heft, PicksFasterProcessor) {
+  TaskGraph g = chain(1);
+  Platform platform(2);
+  CostModel costs(1, platform);
+  costs.set_exec(TaskId(0), ProcId(0), 20.0);
+  costs.set_exec(TaskId(0), ProcId(1), 5.0);
+  costs.set_all_unit_delays(1.0);
+  const Schedule sched =
+      heft_schedule(g, platform, costs, CommModelKind::kOnePort);
+  EXPECT_EQ(sched.replica(TaskId(0), 0).proc, ProcId(1));
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), 5.0);
+}
+
+TEST(Heft, OneMessagePerCutEdge) {
+  // ε = 0: at most one message per DAG edge (exactly e when no co-location).
+  Scenario s = random_setup(7, 10, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_LE(sched.message_count(), s.graph.edge_count());
+}
+
+TEST(Heft, ZeroCrashEqualsUpperBoundWithoutReplication) {
+  Scenario s = random_setup(11, 10, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(sched.zero_crash_latency(), sched.upper_bound_latency());
+}
+
+TEST(Heft, MacroDataflowNeverSlowerThanOnePort) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Scenario s = random_setup(seed, 10, 0.5);
+    const Schedule op =
+        heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+    const Schedule md = heft_schedule(s.graph, *s.platform, *s.costs,
+                                      CommModelKind::kMacroDataflow);
+    // The contention-free model can only be optimistic.
+    EXPECT_LE(md.zero_crash_latency(), op.zero_crash_latency() + 1e-9);
+  }
+}
+
+/// Validator sweep across graph families and models.
+class HeftValidity
+    : public ::testing::TestWithParam<std::tuple<int, CommModelKind>> {};
+
+TEST_P(HeftValidity, SchedulesValidate) {
+  const int family = std::get<0>(GetParam());
+  const CommModelKind model = std::get<1>(GetParam());
+  TaskGraph g;
+  switch (family) {
+    case 0: g = chain(10, 80.0); break;
+    case 1: g = fork_join(6, 80.0); break;
+    case 2: g = gaussian_elimination(5, 80.0); break;
+    case 3: g = fft(3, 80.0); break;
+    default: g = stencil(4, 4, 80.0); break;
+  }
+  Scenario s = graph_setup(std::move(g), 21u + static_cast<std::uint64_t>(family),
+                        6, 1.0);
+  const Schedule sched = heft_schedule(s.graph, *s.platform, *s.costs, model);
+  const ValidationResult result = validate_schedule(sched, *s.costs);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HeftValidity,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(CommModelKind::kOnePort,
+                                         CommModelKind::kMacroDataflow)));
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,160 @@
+// Tests for the evaluation metrics (metrics/metrics): SLR normalization and
+// the paper's overhead formula.
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "algo/caft.hpp"
+#include "algo/heft.hpp"
+#include "helpers.hpp"
+
+namespace caft {
+namespace {
+
+using test::Scenario;
+using test::random_setup;
+using test::uniform_setup;
+
+TEST(Metrics, SlrDenominatorChain) {
+  // chain(3), fastest exec 10 each, zero comm: CP = 30.
+  Scenario s = uniform_setup(chain(3, 50.0), 4, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(slr_denominator(s.graph, *s.costs), 30.0);
+}
+
+TEST(Metrics, SlrDenominatorUsesFastestProcessor) {
+  TaskGraph g = chain(2, 10.0);
+  Platform platform(2);
+  CostModel costs(2, platform);
+  costs.set_exec(TaskId(0), ProcId(0), 10.0);
+  costs.set_exec(TaskId(0), ProcId(1), 4.0);
+  costs.set_exec(TaskId(1), ProcId(0), 6.0);
+  costs.set_exec(TaskId(1), ProcId(1), 20.0);
+  costs.set_all_unit_delays(1.0);
+  // Fastest execs: 4 + 6 = 10 (communication free in the denominator).
+  EXPECT_DOUBLE_EQ(slr_denominator(g, costs), 10.0);
+}
+
+TEST(Metrics, SlrDenominatorEmptyGraph) {
+  const TaskGraph g;
+  const Platform platform(2);
+  const CostModel costs(0, platform);
+  EXPECT_DOUBLE_EQ(slr_denominator(g, costs), 0.0);
+}
+
+TEST(Metrics, NormalizedLatencyDivides) {
+  Scenario s = uniform_setup(chain(3, 50.0), 4, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(normalized_latency(60.0, s.graph, *s.costs), 2.0);
+}
+
+TEST(Metrics, NormalizedLatencyAtLeastOneForValidSchedules) {
+  // Any real schedule takes at least the unloaded critical path.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Scenario s = random_setup(seed, 10, 1.0);
+    const Schedule sched =
+        heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+    EXPECT_GE(normalized_latency(sched.zero_crash_latency(), s.graph, *s.costs),
+              1.0 - 1e-9);
+  }
+}
+
+TEST(Metrics, NormalizedLatencyPassesInfinity) {
+  Scenario s = uniform_setup(chain(2, 10.0), 3, 10.0, 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isinf(normalized_latency(inf, s.graph, *s.costs)));
+}
+
+TEST(Metrics, OverheadFormula) {
+  EXPECT_DOUBLE_EQ(overhead_percent(150.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(overhead_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(overhead_percent(80.0, 100.0), -20.0);
+}
+
+TEST(Metrics, OverheadRejectsZeroReference) {
+  EXPECT_THROW((void)overhead_percent(10.0, 0.0), CheckError);
+}
+
+TEST(Metrics, SummaryConsistent) {
+  Scenario s = random_setup(3, 10, 1.0);
+  const Schedule sched =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  const LatencySummary summary = summarize_latency(sched, *s.costs);
+  EXPECT_DOUBLE_EQ(summary.zero_crash, sched.zero_crash_latency());
+  EXPECT_DOUBLE_EQ(summary.upper_bound, sched.upper_bound_latency());
+  EXPECT_DOUBLE_EQ(
+      summary.normalized_zero_crash,
+      normalized_latency(summary.zero_crash, s.graph, *s.costs));
+  EXPECT_GE(summary.normalized_upper_bound, summary.normalized_zero_crash);
+}
+
+
+TEST(LowerBounds, ChainEqualsCriticalPath) {
+  // A chain has no parallelism: LB = sum of fastest execs.
+  Scenario s = uniform_setup(chain(4, 10.0), 4, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(s.graph, *s.costs), 40.0);
+}
+
+TEST(LowerBounds, IndependentTasksBoundedByBalance) {
+  // 8 independent unit tasks on 2 processors: balance term = 8*10/2 = 40.
+  TaskGraph g;
+  for (int i = 0; i < 8; ++i) g.add_task();
+  Scenario s = uniform_setup(std::move(g), 2, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(s.graph, *s.costs), 40.0);
+}
+
+TEST(LowerBounds, ReplicatedBoundCountsEpsPlusOneCopies) {
+  // 6 independent tasks, eps = 1, m = 3, exec 10 everywhere:
+  // work = 6 * 2 * 10 = 120 over 3 procs -> 40.
+  TaskGraph g;
+  for (int i = 0; i < 6; ++i) g.add_task();
+  Scenario s = uniform_setup(std::move(g), 3, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(replicated_lower_bound(s.graph, *s.costs, 1), 40.0);
+  // eps = 0 degenerates to the fault-free bound.
+  EXPECT_DOUBLE_EQ(replicated_lower_bound(s.graph, *s.costs, 0),
+                   makespan_lower_bound(s.graph, *s.costs));
+}
+
+TEST(LowerBounds, ReplicatedUsesCheapestProcessors) {
+  TaskGraph g;
+  g.add_task();
+  Platform platform(3);
+  CostModel costs(1, platform);
+  costs.set_exec(TaskId(0), ProcId(0), 2.0);
+  costs.set_exec(TaskId(0), ProcId(1), 5.0);
+  costs.set_exec(TaskId(0), ProcId(2), 100.0);
+  costs.set_all_unit_delays(1.0);
+  // eps=1: two cheapest copies 2+5=7 over 3 procs vs CP 2 -> max = 2.33.
+  EXPECT_NEAR(replicated_lower_bound(g, costs, 1), 7.0 / 3.0, 1e-12);
+}
+
+/// Property: every schedule any algorithm emits respects the bounds.
+class LowerBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundProperty, SchedulesDominateBounds) {
+  Scenario s = random_setup(GetParam(), 10, 0.8);
+  const Schedule heft =
+      heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+  EXPECT_GE(heft.zero_crash_latency(),
+            makespan_lower_bound(s.graph, *s.costs) - 1e-9);
+
+  const std::size_t eps = 2;
+  CaftOptions caft_options;
+  caft_options.base = {eps, CommModelKind::kOnePort};
+  const Schedule caft =
+      caft_schedule(s.graph, *s.platform, *s.costs, caft_options);
+  // The earliest copies race like a fault-free run: zero-crash latency only
+  // dominates the fault-free bound...
+  EXPECT_GE(caft.zero_crash_latency(),
+            makespan_lower_bound(s.graph, *s.costs) - 1e-9);
+  // ...while the last replica must wait for all eps+1 copies' work.
+  EXPECT_GE(caft.upper_bound_latency(),
+            replicated_lower_bound(s.graph, *s.costs, eps) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,149 @@
+// Tests for tℓ+bℓ priorities and the free list α (algo/priorities).
+#include "algo/priorities.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "platform/cost_synthesis.hpp"
+
+namespace caft {
+namespace {
+
+TaskId T(std::size_t i) { return TaskId(static_cast<TaskId::value_type>(i)); }
+
+TEST(Priorities, EntryTasksStartFree) {
+  const TaskGraph g = join(3);  // three entries feeding a sink
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 10.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  EXPECT_TRUE(tracker.has_free_task());
+  // Exactly three pops available before anything is marked scheduled.
+  (void)tracker.pop_highest();
+  (void)tracker.pop_highest();
+  (void)tracker.pop_highest();
+  EXPECT_FALSE(tracker.has_free_task());
+}
+
+TEST(Priorities, PopOrderFollowsBottomLevelOnChain) {
+  const TaskGraph g = chain(4, 10.0);
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 10.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  // Only the head is free initially.
+  EXPECT_EQ(tracker.pop_highest(), T(0));
+  EXPECT_FALSE(tracker.has_free_task());
+  tracker.mark_scheduled(T(0), 10.0);
+  EXPECT_EQ(tracker.pop_highest(), T(1));
+}
+
+TEST(Priorities, SuccessorsReleasedWhenAllPredsDone) {
+  const TaskGraph g = join(2);
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 10.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  const TaskId first = tracker.pop_highest();
+  const TaskId second = tracker.pop_highest();
+  tracker.mark_scheduled(first, 10.0);
+  EXPECT_FALSE(tracker.has_free_task());  // sink still blocked
+  tracker.mark_scheduled(second, 10.0);
+  EXPECT_TRUE(tracker.has_free_task());
+  EXPECT_EQ(tracker.pop_highest(), T(2));
+}
+
+TEST(Priorities, BottomLevelsDecreaseAlongChain) {
+  const TaskGraph g = chain(5, 10.0);
+  const Platform platform(3);
+  const CostModel costs = uniform_costs(g, platform, 7.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  for (std::size_t i = 0; i + 1 < 5; ++i)
+    EXPECT_GT(tracker.bottom_level(T(i)), tracker.bottom_level(T(i + 1)));
+}
+
+TEST(Priorities, BottomLevelOfExitIsAvgExec) {
+  const TaskGraph g = chain(3, 10.0);
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 7.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  EXPECT_DOUBLE_EQ(tracker.bottom_level(T(2)), 7.0);
+}
+
+TEST(Priorities, TopLevelRelaxedBySchedulingEvents) {
+  const TaskGraph g = chain(2, 10.0);
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 7.0, 0.5);
+  PriorityTracker tracker(g, costs);
+  EXPECT_DOUBLE_EQ(tracker.top_level(T(1)), 0.0);
+  (void)tracker.pop_highest();
+  tracker.mark_scheduled(T(0), 30.0);
+  // tℓ(t1) = finish(t0) + avg comm = 30 + 10 * avg delay.
+  // On 2 procs with uniform 0.5 delay, avg pair delay = 0.5 -> 30 + 5.
+  EXPECT_DOUBLE_EQ(tracker.top_level(T(1)), 35.0);
+}
+
+TEST(Priorities, HigherPriorityPopsFirst) {
+  // Two independent chains of different depth share the free list; the
+  // deeper chain's head has the larger bottom level, so it pops first.
+  TaskGraph g;
+  const TaskId a0 = g.add_task();  // chain A: a0 -> a1 -> a2
+  const TaskId a1 = g.add_task();
+  const TaskId a2 = g.add_task();
+  const TaskId b0 = g.add_task();  // chain B: b0
+  g.add_edge(a0, a1, 10.0);
+  g.add_edge(a1, a2, 10.0);
+  (void)b0;
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 5.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  EXPECT_EQ(tracker.pop_highest(), a0);
+}
+
+TEST(Priorities, TieBreakByLowestId) {
+  TaskGraph g;
+  g.add_task();
+  g.add_task();  // two identical independent tasks
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 5.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  EXPECT_EQ(tracker.pop_highest(), T(0));
+  EXPECT_EQ(tracker.pop_highest(), T(1));
+}
+
+TEST(Priorities, PopOnEmptyThrows) {
+  TaskGraph g;
+  g.add_task();
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 5.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  (void)tracker.pop_highest();
+  EXPECT_THROW(tracker.pop_highest(), CheckError);
+}
+
+TEST(Priorities, DoubleReleaseThrows) {
+  const TaskGraph g = chain(2, 10.0);
+  const Platform platform(2);
+  const CostModel costs = uniform_costs(g, platform, 5.0, 1.0);
+  PriorityTracker tracker(g, costs);
+  (void)tracker.pop_highest();
+  tracker.mark_scheduled(T(0), 5.0);
+  EXPECT_THROW(tracker.mark_scheduled(T(0), 5.0), CheckError);
+}
+
+TEST(Priorities, WholeGraphDrains) {
+  Rng rng(3);
+  const TaskGraph g = random_dag(RandomDagParams{}, rng);
+  const Platform platform(4);
+  CostSynthesisParams params;
+  const CostModel costs = synthesize_costs(g, platform, params, rng);
+  PriorityTracker tracker(g, costs);
+  std::size_t popped = 0;
+  while (tracker.has_free_task()) {
+    const TaskId t = tracker.pop_highest();
+    ++popped;
+    tracker.mark_scheduled(t, static_cast<double>(popped));
+  }
+  EXPECT_EQ(popped, g.task_count());
+  EXPECT_EQ(tracker.scheduled_count(), g.task_count());
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,153 @@
+// Tests for the deterministic random number generator (common/rng).
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace caft {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = a() != b();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01CoversRange) {
+  Rng rng(11);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.5, 1.0);
+    EXPECT_GE(x, 0.5);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.uniform(2.5, 2.5), 2.5);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), CheckError);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(3, 7);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(8, 3), CheckError);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.bernoulli(0.5) ? 1 : 0;
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto sample = rng.sample_without_replacement(10, 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (const std::size_t v : sample) EXPECT_LT(v, 10u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleZero) {
+  Rng rng(29);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleOverPopulationThrows) {
+  Rng rng(29);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), CheckError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng parent(37);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = child1() != child2();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, SplitDeterministic) {
+  Rng a(41), b(41);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca(), cb());
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,93 @@
+// Tests for the tabular report writer (common/table).
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace caft {
+namespace {
+
+Table sample_table() {
+  Table t("demo", {"x", "value", "note"});
+  t.add_row({1.0, 3.25, std::string("first")});
+  t.add_row({2.0, 4.5, std::string("second")});
+  return t;
+}
+
+TEST(Table, RowCountTracksAdds) {
+  Table t = sample_table();
+  EXPECT_EQ(t.row_count(), 2u);
+  t.add_row({3.0, 5.0, std::string("third")});
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table("bad", {}), CheckError);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t = sample_table();
+  EXPECT_THROW(t.add_row({1.0}), CheckError);
+}
+
+TEST(Table, NumberAtReadsBack) {
+  const Table t = sample_table();
+  EXPECT_DOUBLE_EQ(t.number_at(0, 1), 3.25);
+  EXPECT_DOUBLE_EQ(t.number_at(1, 0), 2.0);
+}
+
+TEST(Table, NumberAtRejectsText) {
+  const Table t = sample_table();
+  EXPECT_THROW((void)t.number_at(0, 2), CheckError);
+}
+
+TEST(Table, NumberAtRejectsOutOfRange) {
+  const Table t = sample_table();
+  EXPECT_THROW((void)t.number_at(9, 0), CheckError);
+  EXPECT_THROW((void)t.number_at(0, 9), CheckError);
+}
+
+TEST(Table, PrintContainsHeaderAndData) {
+  std::ostringstream os;
+  sample_table().print(os, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+}
+
+TEST(Table, CsvShape) {
+  std::ostringstream os;
+  sample_table().write_csv(os, 2);
+  const std::string out = os.str();
+  EXPECT_EQ(out, "x,value,note\n1.00,3.25,first\n2.00,4.50,second\n");
+}
+
+TEST(Table, CsvPrecision) {
+  Table t("p", {"v"});
+  t.add_row({1.0 / 3.0});
+  std::ostringstream os;
+  t.write_csv(os, 4);
+  EXPECT_EQ(os.str(), "v\n0.3333\n");
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  const std::string path = "/tmp/caft_test_table.csv";
+  ASSERT_TRUE(sample_table().save_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,value,note");
+}
+
+TEST(Table, SaveCsvBadPathFails) {
+  EXPECT_FALSE(sample_table().save_csv("/nonexistent-dir/t.csv"));
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,143 @@
+// Tests for interconnect topologies and routing (platform/topology).
+#include "platform/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caft {
+namespace {
+
+ProcId P(std::size_t i) { return ProcId(static_cast<ProcId::value_type>(i)); }
+
+TEST(Clique, EveryPairAdjacent) {
+  const Topology t = Topology::clique(5);
+  EXPECT_EQ(t.proc_count(), 5u);
+  EXPECT_EQ(t.link_count(), 20u);  // 5*4 directed links
+  EXPECT_TRUE(t.is_clique());
+  EXPECT_TRUE(t.connected());
+  for (std::size_t a = 0; a < 5; ++a)
+    for (std::size_t b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      EXPECT_TRUE(t.direct_link(P(a), P(b)).valid());
+      EXPECT_EQ(t.hop_count(P(a), P(b)), 1u);
+    }
+}
+
+TEST(Clique, SingleProcessor) {
+  const Topology t = Topology::clique(1);
+  EXPECT_EQ(t.link_count(), 0u);
+  EXPECT_TRUE(t.connected());
+  EXPECT_TRUE(t.is_clique());
+}
+
+TEST(Clique, RouteToSelfEmpty) {
+  const Topology t = Topology::clique(3);
+  EXPECT_TRUE(t.route(P(1), P(1)).empty());
+  EXPECT_EQ(t.hop_count(P(1), P(1)), 0u);
+}
+
+TEST(Clique, LinksAreDirectedPairs) {
+  const Topology t = Topology::clique(3);
+  const LinkId ab = t.direct_link(P(0), P(1));
+  const LinkId ba = t.direct_link(P(1), P(0));
+  ASSERT_TRUE(ab.valid());
+  ASSERT_TRUE(ba.valid());
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(t.link(ab).from, P(0));
+  EXPECT_EQ(t.link(ab).to, P(1));
+  EXPECT_EQ(t.link(ba).from, P(1));
+}
+
+TEST(Ring, HopCounts) {
+  const Topology t = Topology::ring(6);
+  EXPECT_TRUE(t.connected());
+  EXPECT_FALSE(t.is_clique());
+  EXPECT_EQ(t.hop_count(P(0), P(1)), 1u);
+  EXPECT_EQ(t.hop_count(P(0), P(3)), 3u);  // diameter
+  EXPECT_EQ(t.hop_count(P(0), P(5)), 1u);  // wrap-around
+}
+
+TEST(Ring, TwoProcessors) {
+  const Topology t = Topology::ring(2);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.hop_count(P(0), P(1)), 1u);
+}
+
+TEST(Star, HubRouting) {
+  const Topology t = Topology::star(5);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.hop_count(P(0), P(3)), 1u);  // hub to leaf
+  EXPECT_EQ(t.hop_count(P(2), P(4)), 2u);  // leaf via hub
+  const auto route = t.route(P(2), P(4));
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(t.link(route[0]).to, P(0));  // through the hub
+  EXPECT_EQ(t.link(route[1]).from, P(0));
+}
+
+TEST(Mesh, ManhattanDistances) {
+  const Topology t = Topology::mesh(3, 4);
+  EXPECT_TRUE(t.connected());
+  // (0,0) -> (2,3): 2 + 3 hops.
+  EXPECT_EQ(t.hop_count(P(0), P(11)), 5u);
+  EXPECT_EQ(t.hop_count(P(0), P(1)), 1u);
+}
+
+TEST(Mesh, SingleRowIsPath) {
+  const Topology t = Topology::mesh(1, 4);
+  EXPECT_EQ(t.hop_count(P(0), P(3)), 3u);
+}
+
+TEST(Torus, WrapAroundShortens) {
+  const Topology t = Topology::torus(4, 4);
+  EXPECT_TRUE(t.connected());
+  // (0,0) -> (0,3) is 1 hop thanks to the wrap link (vs 3 in a mesh).
+  EXPECT_EQ(t.hop_count(P(0), P(3)), 1u);
+  EXPECT_EQ(t.hop_count(P(0), P(12)), 1u);  // column wrap
+}
+
+TEST(RandomConnected, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Topology t = Topology::random_connected(12, 3.0, rng);
+    EXPECT_TRUE(t.connected()) << "seed " << seed;
+    EXPECT_EQ(t.proc_count(), 12u);
+  }
+}
+
+TEST(RandomConnected, DegreeTargetRespectedApproximately) {
+  Rng rng(42);
+  const Topology t = Topology::random_connected(20, 4.0, rng);
+  // Directed links = 2 * cables; average undirected degree = cables*2/m.
+  const double avg_degree =
+      static_cast<double>(t.link_count()) / static_cast<double>(t.proc_count());
+  EXPECT_GE(avg_degree, 1.8);  // at least near the spanning tree
+  EXPECT_LE(avg_degree, 4.5);
+}
+
+TEST(Routes, AreShortestAndWellFormed) {
+  Rng rng(7);
+  const Topology t = Topology::random_connected(10, 3.0, rng);
+  for (std::size_t a = 0; a < 10; ++a)
+    for (std::size_t b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      const auto route = t.route(P(a), P(b));
+      ASSERT_FALSE(route.empty());
+      EXPECT_EQ(t.link(route.front()).from, P(a));
+      EXPECT_EQ(t.link(route.back()).to, P(b));
+      for (std::size_t i = 1; i < route.size(); ++i)
+        EXPECT_EQ(t.link(route[i - 1]).to, t.link(route[i]).from);
+      // Shortest: no route can be longer than proc_count - 1.
+      EXPECT_LT(route.size(), t.proc_count());
+      // Symmetric topologies here: reverse hop count matches.
+      EXPECT_EQ(route.size(), t.hop_count(P(b), P(a)));
+    }
+}
+
+TEST(Topology, RejectsDegenerate) {
+  EXPECT_THROW(Topology::clique(0), CheckError);
+  EXPECT_THROW(Topology::ring(1), CheckError);
+  EXPECT_THROW(Topology::star(1), CheckError);
+  EXPECT_THROW(Topology::torus(1, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace caft

@@ -1,0 +1,143 @@
+// Tests for exact DAG width via Dilworth / Hopcroft–Karp (dag/width).
+#include "dag/width.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dag/generators.hpp"
+
+namespace caft {
+namespace {
+
+TEST(HopcroftKarp, PerfectMatchingSquare) {
+  HopcroftKarp hk(3, 3);
+  for (std::size_t l = 0; l < 3; ++l)
+    for (std::size_t r = 0; r < 3; ++r) hk.add_edge(l, r);
+  EXPECT_EQ(hk.solve(), 3u);
+}
+
+TEST(HopcroftKarp, NoEdgesNoMatching) {
+  HopcroftKarp hk(4, 4);
+  EXPECT_EQ(hk.solve(), 0u);
+  EXPECT_EQ(hk.match_of_left(0), HopcroftKarp::npos);
+}
+
+TEST(HopcroftKarp, PathGraphMatching) {
+  // Left {0,1}, right {0,1}: 0-0, 1-0, 1-1 -> matching 2.
+  HopcroftKarp hk(2, 2);
+  hk.add_edge(0, 0);
+  hk.add_edge(1, 0);
+  hk.add_edge(1, 1);
+  EXPECT_EQ(hk.solve(), 2u);
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // Classic case where greedy would get 1 but optimum is 2.
+  HopcroftKarp hk(2, 2);
+  hk.add_edge(0, 0);
+  hk.add_edge(0, 1);
+  hk.add_edge(1, 0);
+  EXPECT_EQ(hk.solve(), 2u);
+}
+
+TEST(HopcroftKarp, MatchConsistency) {
+  HopcroftKarp hk(3, 3);
+  hk.add_edge(0, 1);
+  hk.add_edge(1, 2);
+  hk.add_edge(2, 0);
+  EXPECT_EQ(hk.solve(), 3u);
+  EXPECT_EQ(hk.match_of_left(0), 1u);
+  EXPECT_EQ(hk.match_of_left(1), 2u);
+  EXPECT_EQ(hk.match_of_left(2), 0u);
+}
+
+TEST(DagWidth, EmptyGraph) { EXPECT_EQ(dag_width(TaskGraph{}), 0u); }
+
+TEST(DagWidth, SingleTask) {
+  TaskGraph g;
+  g.add_task();
+  EXPECT_EQ(dag_width(g), 1u);
+}
+
+TEST(DagWidth, ChainIsOne) { EXPECT_EQ(dag_width(chain(10)), 1u); }
+
+TEST(DagWidth, IndependentTasksIsAll) {
+  TaskGraph g;
+  for (int i = 0; i < 7; ++i) g.add_task();
+  EXPECT_EQ(dag_width(g), 7u);
+}
+
+TEST(DagWidth, ForkWidthIsLeaves) { EXPECT_EQ(dag_width(fork(5)), 5u); }
+
+TEST(DagWidth, DiamondWidthIsMiddle) { EXPECT_EQ(dag_width(diamond(4)), 4u); }
+
+TEST(DagWidth, ForkJoinWidth) { EXPECT_EQ(dag_width(fork_join(6)), 6u); }
+
+TEST(DagWidth, TwoParallelChains) {
+  TaskGraph g;
+  std::vector<TaskId> row1, row2;
+  for (int i = 0; i < 4; ++i) row1.push_back(g.add_task());
+  for (int i = 0; i < 4; ++i) row2.push_back(g.add_task());
+  for (int i = 0; i + 1 < 4; ++i) {
+    g.add_edge(row1[static_cast<std::size_t>(i)],
+               row1[static_cast<std::size_t>(i + 1)], 1.0);
+    g.add_edge(row2[static_cast<std::size_t>(i)],
+               row2[static_cast<std::size_t>(i + 1)], 1.0);
+  }
+  EXPECT_EQ(dag_width(g), 2u);
+}
+
+TEST(DagWidth, StencilWidthIsMinDimension) {
+  // Antichains of an n x m grid order are its anti-diagonals.
+  EXPECT_EQ(dag_width(stencil(3, 5)), 3u);
+  EXPECT_EQ(dag_width(stencil(4, 4)), 4u);
+}
+
+TEST(MaximumAntichain, SizeMatchesWidth) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDagParams params;
+    params.min_tasks = 15;
+    params.max_tasks = 30;
+    const TaskGraph g = random_dag(params, rng);
+    const auto antichain = maximum_antichain(g);
+    EXPECT_EQ(antichain.size(), dag_width(g));
+  }
+}
+
+TEST(MaximumAntichain, ElementsPairwiseIndependent) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDagParams params;
+    params.min_tasks = 15;
+    params.max_tasks = 30;
+    const TaskGraph g = random_dag(params, rng);
+    const auto antichain = maximum_antichain(g);
+    const Reachability closure(g);
+    for (std::size_t i = 0; i < antichain.size(); ++i)
+      for (std::size_t j = 0; j < antichain.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(closure.reaches(antichain[i], antichain[j]))
+            << antichain[i].value() << " precedes " << antichain[j].value();
+      }
+  }
+}
+
+TEST(MaximumAntichain, EmptyGraph) {
+  EXPECT_TRUE(maximum_antichain(TaskGraph{}).empty());
+}
+
+/// Width over the paper's random graphs stays within sane limits (a
+/// regression canary for the closure/matching machinery at real sizes).
+TEST(DagWidth, PaperSizedGraphs) {
+  Rng rng(2008);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TaskGraph g = random_dag(RandomDagParams{}, rng);
+    const std::size_t width = dag_width(g);
+    EXPECT_GE(width, 1u);
+    EXPECT_LE(width, g.task_count());
+  }
+}
+
+}  // namespace
+}  // namespace caft

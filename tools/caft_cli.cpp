@@ -1,0 +1,298 @@
+/// caft_cli — command-line front end to the library.
+///
+/// Subcommands:
+///   generate    build an instance (graph + platform + costs) and save it
+///   schedule    run a scheduler on an instance; save/export the schedule
+///   replay      re-execute a scheduled instance under a crash set
+///   resilience  exhaustive ε-subset survival check of a scheduled instance
+///   figure      reproduce one of the paper's figures (1-6)
+///
+/// Examples:
+///   caft_cli generate --family random --procs 10 --granularity 0.5
+///       --seed 42 --out instance.txt                        (one line)
+///   caft_cli schedule --in instance.txt --algo caft --eps 2
+///       --out scheduled.txt --dot s.dot --trace t.json --gantt
+///   caft_cli replay --in scheduled.txt --crash 0,3 --gantt
+///   caft_cli resilience --in scheduled.txt
+///   caft_cli figure 1 --reps 10
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algo/caft.hpp"
+#include "algo/caft_batch.hpp"
+#include "algo/ftbar.hpp"
+#include "algo/ftsa.hpp"
+#include "algo/heft.hpp"
+#include "dag/generators.hpp"
+#include "exp/config.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "io/dot_export.hpp"
+#include "io/instance_io.hpp"
+#include "io/trace_export.hpp"
+#include "metrics/gantt.hpp"
+#include "metrics/metrics.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "sched/validator.hpp"
+#include "sim/resilience.hpp"
+
+namespace {
+
+using namespace caft;
+
+/// Minimal --flag value parser: flags are --name value pairs after the
+/// subcommand; bare flags (--gantt) map to "true".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(key));
+        continue;
+      }
+      key.erase(0, 2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : static_cast<std::size_t>(std::stoul(it->second));
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: caft_cli <generate|schedule|replay|resilience|figure> "
+               "[options]\n(see the header of tools/caft_cli.cpp for "
+               "examples)\n");
+  return 2;
+}
+
+TaskGraph build_graph(const Args& args, Rng& rng) {
+  const std::string family = args.get("family", "random");
+  const std::size_t size = args.get_size("size", 0);
+  if (family == "random") return random_dag(RandomDagParams{}, rng);
+  if (family == "chain") return chain(size ? size : 20, 100.0);
+  if (family == "fork") return fork(size ? size : 12, 100.0);
+  if (family == "join") return join(size ? size : 12, 100.0);
+  if (family == "forkjoin") return fork_join(size ? size : 10, 100.0);
+  if (family == "outforest") return random_out_forest(size ? size : 50, 3, rng);
+  if (family == "gauss") return gaussian_elimination(size ? size : 8, 100.0);
+  if (family == "cholesky") return cholesky(size ? size : 6, 100.0);
+  if (family == "fft") return fft(size ? size : 4, 100.0);
+  if (family == "stencil") return stencil(size ? size : 5, size ? size : 5, 100.0);
+  throw CheckError("unknown graph family '" + family + "'");
+}
+
+int cmd_generate(const Args& args) {
+  Rng rng(args.get_size("seed", 42));
+  const TaskGraph graph = build_graph(args, rng);
+  const std::size_t m = args.get_size("procs", 10);
+  const std::string topo = args.get("topology", "clique");
+  Platform platform(m);
+  if (topo == "ring")
+    platform = Platform(Topology::ring(m));
+  else if (topo == "star")
+    platform = Platform(Topology::star(m));
+  else if (topo != "clique")
+    throw CheckError("unknown topology '" + topo + "'");
+
+  CostSynthesisParams params;
+  params.granularity = args.get_double("granularity", 1.0);
+  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+
+  const std::string out = args.get("out", "instance.txt");
+  save_instance_file(out, graph, platform, costs);
+  std::printf("wrote %s: %zu tasks, %zu edges, m=%zu, g=%.2f\n", out.c_str(),
+              graph.task_count(), graph.edge_count(), m,
+              costs.granularity(graph));
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const InstanceBundle in = load_instance_file(args.get("in", "instance.txt"));
+  const std::string algo = args.get("algo", "caft");
+  const std::size_t eps = args.get_size("eps", 1);
+  const CommModelKind model = args.get("model", "oneport") == "macro"
+                                  ? CommModelKind::kMacroDataflow
+                                  : CommModelKind::kOnePort;
+  const SchedulerOptions options{eps, model};
+
+  Schedule sched(in.graph, *in.platform, 0, model);
+  if (algo == "heft") {
+    sched = heft_schedule(in.graph, *in.platform, *in.costs, model);
+  } else if (algo == "ftsa") {
+    sched = ftsa_schedule(in.graph, *in.platform, *in.costs, options);
+  } else if (algo == "ftbar") {
+    FtbarOptions ftbar_options;
+    ftbar_options.base = options;
+    sched = ftbar_schedule(in.graph, *in.platform, *in.costs, ftbar_options);
+  } else if (algo == "caft" || algo == "caft-direct") {
+    CaftOptions caft_options;
+    caft_options.base = options;
+    if (algo == "caft-direct")
+      caft_options.support_mode = CaftSupportMode::kDirect;
+    sched = caft_schedule(in.graph, *in.platform, *in.costs, caft_options);
+  } else if (algo == "caft-batch") {
+    CaftBatchOptions batch_options;
+    batch_options.caft.base = options;
+    batch_options.batch_size = args.get_size("batch", 10);
+    sched = caft_batch_schedule(in.graph, *in.platform, *in.costs,
+                                batch_options);
+  } else {
+    throw CheckError("unknown algorithm '" + algo + "'");
+  }
+
+  const ValidationResult validation = validate_schedule(sched, *in.costs);
+  std::printf("%s: latency %.2f (normalized %.2f), upper bound %.2f, "
+              "%zu messages, valid=%s\n",
+              algo.c_str(), sched.zero_crash_latency(),
+              normalized_latency(sched.zero_crash_latency(), in.graph,
+                                 *in.costs),
+              sched.upper_bound_latency(), sched.message_count(),
+              validation.ok() ? "yes" : "NO");
+  if (!validation.ok()) std::fprintf(stderr, "%s\n", validation.summary().c_str());
+
+  if (args.has("out"))
+    save_instance_file(args.get("out"), in.graph, *in.platform, *in.costs,
+                       &sched);
+  if (args.has("dot")) {
+    std::ofstream dot(args.get("dot"));
+    dot << to_dot(sched);
+  }
+  if (args.has("trace")) {
+    std::ofstream trace(args.get("trace"));
+    trace << to_chrome_trace(sched);
+  }
+  if (args.has("gantt")) std::cout << render_gantt(sched);
+  return validation.ok() ? 0 : 1;
+}
+
+std::vector<ProcId> parse_crash_list(const std::string& spec) {
+  std::vector<ProcId> procs;
+  std::string token;
+  for (const char c : spec + ",") {
+    if (c == ',') {
+      if (!token.empty())
+        procs.push_back(ProcId(static_cast<ProcId::value_type>(
+            std::stoul(token))));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  return procs;
+}
+
+int cmd_replay(const Args& args) {
+  const InstanceBundle in = load_instance_file(args.get("in", "scheduled.txt"));
+  CAFT_CHECK_MSG(in.schedule != nullptr, "instance has no schedule; run "
+                                         "'caft_cli schedule --out ...' first");
+  const auto failed = parse_crash_list(args.get("crash", ""));
+  const CrashScenario scenario =
+      CrashScenario::at_zero(in.platform->proc_count(), failed);
+  const CrashResult result = simulate_crashes(*in.schedule, *in.costs, scenario);
+  std::printf("crash set of %zu processor(s): %s, latency %.2f "
+              "(0-crash estimate %.2f), %zu messages delivered\n",
+              failed.size(), result.success ? "survived" : "FAILED",
+              result.latency, in.schedule->zero_crash_latency(),
+              result.delivered_messages);
+  if (args.has("gantt"))
+    std::cout << render_crash_gantt(*in.schedule, result, scenario);
+  if (args.has("trace")) {
+    std::ofstream trace(args.get("trace"));
+    trace << to_chrome_trace(*in.schedule, result, scenario);
+  }
+  return result.success ? 0 : 1;
+}
+
+int cmd_resilience(const Args& args) {
+  const InstanceBundle in = load_instance_file(args.get("in", "scheduled.txt"));
+  CAFT_CHECK_MSG(in.schedule != nullptr, "instance has no schedule");
+  const std::size_t failures = args.get_size("failures", in.schedule->eps());
+  const ResilienceReport report =
+      check_resilience_exhaustive(*in.schedule, *in.costs, failures);
+  std::printf("%zu crash subsets of size %zu: %zu failed -> %s\n",
+              report.scenarios_tested, failures, report.failures,
+              report.resistant ? "RESISTANT" : "NOT RESISTANT");
+  if (!report.witness.empty()) {
+    std::printf("witness:");
+    for (const ProcId p : report.witness) std::printf(" P%u", p.value());
+    std::printf("\n");
+  }
+  if (report.resistant)
+    std::printf("re-executed latency: best %.2f, worst %.2f\n",
+                report.best_latency, report.worst_latency);
+  return report.resistant ? 0 : 1;
+}
+
+int cmd_figure(const Args& args) {
+  CAFT_CHECK_MSG(!args.positional().empty(), "figure number required (1-6)");
+  const int figure = std::stoi(args.positional().front());
+  ExperimentConfig config;
+  switch (figure) {
+    case 1: config = figure1(); break;
+    case 2: config = figure2(); break;
+    case 3: config = figure3(); break;
+    case 4: config = figure4(); break;
+    case 5: config = figure5(); break;
+    case 6: config = figure6(); break;
+    default: throw CheckError("figure number must be 1-6");
+  }
+  config.graphs_per_point = args.get_size("reps", 10);
+  const auto points = run_experiment(config);
+  report_figure(std::cout, config, points,
+                args.has("csv") ? config.name : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "resilience") return cmd_resilience(args);
+    if (command == "figure") return cmd_figure(args);
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
