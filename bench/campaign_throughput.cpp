@@ -1,0 +1,105 @@
+/// Campaign executor throughput: replays/sec of the Monte-Carlo
+/// fault-injection campaign versus worker-thread count on a 50-task
+/// instance, plus a determinism cross-check (every thread count must
+/// produce the identical summary).
+///
+/// CAFT_BENCH_REPS scales the replay count (default 2000). Thread counts
+/// swept: 1, 2, 4, and the hardware concurrency when larger.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "algo/caft.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/scenario_sampler.hpp"
+#include "common/table.hpp"
+#include "dag/generators.hpp"
+#include "exp/config.hpp"
+#include "platform/cost_synthesis.hpp"
+
+namespace {
+
+using namespace caft;
+using Clock = std::chrono::steady_clock;
+
+/// Bit-for-bit equality of everything a campaign summary reports.
+bool summaries_identical(const CampaignSummary& a, const CampaignSummary& b) {
+  if (a.replays != b.replays || a.successes != b.successes ||
+      a.replays_within_eps != b.replays_within_eps ||
+      a.successes_within_eps != b.successes_within_eps ||
+      a.max_failed != b.max_failed ||
+      a.order_relaxations != b.order_relaxations ||
+      a.order_deadlocks != b.order_deadlocks)
+    return false;
+  if (a.latency.mean() != b.latency.mean() ||
+      a.latency.min() != b.latency.min() ||
+      a.latency.max() != b.latency.max() ||
+      a.latency.stddev() != b.latency.stddev() ||
+      a.delivered_messages.mean() != b.delivered_messages.mean())
+    return false;
+  if (a.latency_quantiles.size() != b.latency_quantiles.size()) return false;
+  for (std::size_t i = 0; i < a.latency_quantiles.size(); ++i)
+    if (a.latency_quantiles[i].value != b.latency_quantiles[i].value)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t replays = bench_reps_from_env(200) * 10;
+
+  // 50-task instance at granularity 1, m = 10, CAFT with eps = 1.
+  Rng rng(7);
+  RandomDagParams dag;
+  dag.min_tasks = 50;
+  dag.max_tasks = 50;
+  const TaskGraph graph = random_dag(dag, rng);
+  const Platform platform(10);
+  CostSynthesisParams cost_params;
+  cost_params.granularity = 1.0;
+  const CostModel costs = synthesize_costs(graph, platform, cost_params, rng);
+  CaftOptions options;
+  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
+  const Schedule schedule = caft_schedule(graph, platform, costs, options);
+  const UniformKSampler sampler(10, 1);
+
+  std::cout << "=== campaign throughput: " << replays
+            << " replays of a 50-task CAFT schedule (m=10, eps=1) ===\n"
+            << "hardware concurrency: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 4) thread_counts.push_back(hw);
+
+  Table table("campaign replays/sec vs threads",
+              {"threads", "seconds", "replays_per_sec", "speedup_vs_1"});
+  double base_rate = 0.0;
+  CampaignSummary reference;
+  bool deterministic = true;
+  for (const std::size_t threads : thread_counts) {
+    CampaignOptions campaign;
+    campaign.replays = replays;
+    campaign.threads = threads;
+    const auto start = Clock::now();
+    const CampaignSummary summary =
+        run_campaign(schedule, costs, sampler, campaign);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const double rate = static_cast<double>(replays) / seconds;
+    if (threads == 1) {
+      base_rate = rate;
+      reference = summary;
+    } else if (!summaries_identical(summary, reference)) {
+      deterministic = false;
+    }
+    table.add_row({static_cast<double>(threads), seconds, rate,
+                   base_rate == 0.0 ? 1.0 : rate / base_rate});
+  }
+  table.print(std::cout, 3);
+  std::cout << "\nsummaries bit-for-bit identical across thread counts: "
+            << (deterministic ? "yes" : "NO") << "\n";
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "sim/crash_sim.hpp"
+
+namespace caft {
+
+namespace {
+
+/// Compact per-replay outcome: everything the accumulator folds, nothing
+/// else — the full CrashResult (per-replica matrices) never outlives its
+/// worker.
+struct ReplayRecord {
+  bool success = false;
+  bool order_deadlock = false;
+  double latency = 0.0;
+  std::size_t delivered_messages = 0;
+  std::size_t order_relaxations = 0;
+  std::size_t failed_count = 0;
+};
+
+ReplayRecord run_replay(const Schedule& schedule, const CostModel& costs,
+                        const ScenarioSampler& sampler, Rng rng) {
+  const CrashScenario scenario = sampler.sample(rng);
+  const CrashResult result = simulate_crashes(schedule, costs, scenario);
+  ReplayRecord record;
+  record.success = result.success;
+  record.order_deadlock = result.order_deadlock;
+  record.latency = result.latency;
+  record.delivered_messages = result.delivered_messages;
+  record.order_relaxations = result.order_relaxations;
+  record.failed_count = scenario.failed_count();
+  return record;
+}
+
+}  // namespace
+
+CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
+                             const ScenarioSampler& sampler,
+                             const CampaignOptions& options) {
+  CAFT_CHECK_MSG(sampler.proc_count() == schedule.platform().proc_count(),
+                 "sampler platform size does not match the schedule");
+  CAFT_CHECK_MSG(schedule.complete(), "schedule is incomplete");
+  CAFT_CHECK_MSG(options.block > 0, "block size must be positive");
+
+  const std::size_t threads =
+      std::max<std::size_t>(1, options.threads == 0 ? default_thread_count()
+                                                    : options.threads);
+
+  Rng master(options.seed);
+  CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
+  accumulator.set_sampler_name(sampler.name());
+
+  std::vector<Rng> streams;
+  std::vector<ReplayRecord> records;
+  for (std::size_t done = 0; done < options.replays;) {
+    const std::size_t wave = std::min(options.block, options.replays - done);
+
+    // Streams split sequentially in global replay order: neither the thread
+    // schedule nor the block size can influence any draw.
+    streams.clear();
+    streams.reserve(wave);
+    for (std::size_t i = 0; i < wave; ++i) streams.push_back(master.split());
+
+    records.assign(wave, ReplayRecord{});
+    const std::size_t workers = std::min(threads, wave);
+    const auto worker = [&](std::size_t first) {
+      for (std::size_t i = first; i < wave; i += workers)
+        records[i] = run_replay(schedule, costs, sampler, streams[i]);
+    };
+    if (workers <= 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker, t);
+      for (std::thread& thread : pool) thread.join();
+    }
+
+    // Fold in replay order.
+    for (const ReplayRecord& record : records) {
+      CrashResult result;
+      result.success = record.success;
+      result.order_deadlock = record.order_deadlock;
+      result.latency = record.latency;
+      result.delivered_messages = record.delivered_messages;
+      result.order_relaxations = record.order_relaxations;
+      accumulator.add(record.failed_count, result);
+    }
+    done += wave;
+  }
+  return accumulator.summary();
+}
+
+}  // namespace caft

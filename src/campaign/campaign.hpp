@@ -1,0 +1,52 @@
+/// \file campaign.hpp
+/// Monte-Carlo fault-injection campaign: fans N crash replays of one
+/// committed schedule across worker threads and folds the outcomes into a
+/// streaming CampaignSummary (campaign/stats.hpp).
+///
+/// Where the paper re-executes each schedule under a *single* uniformly
+/// drawn crash set per repetition (Section 6, "With c Crash"), a campaign
+/// asks the distributional questions: empirical success probability with a
+/// confidence interval, latency quantiles under stochastic lifetimes,
+/// behaviour beyond ε failures.
+///
+/// Determinism contract (same as run_experiment): every replay owns a
+/// pre-split Rng stream, drawn from the master stream in replay order, and
+/// the fold also happens in replay order — so the summary is bit-for-bit
+/// identical for 1 thread and N threads, and for any block size. Replays
+/// are simulated in bounded blocks, so memory stays O(block + threads), not
+/// O(replays).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "campaign/scenario_sampler.hpp"
+#include "campaign/stats.hpp"
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace caft {
+
+/// Knobs of one campaign run.
+struct CampaignOptions {
+  std::size_t replays = 1000;
+  std::uint64_t seed = 20080201;
+  /// Worker threads; 0 = default_thread_count() (CAFT_THREADS env, else
+  /// hardware concurrency).
+  std::size_t threads = 0;
+  /// Replays simulated per parallel wave; bounds peak memory. The summary
+  /// does not depend on it.
+  std::size_t block = 1024;
+  /// Latency quantiles to estimate, each in (0, 1).
+  std::vector<double> quantiles = {0.5, 0.9, 0.99};
+};
+
+/// Runs `options.replays` crash replays of `schedule` under scenarios drawn
+/// from `sampler` and returns the folded summary.
+[[nodiscard]] CampaignSummary run_campaign(const Schedule& schedule,
+                                           const CostModel& costs,
+                                           const ScenarioSampler& sampler,
+                                           const CampaignOptions& options);
+
+}  // namespace caft

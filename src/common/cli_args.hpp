@@ -1,0 +1,63 @@
+/// \file cli_args.hpp
+/// Minimal --flag value parser shared by the CLIs (tools/caft_cli,
+/// tools/campaign_cli): flags are --name value pairs, bare flags
+/// (--gantt) map to "true", anything not starting with -- is positional.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace caft {
+
+class CliArgs {
+ public:
+  /// Parses argv[first..argc); `first` skips the program name and any
+  /// subcommand the caller consumed.
+  CliArgs(int argc, char** argv, int first = 1) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(key));
+        continue;
+      }
+      key.erase(0, 2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::stoul(it->second));
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace caft

@@ -1,0 +1,17 @@
+#include "common/parallel.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace caft {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("CAFT_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace caft

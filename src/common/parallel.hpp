@@ -1,0 +1,18 @@
+/// \file parallel.hpp
+/// Shared worker-thread sizing for the parallel drivers: the experiment
+/// runner's repetition fan-out (exp/runner) and the fault-injection
+/// campaign's replay fan-out (campaign/campaign). Both honour the
+/// CAFT_THREADS environment variable so a single knob pins the whole
+/// binary to a thread budget.
+#pragma once
+
+#include <cstddef>
+
+namespace caft {
+
+/// Worker threads a parallel driver should use: the CAFT_THREADS environment
+/// variable when set to a positive integer, else the hardware concurrency,
+/// else 1.
+[[nodiscard]] std::size_t default_thread_count();
+
+}  // namespace caft

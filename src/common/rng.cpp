@@ -66,6 +66,18 @@ std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
 
 bool Rng::bernoulli(double p) { return uniform01() < p; }
 
+double Rng::exponential(double rate) {
+  CAFT_CHECK_MSG(rate > 0.0, "exponential(rate) requires rate > 0");
+  // -log1p(-U) with U in [0,1) is finite and positive for all draws.
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) {
+  CAFT_CHECK_MSG(shape > 0.0 && scale > 0.0,
+                 "weibull(shape, scale) requires positive parameters");
+  return scale * std::pow(-std::log1p(-uniform01()), 1.0 / shape);
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   CAFT_CHECK_MSG(k <= n, "cannot sample more items than the population holds");

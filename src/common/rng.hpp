@@ -38,6 +38,15 @@ class Rng {
   /// Bernoulli draw with probability `p` of true.
   bool bernoulli(double p);
 
+  /// Exponential draw with rate `rate` (mean 1/rate). Requires rate > 0.
+  /// Used for memoryless processor lifetimes in the fault-injection
+  /// campaign (constant hazard rate).
+  double exponential(double rate);
+  /// Weibull draw with shape k and scale λ (both > 0): λ·(-ln U)^(1/k).
+  /// Shape < 1 models infant mortality, shape > 1 wear-out — the two
+  /// lifetime regimes the exponential cannot express.
+  double weibull(double shape, double scale);
+
   /// Fisher–Yates shuffle of `items`.
   template <typename T>
   void shuffle(std::vector<T>& items) {

@@ -1,5 +1,7 @@
 #include "common/table.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -94,6 +96,77 @@ bool Table::save_csv(const std::string& path, int precision) const {
   std::ofstream out(path);
   if (!out) return false;
   write_csv(out, precision);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        // RFC 8259 forbids raw control characters inside strings.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_cell(std::ostream& os, const Cell& cell) {
+  if (const auto* text = std::get_if<std::string>(&cell)) {
+    write_json_string(os, *text);
+    return;
+  }
+  const double value = std::get<double>(cell);
+  // JSON has no Infinity/NaN literals; emit null for non-finite values.
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  // Format locally so the caller's stream precision is left untouched.
+  std::ostringstream formatted;
+  formatted << std::setprecision(17) << value;
+  os << formatted.str();
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  os << "{\"title\": ";
+  write_json_string(os, title_);
+  os << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "" : ", ") << '{';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c != 0) os << ", ";
+      write_json_string(os, header_[c]);
+      os << ": ";
+      write_json_cell(os, rows_[r][c]);
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+bool Table::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
   return static_cast<bool>(out);
 }
 

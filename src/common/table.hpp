@@ -41,6 +41,14 @@ class Table {
   /// Writes the CSV form to `path`; returns false on I/O failure.
   bool save_csv(const std::string& path, int precision = 6) const;
 
+  /// Renders a JSON object: {"title": ..., "rows": [{header: value, ...}]}.
+  /// Numbers stay numbers (full shortest-round-trip precision); text cells
+  /// become JSON strings with the usual escapes.
+  void write_json(std::ostream& os) const;
+
+  /// Writes the JSON form to `path`; returns false on I/O failure.
+  bool save_json(const std::string& path) const;
+
  private:
   std::string title_;
   std::vector<std::string> header_;

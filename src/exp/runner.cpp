@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <thread>
 
 #include "algo/caft.hpp"
@@ -10,6 +9,7 @@
 #include "algo/ftsa.hpp"
 #include "algo/heft.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "metrics/metrics.hpp"
 #include "sched/bounds.hpp"
 #include "sim/resilience.hpp"
@@ -141,14 +141,7 @@ RepMetrics run_repetition(const ExperimentConfig& config, double granularity,
 
 }  // namespace
 
-std::size_t experiment_thread_count() {
-  if (const char* env = std::getenv("CAFT_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<std::size_t>(parsed);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
+std::size_t experiment_thread_count() { return default_thread_count(); }
 
 std::vector<PointAverages> run_experiment(const ExperimentConfig& config) {
   CAFT_CHECK_MSG(config.crashes <= config.eps,

@@ -1,6 +1,7 @@
 #include "sim/crash_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "common/check.hpp"
@@ -20,15 +21,23 @@ CrashScenario CrashScenario::at_zero(std::size_t proc_count,
 }
 
 CrashScenario::CrashScenario(std::vector<double> crash_times)
-    : crash_time_(std::move(crash_times)) {}
+    : crash_time_(std::move(crash_times)) {
+  for (const double t : crash_time_) {
+    CAFT_CHECK_MSG(!std::isnan(t), "crash time must not be NaN");
+    CAFT_CHECK_MSG(t >= 0.0, "crash time must be non-negative");
+  }
+}
 
 double CrashScenario::crash_time(ProcId p) const {
-  CAFT_CHECK(p.index() < crash_time_.size());
+  CAFT_CHECK_MSG(p.index() < crash_time_.size(),
+                 "processor id out of range for this scenario");
   return crash_time_[p.index()];
 }
 
 void CrashScenario::set_crash_time(ProcId p, double time) {
-  CAFT_CHECK(p.index() < crash_time_.size());
+  CAFT_CHECK_MSG(p.index() < crash_time_.size(),
+                 "processor id out of range for this scenario");
+  CAFT_CHECK_MSG(!std::isnan(time), "crash time must not be NaN");
   CAFT_CHECK_MSG(time >= 0.0, "crash time must be non-negative");
   crash_time_[p.index()] = time;
 }

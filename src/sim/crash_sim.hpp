@@ -42,6 +42,9 @@
 namespace caft {
 
 /// Per-processor crash instants; +inf = the processor never fails.
+/// All accessors CAFT_CHECK their ProcId against the scenario size, and
+/// crash times must be non-negative and not NaN (enforced by the
+/// constructor and set_crash_time alike).
 class CrashScenario {
  public:
   /// All processors healthy.

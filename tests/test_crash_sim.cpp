@@ -198,6 +198,75 @@ TEST(CrashSim, AllProcessorsDeadFailsOutright) {
   EXPECT_FALSE(result.success);
 }
 
+TEST(CrashScenario, RejectsOutOfRangeProcessor) {
+  CrashScenario scenario = CrashScenario::none(4);
+  EXPECT_THROW(scenario.crash_time(P(4)), CheckError);
+  EXPECT_THROW(scenario.dead_from_start(P(5)), CheckError);
+  EXPECT_THROW(scenario.set_crash_time(P(7), 1.0), CheckError);
+  EXPECT_THROW(CrashScenario::at_zero(4, {P(9)}), CheckError);
+}
+
+TEST(CrashScenario, RejectsNanAndNegativeCrashTimes) {
+  CrashScenario scenario = CrashScenario::none(4);
+  EXPECT_THROW(
+      scenario.set_crash_time(P(0), std::numeric_limits<double>::quiet_NaN()),
+      CheckError);
+  EXPECT_THROW(scenario.set_crash_time(P(0), -1.0), CheckError);
+  EXPECT_THROW(CrashScenario({1.0, std::numeric_limits<double>::quiet_NaN()}),
+               CheckError);
+  EXPECT_THROW(CrashScenario({-0.5}), CheckError);
+}
+
+// Property (crash-at-θ extension): θ = 0 must behave exactly like the
+// dead-from-start model of CrashScenario::at_zero — same survivors, same
+// times, bit for bit.
+TEST(CrashSim, ThetaZeroMatchesAtZero) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Scenario s = random_setup(seed, 10, 0.8);
+    CaftOptions options;
+    options.base = SchedulerOptions{2, CommModelKind::kOnePort};
+    const Schedule sched =
+        caft_schedule(s.graph, *s.platform, *s.costs, options);
+    const std::vector<ProcId> failed = {P(seed % 10), P((seed + 4) % 10)};
+    CrashScenario theta = CrashScenario::none(10);
+    for (const ProcId p : failed) theta.set_crash_time(p, 0.0);
+    const CrashResult via_theta = simulate_crashes(sched, *s.costs, theta);
+    const CrashResult via_at_zero = simulate_crashes(
+        sched, *s.costs, CrashScenario::at_zero(10, failed));
+    EXPECT_EQ(via_theta.success, via_at_zero.success);
+    EXPECT_EQ(via_theta.latency, via_at_zero.latency);
+    EXPECT_EQ(via_theta.completed, via_at_zero.completed);
+    EXPECT_EQ(via_theta.finish, via_at_zero.finish);
+    EXPECT_EQ(via_theta.delivered_messages, via_at_zero.delivered_messages);
+    EXPECT_EQ(via_theta.order_relaxations, via_at_zero.order_relaxations);
+  }
+}
+
+// Property (crash-at-θ extension): θ = +inf on every processor is the
+// no-crash replay and must reproduce the committed timetable bit for bit.
+TEST(CrashSim, ThetaInfinityMatchesCommittedTimetable) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Scenario s = random_setup(seed, 10, 0.8);
+    CaftOptions options;
+    options.base = SchedulerOptions{2, CommModelKind::kOnePort};
+    const Schedule sched =
+        caft_schedule(s.graph, *s.platform, *s.costs, options);
+    CrashScenario theta = CrashScenario::none(10);
+    for (std::size_t p = 0; p < 10; ++p)
+      theta.set_crash_time(P(p), std::numeric_limits<double>::infinity());
+    const CrashResult result = simulate_crashes(sched, *s.costs, theta);
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.order_relaxations, 0u);
+    EXPECT_EQ(result.latency, sched.zero_crash_latency());
+    for (const TaskId t : s.graph.all_tasks())
+      for (ReplicaIndex r = 0; r < sched.total_replicas(t); ++r) {
+        EXPECT_TRUE(result.completed[t.index()][r]);
+        EXPECT_EQ(result.finish[t.index()][r], sched.replica(t, r).finish)
+            << s.graph.name(t) << "#" << r;
+      }
+  }
+}
+
 TEST(CrashSim, MismatchedScenarioRejected) {
   Scenario s = uniform_setup(chain(2, 1.0), 3, 10.0, 1.0);
   const Schedule sched =

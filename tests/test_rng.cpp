@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -147,6 +148,53 @@ TEST(Rng, SplitDeterministic) {
   Rng a(41), b(41);
   Rng ca = a.split(), cb = b.split();
   for (int i = 0; i < 32; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, ExponentialPositiveAndFinite) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.exponential(0.5);
+    EXPECT_GT(x, 0.0);
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);  // mean = 1/rate
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), CheckError);
+  EXPECT_THROW(rng.exponential(-1.0), CheckError);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  // Weibull(1, scale) == Exp(1/scale); compare empirical means.
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, WeibullPositiveAndDeterministic) {
+  Rng a(23), b(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = a.weibull(1.5, 100.0);
+    EXPECT_GT(x, 0.0);
+    EXPECT_EQ(x, b.weibull(1.5, 100.0));
+  }
+}
+
+TEST(Rng, WeibullRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weibull(0.0, 1.0), CheckError);
+  EXPECT_THROW(rng.weibull(1.0, -2.0), CheckError);
 }
 
 }  // namespace

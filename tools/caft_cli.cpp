@@ -28,6 +28,7 @@
 #include "algo/ftbar.hpp"
 #include "algo/ftsa.hpp"
 #include "algo/heft.hpp"
+#include "common/cli_args.hpp"
 #include "dag/generators.hpp"
 #include "exp/config.hpp"
 #include "exp/report.hpp"
@@ -45,52 +46,7 @@ namespace {
 
 using namespace caft;
 
-/// Minimal --flag value parser: flags are --name value pairs after the
-/// subcommand; bare flags (--gantt) map to "true".
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        positional_.push_back(std::move(key));
-        continue;
-      }
-      key.erase(0, 2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "true";
-      }
-    }
-  }
-
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback = "") const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  [[nodiscard]] bool has(const std::string& key) const {
-    return values_.count(key) != 0;
-  }
-  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
-  }
-  [[nodiscard]] std::size_t get_size(const std::string& key,
-                                     std::size_t fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback
-                               : static_cast<std::size_t>(std::stoul(it->second));
-  }
-  [[nodiscard]] const std::vector<std::string>& positional() const {
-    return positional_;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> positional_;
-};
+using Args = CliArgs;
 
 int usage() {
   std::fprintf(stderr,

@@ -1,0 +1,200 @@
+/// campaign_cli — Monte-Carlo fault-injection campaigns from the command
+/// line: build (or load) an instance, schedule it with the fault-tolerant
+/// algorithms, replay each schedule under thousands of sampled crash
+/// scenarios, and print a side-by-side comparison table.
+///
+/// Examples:
+///   campaign_cli --replays 2000 --procs 10 --eps 2 --granularity 1.0
+///   campaign_cli --sampler exp --rate 0.001 --replays 5000 --algos caft
+///   campaign_cli --sampler window --k 2 --theta-lo 0 --theta-hi 200
+///   campaign_cli --sampler groups --group-size 5 --group-prob 0.1
+///   campaign_cli --in instance.txt --replays 1000 --csv camp --json camp
+///
+/// Samplers (--sampler):
+///   uniform   k distinct processors dead from t=0 (paper model; default,
+///             k defaults to eps)
+///   exp       per-processor exponential lifetimes (--rate; --horizon
+///             censors lifetimes beyond the mission to "never fails")
+///   weibull   per-processor Weibull lifetimes (--shape, --scale, --horizon)
+///   window    k processors crash at theta ~ U[--theta-lo, --theta-hi]
+///   groups    contiguous groups of --group-size fail together with
+///             probability --group-prob at theta ~ U[--theta-lo, --theta-hi]
+///
+/// The campaign seed, replay count and thread count (--seed, --replays,
+/// --threads; 0 threads = auto) apply identically to every algorithm, so
+/// the comparison is paired: same scenario stream for each schedule.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/caft.hpp"
+#include "algo/ftbar.hpp"
+#include "algo/ftsa.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/scenario_sampler.hpp"
+#include "campaign/stats.hpp"
+#include "common/cli_args.hpp"
+#include "dag/generators.hpp"
+#include "io/instance_io.hpp"
+#include "platform/cost_synthesis.hpp"
+
+namespace {
+
+using namespace caft;
+
+using Args = CliArgs;
+
+std::unique_ptr<ScenarioSampler> build_sampler(const Args& args,
+                                               std::size_t procs,
+                                               std::size_t eps) {
+  const std::string kind = args.get("sampler", "uniform");
+  const std::size_t k = args.get_size("k", eps);
+  // Lifetimes beyond --horizon are censored to "never fails"; without it
+  // every processor eventually crashes, so the within-eps statistics of
+  // lifetime campaigns are empty (failed_count counts any finite lifetime).
+  const double horizon = args.get_double(
+      "horizon", std::numeric_limits<double>::infinity());
+  if (kind == "uniform") return std::make_unique<UniformKSampler>(procs, k);
+  if (kind == "exp")
+    return std::make_unique<ExponentialLifetimeSampler>(
+        procs, args.get_double("rate", 0.001), horizon);
+  if (kind == "weibull")
+    return std::make_unique<WeibullLifetimeSampler>(
+        procs, args.get_double("shape", 1.5), args.get_double("scale", 1000.0),
+        horizon);
+  if (kind == "window")
+    return std::make_unique<CrashWindowSampler>(
+        procs, k, args.get_double("theta-lo", 0.0),
+        args.get_double("theta-hi", 1000.0));
+  if (kind == "groups")
+    return std::make_unique<CorrelatedGroupSampler>(
+        procs, args.get_size("group-size", 2),
+        args.get_double("group-prob", 0.1), args.get_double("theta-lo", 0.0),
+        args.get_double("theta-hi", 0.0));
+  throw CheckError("unknown sampler '" + kind + "'");
+}
+
+bool wants_algo(const std::string& algos, const std::string& name) {
+  return algos.find(name) != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    std::fprintf(stderr, "see the header of tools/campaign_cli.cpp for usage "
+                         "and examples\n");
+    return 2;
+  }
+  try {
+    // --- instance: load from file or generate the paper's random protocol.
+    TaskGraph graph;
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<CostModel> costs;
+    if (args.has("in")) {
+      InstanceBundle in = load_instance_file(args.get("in"));
+      graph = std::move(in.graph);
+      platform = std::move(in.platform);
+      costs = std::move(in.costs);
+    } else {
+      Rng rng(args.get_size("instance-seed", 42));
+      RandomDagParams dag;
+      if (args.has("tasks")) {
+        dag.min_tasks = args.get_size("tasks", 100);
+        dag.max_tasks = dag.min_tasks;
+      }
+      graph = random_dag(dag, rng);
+      platform = std::make_unique<Platform>(args.get_size("procs", 10));
+      CostSynthesisParams params;
+      params.granularity = args.get_double("granularity", 1.0);
+      costs = std::make_unique<CostModel>(
+          synthesize_costs(graph, *platform, params, rng));
+    }
+    const std::size_t m = platform->proc_count();
+    const std::size_t eps = args.get_size("eps", 1);
+
+    CampaignOptions options;
+    options.replays = args.get_size("replays", 1000);
+    options.seed = args.get_size("seed", 20080201);
+    options.threads = args.get_size("threads", 0);
+
+    const auto sampler = build_sampler(args, m, eps);
+    std::printf("instance: %zu tasks, %zu edges, m=%zu, eps=%zu\n",
+                graph.task_count(), graph.edge_count(), m, eps);
+    std::printf("campaign: %zu replays of %s, seed %llu\n\n",
+                options.replays, sampler->name().c_str(),
+                static_cast<unsigned long long>(options.seed));
+
+    // --- schedule with each requested algorithm and run the campaign.
+    const std::string algos = args.get("algos", "caft,ftsa,ftbar");
+    const SchedulerOptions base{eps, CommModelKind::kOnePort};
+    std::vector<std::pair<std::string, Schedule>> schedules;
+    if (wants_algo(algos, "caft")) {
+      CaftOptions caft_options;
+      caft_options.base = base;
+      schedules.emplace_back(
+          "CAFT", caft_schedule(graph, *platform, *costs, caft_options));
+    }
+    if (wants_algo(algos, "ftsa"))
+      schedules.emplace_back("FTSA",
+                             ftsa_schedule(graph, *platform, *costs, base));
+    if (wants_algo(algos, "ftbar")) {
+      FtbarOptions ftbar_options;
+      ftbar_options.base = base;
+      schedules.emplace_back(
+          "FTBAR", ftbar_schedule(graph, *platform, *costs, ftbar_options));
+    }
+    if (schedules.empty()) throw CheckError("no known algorithm in --algos");
+
+    std::vector<std::pair<std::string, CampaignSummary>> rows;
+    for (const auto& [label, schedule] : schedules) {
+      std::printf("%s: 0-crash latency %.2f, upper bound %.2f, "
+                  "%zu messages — running campaign...\n",
+                  label.c_str(), schedule.zero_crash_latency(),
+                  schedule.upper_bound_latency(), schedule.message_count());
+      rows.emplace_back(label,
+                        run_campaign(schedule, *costs, *sampler, options));
+    }
+    std::printf("\n");
+
+    const Table table = campaign_table("fault-injection campaign — " +
+                                           sampler->name(),
+                                       rows);
+    table.print(std::cout, 4);
+    if (args.has("csv")) {
+      const std::string path = args.get("csv") + "_campaign.csv";
+      if (!table.save_csv(path)) {
+        std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("CSV written to %s\n", path.c_str());
+    }
+    if (args.has("json")) {
+      const std::string path = args.get("json") + "_campaign.json";
+      if (!table.save_json(path)) {
+        std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("JSON written to %s\n", path.c_str());
+    }
+
+    // Proposition 5.2 check: every within-eps replay must have survived.
+    for (const auto& [label, s] : rows)
+      if (s.successes_within_eps != s.replays_within_eps) {
+        std::fprintf(stderr,
+                     "WARNING: %s lost %zu of %zu replays with <= eps "
+                     "failures — Proposition 5.2 violated\n",
+                     label.c_str(),
+                     s.replays_within_eps - s.successes_within_eps,
+                     s.replays_within_eps);
+        return 1;
+      }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
