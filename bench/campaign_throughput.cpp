@@ -1,18 +1,33 @@
 /// Campaign executor throughput: replays/sec of the Monte-Carlo
-/// fault-injection campaign versus worker-thread count on a 50-task
-/// instance, plus a determinism cross-check (every thread count must
-/// produce the identical summary).
+/// fault-injection campaign versus worker-thread count on a 50-task CAFT
+/// schedule (m=10, eps=1), A/B-ing the two replay engines:
+///
+///   --engine naive        simulate_crashes from t=0 for every scenario
+///   --engine incremental  prefix-cached ReplayEngine
+///   --engine both         (default) run both and report the speedup
+///
+/// Two workloads are swept: the paper's uniform-k sampler (k processors
+/// dead from t=0 — no usable fault-free prefix, so the incremental engine
+/// wins on template reuse alone) and a crash-window sampler over the
+/// schedule horizon (positive crash times — prefix snapshots kick in).
+///
+/// Every (engine, thread count) cell must produce the bit-for-bit
+/// identical summary; any mismatch fails the bench (exit 1). This is the
+/// acceptance gate for the determinism contract of sim/replay_engine.hpp.
 ///
 /// CAFT_BENCH_REPS scales the replay count (default 2000). Thread counts
-/// swept: 1, 2, 4, and the hardware concurrency when larger.
+/// swept: 1, 2, 4, 8, and the hardware concurrency when larger.
 #include <chrono>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "algo/caft.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/scenario_sampler.hpp"
+#include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "dag/generators.hpp"
 #include "exp/config.hpp"
@@ -45,9 +60,26 @@ bool summaries_identical(const CampaignSummary& a, const CampaignSummary& b) {
   return true;
 }
 
+const char* engine_name(CampaignEngine engine) {
+  return engine == CampaignEngine::kIncremental ? "incremental" : "naive";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string engine_arg = args.get("engine", "both");
+  std::vector<CampaignEngine> engines;
+  if (engine_arg == "naive" || engine_arg == "both")
+    engines.push_back(CampaignEngine::kNaive);
+  if (engine_arg == "incremental" || engine_arg == "both")
+    engines.push_back(CampaignEngine::kIncremental);
+  if (engines.empty()) {
+    std::cerr << "unknown --engine '" << engine_arg
+              << "' (naive|incremental|both)\n";
+    return 2;
+  }
+
   const std::size_t replays = bench_reps_from_env(200) * 10;
 
   // 50-task instance at granularity 1, m = 10, CAFT with eps = 1.
@@ -63,43 +95,87 @@ int main() {
   CaftOptions options;
   options.base = SchedulerOptions{1, CommModelKind::kOnePort};
   const Schedule schedule = caft_schedule(graph, platform, costs, options);
-  const UniformKSampler sampler(10, 1);
+
+  // Workload A: the paper's model — k=1 dead from t=0 (no fault-free
+  // prefix to reuse). Workload B: crashes in the first half of the
+  // committed horizon (prefix snapshots shorten every replay).
+  const UniformKSampler uniform_sampler(10, 1);
+  const CrashWindowSampler window_sampler(10, 2, 0.0,
+                                          schedule.horizon() * 0.5);
+  struct Workload {
+    const char* label;
+    const ScenarioSampler* sampler;
+  };
+  const std::vector<Workload> workloads = {
+      {"uniform-k", &uniform_sampler},
+      {"crash-window", &window_sampler},
+  };
 
   std::cout << "=== campaign throughput: " << replays
             << " replays of a 50-task CAFT schedule (m=10, eps=1) ===\n"
             << "hardware concurrency: "
             << std::thread::hardware_concurrency() << "\n\n";
 
-  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
   const std::size_t hw = std::thread::hardware_concurrency();
-  if (hw > 4) thread_counts.push_back(hw);
+  if (hw > 8) thread_counts.push_back(hw);
 
-  Table table("campaign replays/sec vs threads",
-              {"threads", "seconds", "replays_per_sec", "speedup_vs_1"});
-  double base_rate = 0.0;
-  CampaignSummary reference;
   bool deterministic = true;
-  for (const std::size_t threads : thread_counts) {
-    CampaignOptions campaign;
-    campaign.replays = replays;
-    campaign.threads = threads;
-    const auto start = Clock::now();
-    const CampaignSummary summary =
-        run_campaign(schedule, costs, sampler, campaign);
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    const double rate = static_cast<double>(replays) / seconds;
-    if (threads == 1) {
-      base_rate = rate;
-      reference = summary;
-    } else if (!summaries_identical(summary, reference)) {
-      deterministic = false;
+  bool speedup_ok = true;
+  for (const Workload& workload : workloads) {
+    Table table(std::string("replays/sec vs threads — ") + workload.label,
+                {"threads", "engine", "seconds", "replays_per_sec",
+                 "speedup_vs_naive"});
+    // Every (engine, thread count) cell is compared against the first cell
+    // run — one shared reference, so engines cross-check each other too.
+    std::unique_ptr<CampaignSummary> reference;
+    for (const std::size_t threads : thread_counts) {
+      double naive_rate = 0.0;
+      for (const CampaignEngine engine : engines) {
+        CampaignOptions campaign;
+        campaign.replays = replays;
+        campaign.threads = threads;
+        campaign.engine = engine;
+        const auto start = Clock::now();
+        const CampaignSummary summary =
+            run_campaign(schedule, costs, *workload.sampler, campaign);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const double rate = static_cast<double>(replays) / seconds;
+        if (engine == CampaignEngine::kNaive) naive_rate = rate;
+        if (reference == nullptr) {
+          reference = std::make_unique<CampaignSummary>(summary);
+        } else if (!summaries_identical(summary, *reference)) {
+          deterministic = false;
+          std::cerr << "MISMATCH: " << workload.label << " engine "
+                    << engine_name(engine) << " at " << threads
+                    << " threads diverged from the reference summary\n";
+        }
+        // The speedup column only means something when the naive baseline
+        // ran in this sweep; single-engine runs print "n/a" instead of a
+        // fabricated 1.0.
+        Cell speedup_cell = std::string("n/a");
+        if (naive_rate > 0.0) {
+          const double speedup = rate / naive_rate;
+          speedup_cell = speedup;
+          if (engine == CampaignEngine::kIncremental && threads == 8 &&
+              speedup < 2.0)
+            speedup_ok = false;
+        }
+        table.add_row({static_cast<double>(threads),
+                       std::string(engine_name(engine)), seconds, rate,
+                       speedup_cell});
+      }
     }
-    table.add_row({static_cast<double>(threads), seconds, rate,
-                   base_rate == 0.0 ? 1.0 : rate / base_rate});
+    table.print(std::cout, 3);
+    std::cout << "\n";
   }
-  table.print(std::cout, 3);
-  std::cout << "\nsummaries bit-for-bit identical across thread counts: "
+
+  std::cout << "summaries bit-for-bit identical across engines and thread "
+               "counts: "
             << (deterministic ? "yes" : "NO") << "\n";
+  if (engines.size() == 2)
+    std::cout << "incremental >= 2x naive at 8 threads: "
+              << (speedup_ok ? "yes" : "NO") << "\n";
   return deterministic ? 0 : 1;
 }

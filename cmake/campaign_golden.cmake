@@ -1,0 +1,56 @@
+# Golden-file regression for campaign_cli, run as a ctest via
+#   cmake -DCLI=<campaign_cli> -DGOLDEN_DIR=<tests/golden>
+#         -DWORK_DIR=<scratch> -P cmake/campaign_golden.cmake
+#
+# The CLI is invoked twice with a pinned instance/campaign seed: once for
+# the text report (stdout contains no filesystem paths), once for the CSV +
+# JSON artifacts. All three outputs must match the committed goldens byte
+# for byte. Regenerate with tools/regen_campaign_golden.sh after an
+# *intentional* statistics or formatting change.
+if(NOT CLI OR NOT GOLDEN_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "campaign_golden.cmake needs -DCLI, -DGOLDEN_DIR and -DWORK_DIR")
+endif()
+
+set(GOLDEN_ARGS
+    --replays 200 --procs 8 --eps 1 --tasks 30
+    --instance-seed 7 --seed 123 --algos caft,ftsa)
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${CLI} ${GOLDEN_ARGS}
+  OUTPUT_FILE ${WORK_DIR}/campaign_report.txt
+  RESULT_VARIABLE text_rc
+  WORKING_DIRECTORY ${WORK_DIR})
+if(NOT text_rc EQUAL 0)
+  message(FATAL_ERROR "campaign_cli (text run) exited with ${text_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${GOLDEN_ARGS} --csv out --json out
+  OUTPUT_QUIET
+  RESULT_VARIABLE file_rc
+  WORKING_DIRECTORY ${WORK_DIR})
+if(NOT file_rc EQUAL 0)
+  message(FATAL_ERROR "campaign_cli (csv/json run) exited with ${file_rc}")
+endif()
+
+foreach(pair
+    "campaign_report.txt;campaign_report.txt"
+    "out_campaign.csv;campaign_report.csv"
+    "out_campaign.json;campaign_report.json")
+  list(GET pair 0 produced)
+  list(GET pair 1 golden)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/${produced} ${GOLDEN_DIR}/${golden}
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${produced} differs from golden ${golden}.\n"
+      "If the change is intentional, regenerate with "
+      "tools/regen_campaign_golden.sh <build-dir> and commit the result.")
+  endif()
+endforeach()
+
+message(STATUS "campaign_cli golden outputs match")

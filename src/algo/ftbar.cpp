@@ -11,12 +11,6 @@ namespace caft {
 
 namespace {
 
-/// Per-step candidate: one (free task, processor) pair with its pressure.
-struct PressureEntry {
-  double pressure;
-  ProcId proc;
-};
-
 /// Attempts Minimize-Start-Time before committing replica `r` of `t` on `p`:
 /// if duplicating the critical parent onto `p` strictly reduces t's start
 /// time, commit the duplicate first and reroute the critical edge to it.
@@ -114,22 +108,18 @@ Schedule ftbar_schedule(const TaskGraph& graph, const Platform& platform,
     double urgent_pressure = -std::numeric_limits<double>::infinity();
     std::vector<ProcId> urgent_procs;
     for (const TaskId t : free_tasks) {
-      std::vector<PressureEntry> entries;
-      entries.reserve(m);
+      // Keep only the ε+1 minimum-pressure processors in a bounded heap
+      // (ties: lowest id) — same kept set and order as the full sort.
+      BestKSelector selector(eps + 1);
       for (std::size_t pi = 0; pi < m; ++pi) {
         const auto p = ProcId(static_cast<ProcId::value_type>(pi));
         const auto plans = placer.receive_all_plans(t, p);
         const TaskTimes times = placer.evaluate(t, p, plans);
-        entries.push_back(
-            PressureEntry{times.start + s[t.index()] - schedule_length, p});
+        selector.offer(times.start + s[t.index()] - schedule_length, p);
       }
-      std::sort(entries.begin(), entries.end(),
-                [](const PressureEntry& a, const PressureEntry& b) {
-                  if (a.pressure != b.pressure) return a.pressure < b.pressure;
-                  return a.proc < b.proc;
-                });
+      const auto entries = selector.take_sorted();
       // Step ii: urgency of t = the largest pressure among its kept pairs.
-      const double urgency = entries[eps].pressure;
+      const double urgency = entries[eps].key;
       if (urgency > urgent_pressure ||
           (urgency == urgent_pressure &&
            (!urgent_task.valid() || t < urgent_task))) {

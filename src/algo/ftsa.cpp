@@ -24,25 +24,17 @@ Schedule ftsa_schedule(const TaskGraph& graph, const Platform& platform,
   while (tracker.has_free_task()) {
     const TaskId t = tracker.pop_highest();
 
-    // Simulate the mapping on every processor from the same engine state.
-    struct Candidate {
-      double finish;
-      ProcId proc;
-    };
-    std::vector<Candidate> candidates;
-    candidates.reserve(m);
+    // Simulate the mapping on every processor from the same engine state,
+    // keeping only the ε+1 earliest-finishing processors (ties: lowest id)
+    // in a bounded heap — O(m log(ε+1)) instead of a full m-wide sort.
+    BestKSelector selector(replicas);
     for (std::size_t pi = 0; pi < m; ++pi) {
       const auto p = ProcId(static_cast<ProcId::value_type>(pi));
       const auto plans = placer.receive_all_plans(t, p);
       const TaskTimes times = placer.evaluate(t, p, plans);
-      candidates.push_back(Candidate{times.finish, p});
+      selector.offer(times.finish, p);
     }
-    // Keep the ε+1 earliest-finishing processors (ties: lowest id).
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                if (a.finish != b.finish) return a.finish < b.finish;
-                return a.proc < b.proc;
-              });
+    const auto candidates = selector.take_sorted();
 
     double first_finish = std::numeric_limits<double>::infinity();
     for (ReplicaIndex r = 0; r < replicas; ++r) {

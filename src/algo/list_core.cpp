@@ -177,6 +177,46 @@ TaskTimes Placer::place(TaskId t, ProcId p, std::span<const IncomingPlan> plans,
   return times;
 }
 
+namespace {
+
+/// Strict weak order "a is better than b": smaller key, ties to the lower
+/// processor id (processor ids are distinct, so this is a total order).
+bool candidate_better(const BestKSelector::Candidate& a,
+                      const BestKSelector::Candidate& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.proc < b.proc;
+}
+
+}  // namespace
+
+BestKSelector::BestKSelector(std::size_t k) : k_(k) {
+  CAFT_CHECK_MSG(k > 0, "selector needs k > 0");
+  heap_.reserve(k);
+}
+
+void BestKSelector::offer(double key, ProcId proc) {
+  const Candidate candidate{key, proc};
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), candidate_better);
+    return;
+  }
+  if (!candidate_better(candidate, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), candidate_better);
+  heap_.back() = candidate;
+  std::push_heap(heap_.begin(), heap_.end(), candidate_better);
+}
+
+std::vector<BestKSelector::Candidate> BestKSelector::take_sorted() {
+  // sort_heap sorts ascending under the comparator: best candidate first,
+  // exactly the order the full sort emitted.
+  std::sort_heap(heap_.begin(), heap_.end(), candidate_better);
+  std::vector<Candidate> sorted = std::move(heap_);
+  heap_ = {};
+  heap_.reserve(k_);
+  return sorted;
+}
+
 std::unique_ptr<CommEngine> make_engine(CommModelKind model,
                                         const Platform& platform,
                                         const CostModel& costs) {

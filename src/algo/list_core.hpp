@@ -137,6 +137,40 @@ class Placer {
   Schedule* schedule_;
 };
 
+/// Streaming selector of the k best (smallest-key) processor candidates —
+/// the heap-based replacement for the schedulers' "evaluate every
+/// processor, sort all m candidates, keep ε+1" scan. A bounded max-heap
+/// keeps the k best seen so far (worst kept candidate on top), so a sweep
+/// over m processors costs O(m log k) instead of O(m log m), and no
+/// m-sized candidate array is ever materialized.
+///
+/// The total order is (key, proc id) ascending — identical to the full
+/// sort's tie-break, so the kept set and its emitted order are exactly what
+/// the sort-based selection produced.
+class BestKSelector {
+ public:
+  /// `k` > 0: how many candidates to keep.
+  explicit BestKSelector(std::size_t k);
+
+  /// Number of candidates currently kept (min(k, offered)).
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Considers one candidate.
+  void offer(double key, ProcId proc);
+
+  /// The kept candidates in ascending (key, proc) order, best first.
+  /// Leaves the selector empty, ready for the next sweep.
+  struct Candidate {
+    double key;
+    ProcId proc;
+  };
+  [[nodiscard]] std::vector<Candidate> take_sorted();
+
+ private:
+  std::size_t k_;
+  std::vector<Candidate> heap_;  ///< max-heap: worst kept candidate on top
+};
+
 /// Instantiates the engine matching `model` (both engines share CommEngine).
 [[nodiscard]] std::unique_ptr<CommEngine> make_engine(CommModelKind model,
                                                       const Platform& platform,

@@ -1,11 +1,13 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "sim/crash_sim.hpp"
+#include "sim/replay_engine.hpp"
 
 namespace caft {
 
@@ -23,17 +25,14 @@ struct ReplayRecord {
   std::size_t failed_count = 0;
 };
 
-ReplayRecord run_replay(const Schedule& schedule, const CostModel& costs,
-                        const ScenarioSampler& sampler, Rng rng) {
-  const CrashScenario scenario = sampler.sample(rng);
-  const CrashResult result = simulate_crashes(schedule, costs, scenario);
+ReplayRecord to_record(const CrashResult& result, std::size_t failed_count) {
   ReplayRecord record;
   record.success = result.success;
   record.order_deadlock = result.order_deadlock;
   record.latency = result.latency;
   record.delivered_messages = result.delivered_messages;
   record.order_relaxations = result.order_relaxations;
-  record.failed_count = scenario.failed_count();
+  record.failed_count = failed_count;
   return record;
 }
 
@@ -51,26 +50,64 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
       std::max<std::size_t>(1, options.threads == 0 ? default_thread_count()
                                                     : options.threads);
 
+  // The prefix-cached engine is built once per campaign and shared
+  // read-only by every worker (each worker owns its Scratch).
+  std::unique_ptr<ReplayEngine> engine;
+  if (options.engine == CampaignEngine::kIncremental)
+    engine = std::make_unique<ReplayEngine>(schedule, costs);
+
   Rng master(options.seed);
   CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
   accumulator.set_sampler_name(sampler.name());
 
-  std::vector<Rng> streams;
+  std::vector<CrashScenario> scenarios;
+  std::vector<std::size_t> order;
   std::vector<ReplayRecord> records;
+  // One scratch per worker slot, persistent across waves: buffers and the
+  // dead-set memo survive, so steady-state waves allocate nothing.
+  std::vector<ReplayEngine::Scratch> scratches(threads);
   for (std::size_t done = 0; done < options.replays;) {
     const std::size_t wave = std::min(options.block, options.replays - done);
 
-    // Streams split sequentially in global replay order: neither the thread
-    // schedule nor the block size can influence any draw.
-    streams.clear();
-    streams.reserve(wave);
-    for (std::size_t i = 0; i < wave; ++i) streams.push_back(master.split());
+    // Scenarios are drawn sequentially in global replay order, each from
+    // its own split stream: neither the thread schedule, the block size nor
+    // the engine can influence any draw.
+    scenarios.clear();
+    scenarios.reserve(wave);
+    for (std::size_t i = 0; i < wave; ++i) {
+      Rng stream = master.split();
+      scenarios.push_back(sampler.sample(stream));
+    }
+
+    // Execute the wave sorted by earliest crash time: neighbouring replays
+    // then branch from the same (or adjacent) fault-free snapshots, so the
+    // incremental engine's prefix cache gets maximal reuse. Results land in
+    // replay order regardless, so the fold below never sees this order.
+    order.resize(wave);
+    for (std::size_t i = 0; i < wave; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double fa = ReplayEngine::first_crash(scenarios[a]);
+      const double fb = ReplayEngine::first_crash(scenarios[b]);
+      if (fa != fb) return fa < fb;
+      return a < b;
+    });
 
     records.assign(wave, ReplayRecord{});
     const std::size_t workers = std::min(threads, wave);
     const auto worker = [&](std::size_t first) {
-      for (std::size_t i = first; i < wave; i += workers)
-        records[i] = run_replay(schedule, costs, sampler, streams[i]);
+      ReplayEngine::Scratch& scratch = scratches[first];
+      for (std::size_t j = first; j < wave; j += workers) {
+        const std::size_t i = order[j];
+        // Branch instead of a ternary: the engine path returns a reference
+        // (a ternary mixing it with the naive prvalue would force a copy).
+        if (engine != nullptr)
+          records[i] = to_record(engine->replay(scenarios[i], scratch),
+                                 scenarios[i].failed_count());
+        else
+          records[i] = to_record(simulate_crashes(schedule, costs,
+                                                  scenarios[i]),
+                                 scenarios[i].failed_count());
+      }
     };
     if (workers <= 1) {
       worker(0);

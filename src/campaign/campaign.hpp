@@ -12,9 +12,15 @@
 /// Determinism contract (same as run_experiment): every replay owns a
 /// pre-split Rng stream, drawn from the master stream in replay order, and
 /// the fold also happens in replay order — so the summary is bit-for-bit
-/// identical for 1 thread and N threads, and for any block size. Replays
-/// are simulated in bounded blocks, so memory stays O(block + threads), not
-/// O(replays).
+/// identical for 1 thread and N threads, for any block size, and for either
+/// replay engine (the incremental engine is replay-for-replay bit-identical
+/// to the naive one; see sim/replay_engine.hpp). Replays are simulated in
+/// bounded blocks, so memory stays O(block + threads), not O(replays).
+///
+/// Within a block, scenarios are *executed* in order of their earliest
+/// crash time so consecutive replays branch from nearby prefix snapshots
+/// (maximizing cache reuse in the incremental engine), but results are
+/// still folded in replay order — execution order is unobservable.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +34,13 @@
 
 namespace caft {
 
+/// Which replay implementation executes the campaign. Both produce
+/// bit-for-bit identical summaries; kIncremental is the fast path.
+enum class CampaignEngine {
+  kNaive,        ///< simulate_crashes rebuilds and replays from t = 0
+  kIncremental,  ///< prefix-cached ReplayEngine (sim/replay_engine.hpp)
+};
+
 /// Knobs of one campaign run.
 struct CampaignOptions {
   std::size_t replays = 1000;
@@ -40,6 +53,8 @@ struct CampaignOptions {
   std::size_t block = 1024;
   /// Latency quantiles to estimate, each in (0, 1).
   std::vector<double> quantiles = {0.5, 0.9, 0.99};
+  /// Replay implementation; the summary does not depend on it.
+  CampaignEngine engine = CampaignEngine::kIncremental;
 };
 
 /// Runs `options.replays` crash replays of `schedule` under scenarios drawn

@@ -135,6 +135,14 @@ double Schedule::upper_bound_latency() const {
   return latency;
 }
 
+double Schedule::horizon() const {
+  CAFT_CHECK_MSG(complete(), "schedule is incomplete");
+  double horizon = upper_bound_latency();
+  for (const CommAssignment& c : comms_)
+    horizon = std::max(horizon, c.times.arrival);
+  return horizon;
+}
+
 std::size_t Schedule::message_count() const {
   return static_cast<std::size_t>(
       std::count_if(comms_.begin(), comms_.end(),

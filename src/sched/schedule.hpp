@@ -113,6 +113,12 @@ class Schedule {
   /// replica, max_t max_r finish(t^(r)).
   [[nodiscard]] double upper_bound_latency() const;
 
+  /// Time by which every committed operation (replica executions *and*
+  /// message arrivals) has finished — the natural range for crash-at-θ
+  /// windows and the upper bound of the replay engine's prefix timeline.
+  /// Requires complete().
+  [[nodiscard]] double horizon() const;
+
   /// Number of inter-processor messages (intra-processor hand-offs excluded),
   /// the quantity Proposition 5.1 bounds.
   [[nodiscard]] std::size_t message_count() const;

@@ -1,0 +1,662 @@
+#include "sim/replay_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace caft {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNone32 = 0xffffffffu;
+
+// Op kinds/states; values mirror the naive replay's enums.
+constexpr std::uint8_t kExec = 0;
+constexpr std::uint8_t kWire = 1;
+constexpr std::uint8_t kSegment = 2;
+constexpr std::uint8_t kReception = 3;
+constexpr std::uint8_t kHandoff = 4;
+
+constexpr std::uint8_t kPending = 0;
+constexpr std::uint8_t kDone = 1;
+constexpr std::uint8_t kDead = 2;
+
+}  // namespace
+
+double ReplayEngine::first_crash(const CrashScenario& scenario) {
+  double earliest = kInf;
+  for (std::size_t p = 0; p < scenario.proc_count(); ++p)
+    earliest = std::min(
+        earliest,
+        scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p))));
+  return earliest;
+}
+
+ReplayEngine::ReplayEngine(const Schedule& schedule, const CostModel& costs,
+                           ReplayEngineOptions options)
+    : schedule_(&schedule) {
+  (void)costs;  // durations come from the committed schedule, as in the
+                // naive replay; the parameter keeps the two call shapes
+                // symmetric.
+  CAFT_CHECK_MSG(schedule.complete(), "schedule is incomplete");
+  CAFT_CHECK_MSG(options.max_snapshots > 0,
+                 "the engine needs at least one snapshot slot");
+  static std::atomic<std::uint64_t> next_generation{1};
+  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
+  build_template();
+  record_fault_free(options.max_snapshots);
+}
+
+void ReplayEngine::build_template() {
+  const TaskGraph& g = schedule_->graph();
+  m_ = schedule_->platform().proc_count();
+  const std::size_t link_count = schedule_->platform().topology().link_count();
+  resource_count_ = 3 * m_ + link_count;
+  queue_.assign(resource_count_, {});
+
+  const auto exec_res = [&](ProcId p) { return p.index(); };
+  const auto send_res = [&](ProcId p) { return m_ + p.index(); };
+  const auto recv_res = [&](ProcId p) { return 2 * m_ + p.index(); };
+  const auto link_res = [&](LinkId l) { return 3 * m_ + l.index(); };
+
+  // Build in exactly the order the naive replay does, so op ids (the
+  // deterministic tie-break of the event loop) coincide.
+  struct Keyed {
+    double key;
+    std::size_t seq;
+    std::uint32_t op;
+    std::size_t res;
+  };
+  std::vector<Keyed> keyed;
+
+  const auto push_op = [&](std::uint8_t kind, double duration,
+                           std::size_t res_a, std::size_t res_b,
+                           std::uint32_t prereq, bool prereq_start,
+                           std::int32_t owner) -> std::uint32_t {
+    const auto id = static_cast<std::uint32_t>(kind_.size());
+    kind_.push_back(kind);
+    prereq_is_start_.push_back(prereq_start ? 1 : 0);
+    counts_message_.push_back(0);
+    duration_.push_back(duration);
+    res_a_.push_back(res_a == static_cast<std::size_t>(-1)
+                         ? kNone32
+                         : static_cast<std::uint32_t>(res_a));
+    res_b_.push_back(res_b == static_cast<std::size_t>(-1)
+                         ? kNone32
+                         : static_cast<std::uint32_t>(res_b));
+    prereq_.push_back(prereq);
+    owner_.push_back(owner);
+    feed_slot_.push_back(kNone32);
+    feed_exec_.push_back(kNone32);
+    return id;
+  };
+
+  // Execution ops.
+  exec_op_.assign(g.task_count(), {});
+  std::size_t seq = 0;
+  for (const TaskId t : g.all_tasks()) {
+    const std::size_t total = schedule_->total_replicas(t);
+    exec_op_[t.index()].resize(total);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      const ReplicaAssignment& a = schedule_->replica(t, r);
+      const std::uint32_t id =
+          push_op(kExec, a.finish - a.start, exec_res(a.proc),
+                  static_cast<std::size_t>(-1), kNone32, false,
+                  static_cast<std::int32_t>(a.proc.index()));
+      exec_op_[t.index()][r] = id;
+      keyed.push_back({a.start, seq++, id, exec_res(a.proc)});
+    }
+  }
+
+  // Communication chains; comm_to_op maps each comm to its terminating op.
+  std::vector<std::uint32_t> comm_to_op(schedule_->comms().size(), kNone32);
+  for (std::size_t ci = 0; ci < schedule_->comms().size(); ++ci) {
+    const CommAssignment& c = schedule_->comms()[ci];
+    const std::uint32_t source_exec =
+        exec_op_[c.from.task.index()][c.from.replica];
+
+    if (c.intra() || schedule_->model() == CommModelKind::kMacroDataflow) {
+      const std::uint32_t id =
+          push_op(kHandoff, c.times.arrival - c.times.link_start,
+                  static_cast<std::size_t>(-1), static_cast<std::size_t>(-1),
+                  source_exec, false, -1);
+      counts_message_[id] = c.intra() ? 0 : 1;
+      comm_to_op[ci] = id;
+      initial_handoffs_.push_back(id);
+      continue;
+    }
+
+    // One-port chain: wire, optional extra segments, reception.
+    CAFT_CHECK_MSG(!c.times.segments.empty(),
+                   "one-port inter-processor comm without segments");
+    std::uint32_t prev = kNone32;
+    for (std::size_t si = 0; si < c.times.segments.size(); ++si) {
+      const LinkOccupancy& seg = c.times.segments[si];
+      std::uint32_t id;
+      if (si == 0) {
+        // A wire dies with its *sender*; forwarding through a dead router
+        // (non-final hop toward the link's far end) is handled by the kill
+        // lists below.
+        id = push_op(kWire, seg.finish - seg.start, send_res(c.src_proc),
+                     link_res(seg.link), source_exec, false,
+                     static_cast<std::int32_t>(c.src_proc.index()));
+        keyed.push_back({seg.start, seq++, id, send_res(c.src_proc)});
+        keyed.push_back({seg.start, seq, id, link_res(seg.link)});
+      } else {
+        id = push_op(kSegment, seg.finish - seg.start, link_res(seg.link),
+                     static_cast<std::size_t>(-1), prev, false, -1);
+        keyed.push_back({seg.start, seq++, id, link_res(seg.link)});
+      }
+      prev = id;
+    }
+    const std::uint32_t recv =
+        push_op(kReception, c.times.arrival - c.times.recv_start,
+                recv_res(c.dst_proc), static_cast<std::size_t>(-1), prev,
+                /*prereq_start=*/true,
+                static_cast<std::int32_t>(c.dst_proc.index()));
+    counts_message_[recv] = 1;
+    comm_to_op[ci] = recv;
+    keyed.push_back({c.times.recv_start, seq++, recv, recv_res(c.dst_proc)});
+  }
+
+  op_count_ = kind_.size();
+
+  // Resource queues in committed order (same sort as the naive replay).
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  });
+  for (const Keyed& k : keyed) queue_[k.res].push_back(k.op);
+
+  // Disjunctive input slots: one slot per (exec op, in-edge), flattened.
+  exec_slot_begin_.assign(op_count_ + 1, 0);
+  std::vector<std::vector<std::vector<std::uint32_t>>> inputs_by_exec(
+      op_count_);
+  for (const TaskId t : g.all_tasks()) {
+    const auto in = g.in_edges(t);
+    const std::size_t total = schedule_->total_replicas(t);
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      const std::uint32_t eop = exec_op_[t.index()][r];
+      inputs_by_exec[eop].assign(in.size(), {});
+      for (const std::size_t ci : schedule_->incoming_comms(t, r)) {
+        const CommAssignment& c = schedule_->comms()[ci];
+        const auto pos = std::find(in.begin(), in.end(), c.edge) - in.begin();
+        CAFT_CHECK(static_cast<std::size_t>(pos) < in.size());
+        CAFT_CHECK(comm_to_op[ci] != kNone32);
+        inputs_by_exec[eop][static_cast<std::size_t>(pos)].push_back(
+            comm_to_op[ci]);
+      }
+    }
+  }
+  slot_input_begin_.assign(1, 0);
+  for (std::uint32_t op = 0; op < op_count_; ++op) {
+    exec_slot_begin_[op] = static_cast<std::uint32_t>(
+        slot_input_begin_.size() - 1);
+    for (const auto& slot : inputs_by_exec[op]) {
+      const std::uint32_t slot_id =
+          static_cast<std::uint32_t>(slot_input_begin_.size() - 1);
+      for (const std::uint32_t in_op : slot) {
+        slot_inputs_.push_back(in_op);
+        // Every terminating op feeds exactly one (exec, edge) slot.
+        feed_slot_[in_op] = slot_id;
+        feed_exec_[in_op] = op;
+      }
+      slot_input_begin_.push_back(
+          static_cast<std::uint32_t>(slot_inputs_.size()));
+    }
+  }
+  exec_slot_begin_[op_count_] =
+      static_cast<std::uint32_t>(slot_input_begin_.size() - 1);
+
+  // Prerequisite dependents (reverse of prereq_), CSR.
+  dep_begin_.assign(op_count_ + 1, 0);
+  for (std::uint32_t op = 0; op < op_count_; ++op)
+    if (prereq_[op] != kNone32) ++dep_begin_[prereq_[op] + 1];
+  for (std::size_t i = 1; i <= op_count_; ++i) dep_begin_[i] += dep_begin_[i - 1];
+  dep_ops_.assign(dep_begin_[op_count_], 0);
+  {
+    std::vector<std::uint32_t> cursor(dep_begin_.begin(),
+                                      dep_begin_.end() - 1);
+    for (std::uint32_t op = 0; op < op_count_; ++op)
+      if (prereq_[op] != kNone32) dep_ops_[cursor[prereq_[op]]++] = op;
+  }
+
+  // Per-processor kill lists: which ops die when p is dead from the start.
+  // Mirrors the naive kill_dead_processors case analysis exactly.
+  const Topology& topology = schedule_->platform().topology();
+  std::vector<std::vector<std::uint32_t>> kills(m_);
+  const auto link_of = [&](std::size_t res) -> const LinkDef& {
+    return topology.link(
+        LinkId(static_cast<LinkId::value_type>(res - 3 * m_)));
+  };
+  for (std::uint32_t op = 0; op < op_count_; ++op) {
+    switch (kind_[op]) {
+      case kExec:
+        kills[static_cast<std::size_t>(owner_[op])].push_back(op);
+        break;
+      case kWire:
+        kills[res_a_[op] - m_].push_back(op);  // dies with its sender port
+        break;
+      case kSegment: {
+        const LinkDef& def = link_of(res_a_[op]);
+        kills[def.from.index()].push_back(op);
+        break;
+      }
+      case kReception: {
+        const std::size_t port = res_a_[op] - 2 * m_;
+        kills[port].push_back(op);
+        break;
+      }
+      default:
+        break;  // hand-offs die only via propagation
+    }
+  }
+  // Non-final wires and segments also die with the router they forward to.
+  // "Non-final" = some segment lists this op as its prerequisite.
+  std::vector<std::uint8_t> has_segment_successor(op_count_, 0);
+  for (std::uint32_t op = 0; op < op_count_; ++op)
+    if (kind_[op] == kSegment && prereq_[op] != kNone32)
+      has_segment_successor[prereq_[op]] = 1;
+  for (std::uint32_t op = 0; op < op_count_; ++op) {
+    if (!has_segment_successor[op]) continue;
+    if (kind_[op] == kWire) {
+      kills[link_of(res_b_[op]).to.index()].push_back(op);
+    } else if (kind_[op] == kSegment) {
+      kills[link_of(res_a_[op]).to.index()].push_back(op);
+    }
+  }
+
+  kill_begin_.assign(m_ + 1, 0);
+  for (std::size_t p = 0; p < m_; ++p)
+    kill_begin_[p + 1] =
+        kill_begin_[p] + static_cast<std::uint32_t>(kills[p].size());
+  kill_ops_.reserve(kill_begin_[m_]);
+  for (std::size_t p = 0; p < m_; ++p)
+    kill_ops_.insert(kill_ops_.end(), kills[p].begin(), kills[p].end());
+}
+
+void ReplayEngine::reset_pristine(Scratch& s) const {
+  s.state.assign(op_count_, kPending);
+  // start/finish need no clearing: they are only ever read for ops in the
+  // kDone state, which always receive fresh values at their commit.
+  s.start.resize(op_count_);
+  s.finish.resize(op_count_);
+  s.head.assign(resource_count_, 0);
+  s.free_at.assign(resource_count_, 0.0);
+  s.handoffs.assign(initial_handoffs_.begin(), initial_handoffs_.end());
+  s.dead_inputs.assign(slot_input_begin_.size() - 1, 0);
+  s.worklist.clear();
+  s.order_relaxations = 0;
+  s.order_deadlock = false;
+  s.died = false;
+}
+
+void ReplayEngine::restore_snapshot(Scratch& s, const Snapshot& snap) const {
+  s.state = snap.state;
+  s.start = snap.start;
+  s.finish = snap.finish;
+  s.head = snap.head;
+  s.free_at = snap.free_at;
+  s.handoffs = snap.pending_handoffs;
+  // No op is dead anywhere on the fault-free prefix.
+  s.dead_inputs.assign(slot_input_begin_.size() - 1, 0);
+  s.worklist.clear();
+  s.order_relaxations = 0;
+  s.order_deadlock = false;
+  s.died = false;
+}
+
+std::size_t ReplayEngine::pick_snapshot(const CrashScenario& scenario) const {
+  // A processor dead (or dying) at t <= 0 invalidates the whole prefix: the
+  // naive replay pre-kills its ops before the first event.
+  for (std::size_t p = 0; p < m_; ++p)
+    if (scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p))) <=
+        0.0)
+      return static_cast<std::size_t>(-1);
+  const auto valid = [&](const Snapshot& snap) {
+    for (std::size_t p = 0; p < m_; ++p)
+      if (snap.per_proc_max[p] >
+          scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p))))
+        return false;
+    return true;
+  };
+  // Validity is monotone (prefix maxima only grow): binary-search the
+  // latest valid snapshot.
+  std::size_t lo = 0;
+  std::size_t hi = snapshots_.size();
+  std::size_t best = static_cast<std::size_t>(-1);
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (valid(snapshots_[mid])) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+void ReplayEngine::kill(Scratch& s, std::uint32_t op) const {
+  s.state[op] = kDead;
+  s.worklist.push_back(op);
+}
+
+void ReplayEngine::propagate(Scratch& s) const {
+  // Worklist closure of the naive propagate_dead fixpoint: a dead
+  // prerequisite kills its dependents; an exec dies when some in-edge has
+  // every input dead. The resulting state set is the same least fixpoint
+  // the naive full-scan loop computes.
+  while (!s.worklist.empty()) {
+    const std::uint32_t op = s.worklist.back();
+    s.worklist.pop_back();
+    for (std::uint32_t i = dep_begin_[op]; i < dep_begin_[op + 1]; ++i) {
+      const std::uint32_t d = dep_ops_[i];
+      if (s.state[d] == kPending) kill(s, d);
+    }
+    if (feed_slot_[op] != kNone32) {
+      const std::uint32_t slot = feed_slot_[op];
+      const std::uint32_t total =
+          slot_input_begin_[slot + 1] - slot_input_begin_[slot];
+      if (++s.dead_inputs[slot] == total) {
+        const std::uint32_t e = feed_exec_[op];
+        if (s.state[e] == kPending) kill(s, e);
+      }
+    }
+    // A settled op at a queue head unblocks whatever sits behind it.
+    if (res_a_[op] != kNone32) advance_resource(s, res_a_[op]);
+    if (res_b_[op] != kNone32) advance_resource(s, res_b_[op]);
+  }
+}
+
+void ReplayEngine::advance_resource(Scratch& s, std::uint32_t res) const {
+  const auto& q = queue_[res];
+  std::uint32_t h = s.head[res];
+  while (h < q.size() && s.state[q[h]] != kPending) ++h;
+  s.head[res] = h;
+}
+
+bool ReplayEngine::at_heads(const Scratch& s, std::uint32_t op) const {
+  const std::uint32_t a = res_a_[op];
+  if (a != kNone32 &&
+      (s.head[a] >= queue_[a].size() || queue_[a][s.head[a]] != op))
+    return false;
+  const std::uint32_t b = res_b_[op];
+  if (b != kNone32 &&
+      (s.head[b] >= queue_[b].size() || queue_[b][s.head[b]] != op))
+    return false;
+  return true;
+}
+
+bool ReplayEngine::runnable(const Scratch& s, std::uint32_t op,
+                            double& ready) const {
+  ready = 0.0;
+  const std::uint32_t pre = prereq_[op];
+  if (pre != kNone32) {
+    if (s.state[pre] != kDone) return false;
+    ready = prereq_is_start_[op] ? s.start[pre] : s.finish[pre];
+  }
+  if (kind_[op] == kExec) {
+    for (std::uint32_t slot = exec_slot_begin_[op];
+         slot < exec_slot_begin_[op + 1]; ++slot) {
+      double first = kInf;
+      for (std::uint32_t i = slot_input_begin_[slot];
+           i < slot_input_begin_[slot + 1]; ++i) {
+        const std::uint32_t in_op = slot_inputs_[i];
+        if (s.state[in_op] == kDone)
+          first = std::min(first, s.finish[in_op]);
+      }
+      if (first == kInf) return false;  // no live input yet for this edge
+      ready = std::max(ready, first);
+    }
+  }
+  if (res_a_[op] != kNone32) ready = std::max(ready, s.free_at[res_a_[op]]);
+  if (res_b_[op] != kNone32) ready = std::max(ready, s.free_at[res_b_[op]]);
+  return true;
+}
+
+bool ReplayEngine::commit_next(Scratch& s, const CrashScenario& scenario,
+                               std::uint32_t* committed) const {
+  s.died = false;
+  std::uint32_t best = kNone32;
+  double best_start = kInf;
+  // Discrete-event step, exactly the naive selection: among the queue-head
+  // operations (plus resource-free hand-offs) whose prerequisites are met,
+  // commit the one with the earliest candidate start; lowest op id breaks
+  // ties.
+  const auto consider = [&](std::uint32_t op) {
+    if (s.state[op] != kPending) return;
+    if (!at_heads(s, op)) return;  // a wire must head *both* of its queues
+    double ready = 0.0;
+    if (!runnable(s, op, ready)) return;
+    if (ready < best_start || (ready == best_start && op < best)) {
+      best_start = ready;
+      best = op;
+    }
+  };
+  for (std::size_t res = 0; res < resource_count_; ++res)
+    if (s.head[res] < queue_[res].size())
+      consider(queue_[res][s.head[res]]);
+  for (std::size_t hi = 0; hi < s.handoffs.size();) {
+    if (s.state[s.handoffs[hi]] != kPending) {
+      s.handoffs[hi] = s.handoffs.back();  // drop settled hand-offs
+      s.handoffs.pop_back();
+      continue;
+    }
+    consider(s.handoffs[hi]);
+    ++hi;
+  }
+
+  if (best == kNone32) {
+    // Strict committed order stuck (circular wait through rerouted inputs —
+    // possible only under crashes): any prerequisite-ready op may jump the
+    // queue; the resource clocks still serialize everything.
+    for (std::uint32_t op = 0; op < op_count_; ++op) {
+      if (s.state[op] != kPending) continue;
+      double ready = 0.0;
+      if (!runnable(s, op, ready)) continue;
+      if (ready < best_start || (ready == best_start && op < best)) {
+        best_start = ready;
+        best = op;
+      }
+    }
+    if (best != kNone32) ++s.order_relaxations;
+  }
+  if (best == kNone32) {
+    // Nothing can ever run again: remaining pending work is lost.
+    for (std::uint32_t op = 0; op < op_count_; ++op)
+      if (s.state[op] == kPending) {
+        s.order_deadlock = true;
+        break;
+      }
+    if (s.order_deadlock)
+      for (std::uint32_t op = 0; op < op_count_; ++op)
+        if (s.state[op] == kPending) s.state[op] = kDead;
+    return false;
+  }
+
+  s.start[best] = best_start;
+  const double finish = best_start + duration_[best];
+  s.finish[best] = finish;
+  if (committed != nullptr) *committed = best;
+
+  // Crash-at-θ: work in flight when the owner dies is lost, and the owner's
+  // resources are gone for good.
+  const std::int32_t owner = owner_[best];
+  if (owner >= 0 &&
+      finish > scenario.crash_time(
+                   ProcId(static_cast<ProcId::value_type>(owner)))) {
+    kill(s, best);
+    s.died = true;
+    const auto p = static_cast<std::size_t>(owner);
+    s.free_at[p] = kInf;           // exec resource
+    s.free_at[m_ + p] = kInf;      // send port
+    s.free_at[2 * m_ + p] = kInf;  // receive port
+    // The caller runs propagate(), which advances this op's resources and
+    // those of everything that dies with it.
+    return true;
+  }
+
+  s.state[best] = kDone;
+  if (res_a_[best] != kNone32) {
+    s.free_at[res_a_[best]] = std::max(s.free_at[res_a_[best]], finish);
+    advance_resource(s, res_a_[best]);
+  }
+  if (res_b_[best] != kNone32) {
+    s.free_at[res_b_[best]] = std::max(s.free_at[res_b_[best]], finish);
+    advance_resource(s, res_b_[best]);
+  }
+  return true;
+}
+
+CrashResult ReplayEngine::collect(const Scratch& s) const {
+  const TaskGraph& g = schedule_->graph();
+  CrashResult result;
+  result.order_deadlock = s.order_deadlock;
+  result.order_relaxations = s.order_relaxations;
+  result.completed.resize(g.task_count());
+  result.finish.resize(g.task_count());
+  result.success = true;
+  double latency = 0.0;
+  for (const TaskId t : g.all_tasks()) {
+    const std::size_t total = schedule_->total_replicas(t);
+    result.completed[t.index()].assign(total, false);
+    result.finish[t.index()].assign(total, kInf);
+    double first = kInf;
+    for (ReplicaIndex r = 0; r < total; ++r) {
+      const std::uint32_t op = exec_op_[t.index()][r];
+      if (s.state[op] == kDone) {
+        result.completed[t.index()][r] = true;
+        result.finish[t.index()][r] = s.finish[op];
+        first = std::min(first, s.finish[op]);
+      }
+    }
+    if (first == kInf) {
+      result.success = false;
+    } else {
+      latency = std::max(latency, first);
+    }
+  }
+  result.latency = result.success ? latency : kInf;
+
+  std::size_t delivered = 0;
+  for (std::uint32_t op = 0; op < op_count_; ++op)
+    if (counts_message_[op] != 0 && s.state[op] == kDone) ++delivered;
+  result.delivered_messages = delivered;
+  return result;
+}
+
+void ReplayEngine::record_fault_free(std::size_t max_snapshots) {
+  const CrashScenario none = CrashScenario::none(m_);
+  Scratch s;
+
+  // Pass 1: count events on the fault-free timeline.
+  reset_pristine(s);
+  commit_count_ = 0;
+  while (commit_next(s, none, nullptr)) ++commit_count_;
+  CAFT_CHECK_MSG(!s.order_deadlock,
+                 "fault-free replay of a complete schedule deadlocked");
+
+  if (commit_count_ == 0) return;
+
+  // Pass 2: replay again, snapshotting every `interval` commits (the final
+  // state is always snapshotted, so never-crashing scenarios finish in one
+  // restore).
+  const std::size_t interval =
+      std::max<std::size_t>(1, (commit_count_ + max_snapshots - 1) /
+                                   max_snapshots);
+  reset_pristine(s);
+  std::vector<double> per_proc_max(m_, 0.0);
+  std::size_t done = 0;
+  std::uint32_t committed = kNone32;
+  while (commit_next(s, none, &committed)) {
+    ++done;
+    if (owner_[committed] >= 0) {
+      auto& peak = per_proc_max[static_cast<std::size_t>(owner_[committed])];
+      peak = std::max(peak, s.finish[committed]);
+    }
+    if (done % interval == 0 || done == commit_count_) {
+      Snapshot snap;
+      snap.per_proc_max = per_proc_max;
+      snap.state = s.state;
+      snap.start = s.start;
+      snap.finish = s.finish;
+      snap.head = s.head;
+      snap.free_at = s.free_at;
+      for (const std::uint32_t op : initial_handoffs_)
+        if (s.state[op] == kPending) snap.pending_handoffs.push_back(op);
+      snapshots_.push_back(std::move(snap));
+    }
+  }
+}
+
+CrashResult ReplayEngine::replay(const CrashScenario& scenario) const {
+  Scratch scratch;
+  return replay(scenario, scratch);
+}
+
+const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
+                                        Scratch& scratch) const {
+  CAFT_CHECK_MSG(scenario.proc_count() == m_,
+                 "scenario size does not match the platform");
+  if (scratch.bound_generation != generation_) {
+    // A Scratch reused across engines must not leak another schedule's
+    // memoised results.
+    scratch.bound_generation = generation_;
+    scratch.memo.clear();
+  }
+
+  // Dead-set memo: when every crash time is 0 or +inf the whole outcome is
+  // a pure function of the dead bitmask (ops of dead processors are
+  // pre-killed, live processors never reach the θ check), and uniform-k
+  // campaigns draw from only C(m, k) such masks.
+  std::uint64_t mask = 0;
+  bool memoisable = m_ <= 64;
+  for (std::size_t p = 0; memoisable && p < m_; ++p) {
+    const double t =
+        scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p)));
+    if (t <= 0.0)
+      mask |= std::uint64_t{1} << p;
+    else if (t != kInf)
+      memoisable = false;
+  }
+  if (memoisable) {
+    const auto hit = scratch.memo.find(mask);
+    if (hit != scratch.memo.end()) return hit->second;
+  }
+
+  const std::size_t snap = pick_snapshot(scenario);
+  if (snap == static_cast<std::size_t>(-1)) {
+    reset_pristine(scratch);
+    // Pre-kill the ops of processors dead from the start, then close over
+    // the consequences (starved replicas, broken chains) — the worklist
+    // form of kill_dead_processors + propagate_dead.
+    for (std::size_t p = 0; p < m_; ++p) {
+      if (!scenario.dead_from_start(
+              ProcId(static_cast<ProcId::value_type>(p))))
+        continue;
+      for (std::uint32_t i = kill_begin_[p]; i < kill_begin_[p + 1]; ++i)
+        if (scratch.state[kill_ops_[i]] == kPending)
+          kill(scratch, kill_ops_[i]);
+    }
+    propagate(scratch);
+  } else {
+    restore_snapshot(scratch, snapshots_[snap]);
+  }
+  while (commit_next(scratch, scenario, nullptr))
+    if (scratch.died) propagate(scratch);
+  scratch.result = collect(scratch);
+  // Bounded insert: a campaign over a small dead-set space hits the cache
+  // almost always; a huge space degrades gracefully to plain replays.
+  // unordered_map element addresses are stable, so the returned reference
+  // survives later insertions.
+  constexpr std::size_t kMemoCap = 1024;
+  if (memoisable && scratch.memo.size() < kMemoCap)
+    return scratch.memo.emplace(mask, scratch.result).first->second;
+  return scratch.result;
+}
+
+}  // namespace caft

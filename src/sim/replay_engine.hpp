@@ -1,0 +1,209 @@
+/// \file replay_engine.hpp
+/// Incremental, prefix-cached crash replay — the campaign hot path.
+///
+/// `simulate_crashes` (sim/crash_sim.hpp) rebuilds the full replay machine
+/// and re-executes the committed schedule from t = 0 for every scenario. A
+/// Monte-Carlo campaign replays the *same* schedule millions of times, and
+/// every scenario whose earliest crash happens at time θ shares an identical
+/// fault-free prefix with every other scenario up to θ. ReplayEngine
+/// exploits both redundancies:
+///
+///  1. **Immutable template.** The operation graph (executions, wire/segment
+///     chains, receptions, hand-offs), the per-resource committed queues and
+///     the per-replica input maps depend only on the schedule — they are
+///     built once, in flat CSR-style arrays, and shared read-only by every
+///     replay (and every worker thread).
+///  2. **Prefix snapshots.** The fault-free timeline is simulated once at
+///     construction; the mutable simulator state (op states and times, queue
+///     head cursors, resource clocks, pending hand-offs) is checkpointed at
+///     event boundaries, each snapshot annotated with the per-processor
+///     maximum finish time committed so far. A scenario whose crash times
+///     all exceed those maxima replays *identically* through that prefix, so
+///     `replay` branches from the latest valid snapshot instead of t = 0.
+///     Scenarios with a processor dead from the start (the paper's model)
+///     fall back to the pristine state — they still reuse the template and
+///     a worklist-based dead-propagation instead of the naive fixpoint scan.
+///  3. **Dead-set memoisation.** When every crash time is 0 or +inf (the
+///     paper's "k processors dead from t = 0" model), the outcome is a pure
+///     function of the dead-processor bitmask — and a uniform-k campaign
+///     draws from a scenario space of only C(m, k) masks. Each Scratch
+///     memoises those results, so repeated masks cost one hash lookup plus
+///     a result copy. This is prefix caching taken to its limit: at θ = 0
+///     the shared prefix is empty, but the branch space itself is finite.
+///
+/// Determinism contract: for every (schedule, scenario) pair, `replay`
+/// returns a CrashResult **bit-for-bit identical** to
+/// `simulate_crashes(schedule, costs, scenario)` — same event choices, same
+/// IEEE arithmetic, same relaxation/deadlock accounting. The differential
+/// suite tests/test_replay_equivalence.cpp asserts this over randomized
+/// (instance, schedule, scenario) triples; the campaign executor relies on
+/// it to make `--engine naive` and `--engine incremental` interchangeable.
+///
+/// Thread safety: `replay` is const and touches only the template plus the
+/// caller's Scratch, so one engine may serve any number of threads as long
+/// as each thread owns its Scratch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/cost_model.hpp"
+#include "sched/schedule.hpp"
+#include "sim/crash_sim.hpp"
+
+namespace caft {
+
+/// Tuning knobs; the defaults suit campaign workloads.
+struct ReplayEngineOptions {
+  /// Upper bound on stored fault-free snapshots. Snapshots are spaced
+  /// uniformly over the event timeline; memory is O(max_snapshots × ops).
+  std::size_t max_snapshots = 64;
+};
+
+/// Prefix-cached replay engine bound to one committed schedule.
+class ReplayEngine {
+ public:
+  /// Builds the template and records the fault-free timeline. `schedule`
+  /// and `costs` must outlive the engine.
+  ReplayEngine(const Schedule& schedule, const CostModel& costs,
+               ReplayEngineOptions options = {});
+
+  ReplayEngine(const ReplayEngine&) = delete;
+  ReplayEngine& operator=(const ReplayEngine&) = delete;
+
+  /// Per-thread mutable replay state. Reusing one Scratch across replays
+  /// avoids all per-replay allocation; contents are opaque.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class ReplayEngine;
+    std::vector<std::uint8_t> state;
+    std::vector<double> start;
+    std::vector<double> finish;
+    std::vector<std::uint32_t> head;
+    std::vector<double> free_at;
+    std::vector<std::uint32_t> handoffs;
+    std::vector<std::uint32_t> dead_inputs;
+    std::vector<std::uint32_t> worklist;
+    std::size_t order_relaxations = 0;
+    bool order_deadlock = false;
+    bool died = false;
+    /// Dead-set memo: crash-mask -> full result, for scenarios whose crash
+    /// times are all 0 or +inf. Bound to one engine *instance* via its
+    /// unique generation (a pointer would suffer ABA when a new engine is
+    /// allocated at a dead one's address); cleared on rebind.
+    std::unordered_map<std::uint64_t, CrashResult> memo;
+    std::uint64_t bound_generation = 0;
+    /// Home of the most recent non-memoised result (replay returns a
+    /// reference into either this or the memo — never a copy).
+    CrashResult result;
+  };
+
+  /// Re-executes the schedule under `scenario`; equivalent to
+  /// simulate_crashes bit for bit. Allocates a throw-away Scratch.
+  [[nodiscard]] CrashResult replay(const CrashScenario& scenario) const;
+
+  /// Same, reusing the caller's Scratch (the campaign hot path). The
+  /// returned reference lives inside `scratch` (or its memo) and stays
+  /// valid until the next replay call with the same Scratch; memo hits
+  /// cost one hash lookup, never a result copy.
+  const CrashResult& replay(const CrashScenario& scenario,
+                            Scratch& scratch) const;
+
+  /// Events (op commits) on the fault-free timeline.
+  [[nodiscard]] std::size_t event_count() const { return commit_count_; }
+  /// Stored prefix snapshots.
+  [[nodiscard]] std::size_t snapshot_count() const {
+    return snapshots_.size();
+  }
+  [[nodiscard]] const Schedule& schedule() const { return *schedule_; }
+
+  /// Earliest crash instant of `scenario` (+inf when nothing ever fails) —
+  /// the key the campaign executor sorts replay blocks by.
+  [[nodiscard]] static double first_crash(const CrashScenario& scenario);
+
+ private:
+  struct Snapshot {
+    /// per_proc_max[p]: max finish committed so far among ops owned by p.
+    /// The snapshot is valid for a scenario iff every processor's crash
+    /// time is positive and >= its entry here.
+    std::vector<double> per_proc_max;
+    std::vector<std::uint8_t> state;
+    std::vector<double> start;
+    std::vector<double> finish;
+    std::vector<std::uint32_t> head;
+    std::vector<double> free_at;
+    /// Hand-off ops still pending at this point (hand-offs hold no
+    /// resource, so the queue heads cannot rediscover them on restore).
+    std::vector<std::uint32_t> pending_handoffs;
+  };
+
+  void build_template();
+  void record_fault_free(std::size_t max_snapshots);
+
+  void reset_pristine(Scratch& s) const;
+  void restore_snapshot(Scratch& s, const Snapshot& snap) const;
+  /// Index into snapshots_ usable for `scenario`, or npos for "from t=0".
+  [[nodiscard]] std::size_t pick_snapshot(const CrashScenario& scenario) const;
+
+  void kill(Scratch& s, std::uint32_t op) const;
+  void propagate(Scratch& s) const;
+  /// Advances one resource's head cursor past settled ops.
+  void advance_resource(Scratch& s, std::uint32_t res) const;
+  [[nodiscard]] bool at_heads(const Scratch& s, std::uint32_t op) const;
+  [[nodiscard]] bool runnable(const Scratch& s, std::uint32_t op,
+                              double& ready) const;
+  bool commit_next(Scratch& s, const CrashScenario& scenario,
+                   std::uint32_t* committed) const;
+  [[nodiscard]] CrashResult collect(const Scratch& s) const;
+
+  const Schedule* schedule_;
+  std::size_t m_ = 0;
+  std::size_t op_count_ = 0;
+  std::size_t resource_count_ = 0;
+
+  // --- immutable per-op template (struct-of-arrays; see build_template).
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::uint8_t> prereq_is_start_;
+  std::vector<std::uint8_t> counts_message_;
+  std::vector<double> duration_;
+  std::vector<std::uint32_t> res_a_;
+  std::vector<std::uint32_t> res_b_;
+  std::vector<std::uint32_t> prereq_;
+  std::vector<std::int32_t> owner_;  ///< proc whose crash kills the op, or -1
+
+  /// Committed per-resource queues (same order as the naive replay).
+  std::vector<std::vector<std::uint32_t>> queue_;
+  std::vector<std::uint32_t> initial_handoffs_;
+
+  /// exec_op_[task][replica] = op id (for collect()).
+  std::vector<std::vector<std::uint32_t>> exec_op_;
+
+  // Disjunctive exec inputs, flattened: exec op -> [slot_begin, slot_end)
+  // global in-edge slots; slot -> terminating op ids feeding it.
+  std::vector<std::uint32_t> exec_slot_begin_;   ///< size op_count_+1
+  std::vector<std::uint32_t> slot_input_begin_;  ///< size slot_count+1
+  std::vector<std::uint32_t> slot_inputs_;
+
+  // Reverse maps for worklist dead-propagation.
+  std::vector<std::uint32_t> dep_begin_;  ///< prereq dependents CSR
+  std::vector<std::uint32_t> dep_ops_;
+  std::vector<std::uint32_t> feed_slot_;  ///< slot the op terminates into
+  std::vector<std::uint32_t> feed_exec_;  ///< exec op of that slot
+
+  /// kill_ops_[kill_begin_[p]..kill_begin_[p+1]): ops dead when processor p
+  /// is dead from the start (mirrors the naive kill_dead_processors rules).
+  std::vector<std::uint32_t> kill_begin_;
+  std::vector<std::uint32_t> kill_ops_;
+
+  std::size_t commit_count_ = 0;
+  std::vector<Snapshot> snapshots_;
+  /// Process-unique instance id (never 0); keys Scratch memo binding.
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace caft

@@ -1,0 +1,178 @@
+// Property tests for the paper's central guarantee (Proposition 5.2): a
+// fault-tolerant schedule must deliver every task's result under ANY set of
+// at most ε processor crashes. For small platforms the crash-set space is
+// enumerated *exhaustively* — every subset of size 0..ε, replayed through
+// both the naive simulator and the incremental engine — and the structural
+// validator must accept every schedule the library's algorithms emit on
+// randomized platforms.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "algo/caft.hpp"
+#include "algo/ftbar.hpp"
+#include "algo/ftsa.hpp"
+#include "algo/heft.hpp"
+#include "helpers.hpp"
+#include "sched/validator.hpp"
+#include "sim/crash_sim.hpp"
+#include "sim/replay_engine.hpp"
+#include "sim/resilience.hpp"
+
+namespace caft {
+namespace {
+
+using test::Scenario;
+
+/// Enumerates every crash subset of {0..m-1} with size <= max_failures and
+/// asserts the schedule survives each one, through both replay paths.
+void expect_survives_all_subsets(const Schedule& schedule,
+                                 const CostModel& costs,
+                                 std::size_t max_failures,
+                                 const std::string& context) {
+  const std::size_t m = schedule.platform().proc_count();
+  ASSERT_LE(m, 16u) << "exhaustive sweep is for small platforms";
+  const ReplayEngine engine(schedule, costs);
+  ReplayEngine::Scratch scratch;
+  std::size_t tested = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) > max_failures)
+      continue;
+    std::vector<ProcId> failed;
+    for (std::size_t p = 0; p < m; ++p)
+      if ((mask >> p) & 1)
+        failed.push_back(ProcId(static_cast<ProcId::value_type>(p)));
+    const CrashScenario scenario =
+        CrashScenario::at_zero(m, failed);
+    const CrashResult naive = simulate_crashes(schedule, costs, scenario);
+    const CrashResult incr = engine.replay(scenario, scratch);
+    EXPECT_TRUE(naive.success)
+        << context << ": naive replay lost mask " << mask;
+    EXPECT_TRUE(incr.success)
+        << context << ": incremental replay lost mask " << mask;
+    EXPECT_EQ(naive.latency, incr.latency) << context << " mask " << mask;
+    ++tested;
+  }
+  // C(m,0) + ... + C(m,eps) scenarios were actually swept.
+  EXPECT_GT(tested, max_failures);
+}
+
+TEST(EpsilonGuarantee, CaftSurvivesEveryCrashSetExhaustively) {
+  for (const std::uint64_t seed : {101, 202, 303}) {
+    for (const std::size_t eps : {1u, 2u}) {
+      RandomDagParams dag;
+      dag.min_tasks = 12;
+      dag.max_tasks = 24;
+      const Scenario s =
+          test::random_setup(seed + eps, 6, seed % 2 == 0 ? 1.0 : 5.0, dag);
+      CaftOptions options;
+      options.base = SchedulerOptions{eps, CommModelKind::kOnePort};
+      const Schedule schedule =
+          caft_schedule(s.graph, *s.platform, *s.costs, options);
+      expect_survives_all_subsets(schedule, *s.costs, eps,
+                                  "caft seed " + std::to_string(seed) +
+                                      " eps " + std::to_string(eps));
+    }
+  }
+}
+
+TEST(EpsilonGuarantee, FtsaAndFtbarSurviveEveryCrashSetExhaustively) {
+  RandomDagParams dag;
+  dag.min_tasks = 12;
+  dag.max_tasks = 20;
+  const Scenario s = test::random_setup(77, 5, 1.0, dag);
+  const SchedulerOptions base{1, CommModelKind::kOnePort};
+  const Schedule ftsa = ftsa_schedule(s.graph, *s.platform, *s.costs, base);
+  expect_survives_all_subsets(ftsa, *s.costs, 1, "ftsa");
+  FtbarOptions ftbar_options;
+  ftbar_options.base = base;
+  const Schedule ftbar =
+      ftbar_schedule(s.graph, *s.platform, *s.costs, ftbar_options);
+  expect_survives_all_subsets(ftbar, *s.costs, 1, "ftbar");
+}
+
+TEST(EpsilonGuarantee, CrashAtAnyThetaWithinEpsilonIsSurvived) {
+  // Proposition 5.2 speaks of processors dead from t=0; mid-execution
+  // crashes only ever *add* surviving work, so any <= ε crashes at any
+  // positive θ must be survived too (the within-ε split of the campaign
+  // relies on this).
+  const Scenario s = test::random_setup(55, 6, 1.0);
+  CaftOptions options;
+  options.base = SchedulerOptions{2, CommModelKind::kOnePort};
+  const Schedule schedule =
+      caft_schedule(s.graph, *s.platform, *s.costs, options);
+  const ReplayEngine engine(schedule, *s.costs);
+  ReplayEngine::Scratch scratch;
+  const double horizon = schedule.horizon();
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    CrashScenario scenario = CrashScenario::none(6);
+    const auto procs = rng.sample_without_replacement(6, 2);
+    for (const std::size_t p : procs)
+      scenario.set_crash_time(ProcId(static_cast<ProcId::value_type>(p)),
+                              rng.uniform(0.0, horizon * 1.2));
+    const CrashResult result = engine.replay(scenario, scratch);
+    EXPECT_TRUE(result.success) << "trial " << trial;
+  }
+}
+
+TEST(EpsilonGuarantee, ExhaustiveResilienceCheckerAgrees) {
+  // The dedicated checker (sim/resilience.hpp) sweeps exactly-ε subsets;
+  // its verdict must agree with the exhaustive enumeration above.
+  const Scenario s = test::random_setup(42, 6, 5.0);
+  CaftOptions options;
+  options.base = SchedulerOptions{2, CommModelKind::kOnePort};
+  const Schedule schedule =
+      caft_schedule(s.graph, *s.platform, *s.costs, options);
+  const ResilienceReport report =
+      check_resilience_exhaustive(schedule, *s.costs, 2);
+  EXPECT_TRUE(report.resistant);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.scenarios_tested, 15u);  // C(6, 2)
+}
+
+TEST(EpsilonGuarantee, ValidatorAcceptsAllAlgorithmsOnRandomPlatforms) {
+  for (const std::uint64_t seed : {7, 19, 31}) {
+    for (const double granularity : {0.2, 1.0, 5.0}) {
+      RandomDagParams dag;
+      dag.min_tasks = 10;
+      dag.max_tasks = 30;
+      const std::size_t procs = 4 + seed % 5;
+      const Scenario s = test::random_setup(seed, procs, granularity, dag);
+      const std::size_t eps = 1 + seed % 2;
+      const std::string context = "seed " + std::to_string(seed) + " gran " +
+                                  std::to_string(granularity) + " m " +
+                                  std::to_string(procs);
+
+      CaftOptions caft_options;
+      caft_options.base = SchedulerOptions{eps, CommModelKind::kOnePort};
+      const Schedule caft =
+          caft_schedule(s.graph, *s.platform, *s.costs, caft_options);
+      EXPECT_TRUE(validate_schedule(caft, *s.costs).ok())
+          << context << " caft: " << validate_schedule(caft, *s.costs).summary();
+
+      const SchedulerOptions base{eps, CommModelKind::kOnePort};
+      const Schedule ftsa = ftsa_schedule(s.graph, *s.platform, *s.costs, base);
+      EXPECT_TRUE(validate_schedule(ftsa, *s.costs).ok())
+          << context << " ftsa: " << validate_schedule(ftsa, *s.costs).summary();
+
+      FtbarOptions ftbar_options;
+      ftbar_options.base = base;
+      const Schedule ftbar =
+          ftbar_schedule(s.graph, *s.platform, *s.costs, ftbar_options);
+      EXPECT_TRUE(validate_schedule(ftbar, *s.costs).ok())
+          << context << " ftbar: "
+          << validate_schedule(ftbar, *s.costs).summary();
+
+      const Schedule heft =
+          heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
+      EXPECT_TRUE(validate_schedule(heft, *s.costs).ok())
+          << context << " heft: " << validate_schedule(heft, *s.costs).summary();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caft

@@ -23,6 +23,11 @@
 /// The campaign seed, replay count and thread count (--seed, --replays,
 /// --threads; 0 threads = auto) apply identically to every algorithm, so
 /// the comparison is paired: same scenario stream for each schedule.
+///
+/// --engine naive|incremental (default incremental) picks the replay
+/// implementation: `incremental` is the prefix-cached ReplayEngine,
+/// `naive` re-simulates every scenario from t=0. Both produce bit-for-bit
+/// identical reports — the flag exists for A/B validation and benchmarks.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -76,6 +81,13 @@ std::unique_ptr<ScenarioSampler> build_sampler(const Args& args,
   throw CheckError("unknown sampler '" + kind + "'");
 }
 
+CampaignEngine parse_engine(const Args& args) {
+  const std::string kind = args.get("engine", "incremental");
+  if (kind == "incremental") return CampaignEngine::kIncremental;
+  if (kind == "naive") return CampaignEngine::kNaive;
+  throw CheckError("unknown engine '" + kind + "' (naive|incremental)");
+}
+
 bool wants_algo(const std::string& algos, const std::string& name) {
   return algos.find(name) != std::string::npos;
 }
@@ -120,13 +132,17 @@ int main(int argc, char** argv) {
     options.replays = args.get_size("replays", 1000);
     options.seed = args.get_size("seed", 20080201);
     options.threads = args.get_size("threads", 0);
+    options.engine = parse_engine(args);
 
     const auto sampler = build_sampler(args, m, eps);
     std::printf("instance: %zu tasks, %zu edges, m=%zu, eps=%zu\n",
                 graph.task_count(), graph.edge_count(), m, eps);
-    std::printf("campaign: %zu replays of %s, seed %llu\n\n",
+    std::printf("campaign: %zu replays of %s, seed %llu, engine %s\n\n",
                 options.replays, sampler->name().c_str(),
-                static_cast<unsigned long long>(options.seed));
+                static_cast<unsigned long long>(options.seed),
+                options.engine == CampaignEngine::kIncremental
+                    ? "incremental"
+                    : "naive");
 
     // --- schedule with each requested algorithm and run the campaign.
     const std::string algos = args.get("algos", "caft,ftsa,ftbar");

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Regenerates the committed golden outputs of campaign_cli
+# (tests/golden/campaign_report.{txt,csv,json}) after an *intentional*
+# change to campaign statistics or report formatting.
+#
+# Usage: tools/regen_campaign_golden.sh [build-dir]   (default: build)
+#
+# The arguments below must stay in sync with cmake/campaign_golden.cmake.
+set -eu
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+CLI=$REPO_ROOT/$BUILD_DIR/tools/campaign_cli
+GOLDEN_DIR=$REPO_ROOT/tests/golden
+
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not found — build the project first" >&2
+  exit 1
+fi
+
+GOLDEN_ARGS="--replays 200 --procs 8 --eps 1 --tasks 30 \
+  --instance-seed 7 --seed 123 --algos caft,ftsa"
+
+mkdir -p "$GOLDEN_DIR"
+WORK_DIR=$(mktemp -d)
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+# Text run first (stdout carries no filesystem paths), then the artifacts.
+# shellcheck disable=SC2086  # GOLDEN_ARGS is intentionally word-split
+(cd "$WORK_DIR" && "$CLI" $GOLDEN_ARGS) > "$GOLDEN_DIR/campaign_report.txt"
+(cd "$WORK_DIR" && "$CLI" $GOLDEN_ARGS --csv out --json out) > /dev/null
+cp "$WORK_DIR/out_campaign.csv" "$GOLDEN_DIR/campaign_report.csv"
+cp "$WORK_DIR/out_campaign.json" "$GOLDEN_DIR/campaign_report.json"
+
+echo "regenerated goldens in $GOLDEN_DIR:"
+ls -l "$GOLDEN_DIR"
