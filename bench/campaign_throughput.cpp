@@ -1,23 +1,35 @@
 /// Campaign executor throughput: replays/sec of the Monte-Carlo
 /// fault-injection campaign versus worker-thread count on a 50-task CAFT
-/// schedule (m=10, eps=1), A/B-ing the two replay engines:
+/// schedule (m=10, eps=1), A/B-ing the replay engines and memo placements:
 ///
 ///   --engine naive        simulate_crashes from t=0 for every scenario
 ///   --engine incremental  prefix-cached ReplayEngine
 ///   --engine both         (default) run both and report the speedup
 ///
-/// Two workloads are swept: the paper's uniform-k sampler (k processors
-/// dead from t=0 — no usable fault-free prefix, so the incremental engine
-/// wins on template reuse alone) and a crash-window sampler over the
-/// schedule horizon (positive crash times — prefix snapshots kick in).
+/// The incremental engine runs twice per cell: once with the per-worker
+/// Scratch memo (--memo scratch) and once with the campaign-wide sharded
+/// SharedReplayMemo (--memo shared), so the table shows what sharing the
+/// memo across threads buys on top of prefix caching.
 ///
-/// Every (engine, thread count) cell must produce the bit-for-bit
-/// identical summary; any mismatch fails the bench (exit 1). This is the
-/// acceptance gate for the determinism contract of sim/replay_engine.hpp.
+/// Three workloads are swept: the paper's uniform-k sampler (k processors
+/// dead from t=0 — the memo-friendly workload: only C(m, k) masks exist),
+/// a crash-window sampler over half the schedule horizon (positive crash
+/// times — prefix snapshots and, here, adaptive snapshot spacing kick in),
+/// and the same crash-window workload with θ-quantization enabled
+/// (--theta-buckets equivalent; shared memo hits on bucketed keys).
+///
+/// Every *exact* (engine, memo, thread count) cell must produce the
+/// bit-for-bit identical summary; any mismatch fails the bench (exit 1).
+/// The θ-quantized cells are a deliberate approximation, so they are held
+/// to their own gate: identical summaries across all thread counts (the
+/// approximation must be deterministic), plus a reported hit rate and
+/// drift versus the exact reference. This is the acceptance gate for the
+/// determinism contract of sim/replay_engine.hpp.
 ///
 /// CAFT_BENCH_REPS scales the replay count (default 2000). Thread counts
 /// swept: 1, 2, 4, 8, and the hardware concurrency when larger.
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -60,24 +72,44 @@ bool summaries_identical(const CampaignSummary& a, const CampaignSummary& b) {
   return true;
 }
 
-const char* engine_name(CampaignEngine engine) {
-  return engine == CampaignEngine::kIncremental ? "incremental" : "naive";
+/// One engine/memo configuration of a sweep cell.
+struct Variant {
+  const char* engine;  ///< "naive" | "incremental"
+  const char* memo;    ///< "-" | "scratch" | "shared"
+};
+
+double hit_rate(const CampaignTelemetry& telemetry) {
+  return telemetry.memo_lookups == 0
+             ? 0.0
+             : static_cast<double>(telemetry.memo_hits) /
+                   static_cast<double>(telemetry.memo_lookups);
 }
 
 }  // namespace
 
+int run_bench(int argc, char** argv);
+
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const std::string engine_arg = args.get("engine", "both");
-  std::vector<CampaignEngine> engines;
-  if (engine_arg == "naive" || engine_arg == "both")
-    engines.push_back(CampaignEngine::kNaive);
-  if (engine_arg == "incremental" || engine_arg == "both")
-    engines.push_back(CampaignEngine::kIncremental);
-  if (engines.empty()) {
-    std::cerr << "unknown --engine '" << engine_arg
-              << "' (naive|incremental|both)\n";
+  // get_choice / the strict numeric getters throw CheckError on malformed
+  // flags; report it as a usage error instead of std::terminate.
+  try {
+    return run_bench(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
     return 2;
+  }
+}
+
+int run_bench(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string engine_arg =
+      args.get_choice("engine", "both", {"naive", "incremental", "both"});
+  std::vector<Variant> variants;
+  if (engine_arg == "naive" || engine_arg == "both")
+    variants.push_back({"naive", "-"});
+  if (engine_arg == "incremental" || engine_arg == "both") {
+    variants.push_back({"incremental", "scratch"});
+    variants.push_back({"incremental", "shared"});
   }
 
   const std::size_t replays = bench_reps_from_env(200) * 10;
@@ -96,10 +128,12 @@ int main(int argc, char** argv) {
   options.base = SchedulerOptions{1, CommModelKind::kOnePort};
   const Schedule schedule = caft_schedule(graph, platform, costs, options);
 
-  // Workload A: the paper's model — k=1 dead from t=0 (no fault-free
-  // prefix to reuse). Workload B: crashes in the first half of the
-  // committed horizon (prefix snapshots shorten every replay).
-  const UniformKSampler uniform_sampler(10, 1);
+  // Workload A: the paper's model — k=2 dead from t=0: C(10, 2) = 45 masks,
+  // the memo-friendly regime where a shared memo computes each mask once
+  // for the whole campaign instead of once per worker. Workload B: crashes
+  // in the first half of the committed horizon (prefix snapshots, placed
+  // adaptively from the sampler's θ quantiles, shorten every replay).
+  const UniformKSampler uniform_sampler(10, 2);
   const CrashWindowSampler window_sampler(10, 2, 0.0,
                                           schedule.horizon() * 0.5);
   struct Workload {
@@ -122,33 +156,53 @@ int main(int argc, char** argv) {
 
   bool deterministic = true;
   bool speedup_ok = true;
+  bool shared_ok = true;
   for (const Workload& workload : workloads) {
     Table table(std::string("replays/sec vs threads — ") + workload.label,
-                {"threads", "engine", "seconds", "replays_per_sec",
-                 "speedup_vs_naive"});
-    // Every (engine, thread count) cell is compared against the first cell
-    // run — one shared reference, so engines cross-check each other too.
+                {"threads", "engine", "memo", "seconds", "replays_per_sec",
+                 "speedup_vs_naive", "memo_hit_rate"});
+    // Every (engine, memo, thread count) cell is compared against the first
+    // cell run — one shared reference, so engines and memo placements
+    // cross-check each other too.
     std::unique_ptr<CampaignSummary> reference;
     for (const std::size_t threads : thread_counts) {
       double naive_rate = 0.0;
-      for (const CampaignEngine engine : engines) {
+      double scratch_rate = 0.0;
+      for (const Variant& variant : variants) {
         CampaignOptions campaign;
         campaign.replays = replays;
         campaign.threads = threads;
-        campaign.engine = engine;
+        campaign.engine = std::string(variant.engine) == "naive"
+                              ? CampaignEngine::kNaive
+                              : CampaignEngine::kIncremental;
+        campaign.memo = std::string(variant.memo) == "shared"
+                            ? CampaignMemo::kShared
+                            : CampaignMemo::kScratch;
+        CampaignTelemetry telemetry;
         const auto start = Clock::now();
-        const CampaignSummary summary =
-            run_campaign(schedule, costs, *workload.sampler, campaign);
+        const CampaignSummary summary = run_campaign(
+            schedule, costs, *workload.sampler, campaign, &telemetry);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - start).count();
         const double rate = static_cast<double>(replays) / seconds;
-        if (engine == CampaignEngine::kNaive) naive_rate = rate;
+        if (campaign.engine == CampaignEngine::kNaive) naive_rate = rate;
+        if (campaign.engine == CampaignEngine::kIncremental) {
+          if (campaign.memo == CampaignMemo::kScratch) scratch_rate = rate;
+          // Reported (not exit-code-gated, like the naive-speedup line:
+          // raw timings are too noisy on shared CI runners): sharing the
+          // memo should not cost throughput where it matters — 4+ workers
+          // on the memo-friendly mask space.
+          else if (std::string(workload.label) == "uniform-k" &&
+                   threads >= 4 && rate < scratch_rate)
+            shared_ok = false;
+        }
         if (reference == nullptr) {
           reference = std::make_unique<CampaignSummary>(summary);
         } else if (!summaries_identical(summary, *reference)) {
           deterministic = false;
           std::cerr << "MISMATCH: " << workload.label << " engine "
-                    << engine_name(engine) << " at " << threads
+                    << variant.engine << " memo " << variant.memo << " at "
+                    << threads
                     << " threads diverged from the reference summary\n";
         }
         // The speedup column only means something when the naive baseline
@@ -158,24 +212,86 @@ int main(int argc, char** argv) {
         if (naive_rate > 0.0) {
           const double speedup = rate / naive_rate;
           speedup_cell = speedup;
-          if (engine == CampaignEngine::kIncremental && threads == 8 &&
-              speedup < 2.0)
+          if (campaign.engine == CampaignEngine::kIncremental &&
+              threads == 8 && speedup < 2.0)
             speedup_ok = false;
         }
         table.add_row({static_cast<double>(threads),
-                       std::string(engine_name(engine)), seconds, rate,
-                       speedup_cell});
+                       std::string(variant.engine),
+                       std::string(variant.memo), seconds, rate,
+                       speedup_cell, hit_rate(telemetry)});
       }
     }
     table.print(std::cout, 3);
     std::cout << "\n";
   }
 
-  std::cout << "summaries bit-for-bit identical across engines and thread "
-               "counts: "
+  // --- θ-quantized crash-window workload: shared memo with bucketed keys.
+  // k=1 over 32 buckets gives a keyspace of m × 32 = 320, small enough for
+  // the memo to start paying within one bench run. The quantized summary is
+  // an approximation of the exact one, so it is held to its own determinism
+  // gate (identical across thread counts) and reported as hit rate + drift,
+  // not compared bit-for-bit to exact. Skipped for --engine naive: the
+  // whole block measures the incremental engine.
+  bool quantized_deterministic = true;
+  double quantized_hit_rate = 0.0;
+  if (engine_arg != "naive") {
+    const CrashWindowSampler quantized_sampler(10, 1, 0.0,
+                                               schedule.horizon() * 0.5);
+    CampaignOptions exact_campaign;
+    exact_campaign.replays = replays;
+    exact_campaign.threads = 1;
+    const CampaignSummary exact =
+        run_campaign(schedule, costs, quantized_sampler, exact_campaign);
+
+    Table table("θ-quantized shared memo — crash-window k=1, 32 buckets",
+                {"threads", "seconds", "replays_per_sec", "memo_hit_rate",
+                 "success_drift", "latency_mean_drift"});
+    std::unique_ptr<CampaignSummary> reference;
+    for (const std::size_t threads : thread_counts) {
+      CampaignOptions campaign;
+      campaign.replays = replays;
+      campaign.threads = threads;
+      campaign.memo = CampaignMemo::kShared;
+      campaign.theta_bucket_width = schedule.horizon() * 0.5 / 32.0;
+      CampaignTelemetry telemetry;
+      const auto start = Clock::now();
+      const CampaignSummary summary = run_campaign(
+          schedule, costs, quantized_sampler, campaign, &telemetry);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (reference == nullptr)
+        reference = std::make_unique<CampaignSummary>(summary);
+      else if (!summaries_identical(summary, *reference)) {
+        quantized_deterministic = false;
+        std::cerr << "MISMATCH: quantized summary at " << threads
+                  << " threads diverged\n";
+      }
+      quantized_hit_rate = std::max(quantized_hit_rate, hit_rate(telemetry));
+      table.add_row(
+          {static_cast<double>(threads), seconds,
+           static_cast<double>(replays) / seconds, hit_rate(telemetry),
+           static_cast<double>(summary.successes) -
+               static_cast<double>(exact.successes),
+           summary.latency.mean() - exact.latency.mean()});
+    }
+    table.print(std::cout, 3);
+    std::cout << "\n";
+  }
+
+  std::cout << "summaries bit-for-bit identical across engines, memo "
+               "placements and thread counts: "
             << (deterministic ? "yes" : "NO") << "\n";
-  if (engines.size() == 2)
+  if (engine_arg != "naive")
+    std::cout << "quantized summaries identical across thread counts: "
+              << (quantized_deterministic ? "yes" : "NO") << "\n"
+              << "quantized memo hit rate (crash-window k=1, 32 buckets): "
+              << quantized_hit_rate << "\n";
+  if (engine_arg == "both")
     std::cout << "incremental >= 2x naive at 8 threads: "
               << (speedup_ok ? "yes" : "NO") << "\n";
-  return deterministic ? 0 : 1;
+  if (engine_arg != "naive")
+    std::cout << "shared memo >= scratch memo at 4+ threads (uniform-k): "
+              << (shared_ok ? "yes" : "NO") << "\n";
+  return deterministic && quantized_deterministic ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <thread>
 
@@ -40,21 +41,41 @@ ReplayRecord to_record(const CrashResult& result, std::size_t failed_count) {
 
 CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
                              const ScenarioSampler& sampler,
-                             const CampaignOptions& options) {
+                             const CampaignOptions& options,
+                             CampaignTelemetry* telemetry) {
   CAFT_CHECK_MSG(sampler.proc_count() == schedule.platform().proc_count(),
                  "sampler platform size does not match the schedule");
   CAFT_CHECK_MSG(schedule.complete(), "schedule is incomplete");
   CAFT_CHECK_MSG(options.block > 0, "block size must be positive");
+  CAFT_CHECK_MSG(options.theta_bucket_width >= 0.0 &&
+                     !std::isnan(options.theta_bucket_width),
+                 "theta bucket width must be non-negative");
 
   const std::size_t threads =
       std::max<std::size_t>(1, options.threads == 0 ? default_thread_count()
                                                     : options.threads);
 
   // The prefix-cached engine is built once per campaign and shared
-  // read-only by every worker (each worker owns its Scratch).
+  // read-only by every worker (each worker owns its Scratch). With a
+  // shared memo, all workers also consult one sharded result cache.
   std::unique_ptr<ReplayEngine> engine;
-  if (options.engine == CampaignEngine::kIncremental)
-    engine = std::make_unique<ReplayEngine>(schedule, costs);
+  std::unique_ptr<SharedReplayMemo> shared_memo;
+  if (options.engine == CampaignEngine::kIncremental) {
+    ReplayEngineOptions engine_options;
+    engine_options.theta_bucket_width = options.theta_bucket_width;
+    engine_options.exact = options.exact;
+    engine_options.memo_capacity = options.memo_capacity;
+    if (options.adaptive_snapshots)
+      engine_options.snapshot_times = sampler.first_crash_quantiles(
+          engine_options.max_snapshots, schedule.horizon());
+    engine = std::make_unique<ReplayEngine>(schedule, costs, engine_options);
+    if (options.memo == CampaignMemo::kShared) {
+      SharedMemoOptions memo_options;
+      memo_options.shards = options.memo_shards;
+      memo_options.capacity = options.memo_capacity;
+      shared_memo = std::make_unique<SharedReplayMemo>(memo_options);
+    }
+  }
 
   Rng master(options.seed);
   CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
@@ -101,8 +122,9 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
         // Branch instead of a ternary: the engine path returns a reference
         // (a ternary mixing it with the naive prvalue would force a copy).
         if (engine != nullptr)
-          records[i] = to_record(engine->replay(scenarios[i], scratch),
-                                 scenarios[i].failed_count());
+          records[i] = to_record(
+              engine->replay(scenarios[i], scratch, shared_memo.get()),
+              scenarios[i].failed_count());
         else
           records[i] = to_record(simulate_crashes(schedule, costs,
                                                   scenarios[i]),
@@ -129,6 +151,25 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
       accumulator.add(record.failed_count, result);
     }
     done += wave;
+  }
+
+  if (telemetry != nullptr) {
+    *telemetry = CampaignTelemetry{};
+    if (shared_memo != nullptr) {
+      const SharedReplayMemo::Stats stats = shared_memo->stats();
+      telemetry->memo_lookups = stats.lookups;
+      telemetry->memo_hits = stats.hits;
+      telemetry->memo_evictions = stats.evictions;
+      telemetry->memo_entries = stats.entries;
+    } else {
+      for (const ReplayEngine::Scratch& scratch : scratches) {
+        telemetry->memo_lookups += scratch.memo_lookups();
+        telemetry->memo_hits += scratch.memo_hits();
+        telemetry->memo_evictions += scratch.memo_evictions();
+        telemetry->memo_entries += scratch.memo_entries();
+      }
+    }
+    if (engine != nullptr) telemetry->snapshots = engine->snapshot_count();
   }
   return accumulator.summary();
 }

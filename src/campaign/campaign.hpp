@@ -12,10 +12,15 @@
 /// Determinism contract (same as run_experiment): every replay owns a
 /// pre-split Rng stream, drawn from the master stream in replay order, and
 /// the fold also happens in replay order — so the summary is bit-for-bit
-/// identical for 1 thread and N threads, for any block size, and for either
+/// identical for 1 thread and N threads, for any block size, for either
 /// replay engine (the incremental engine is replay-for-replay bit-identical
-/// to the naive one; see sim/replay_engine.hpp). Replays are simulated in
-/// bounded blocks, so memory stays O(block + threads), not O(replays).
+/// to the naive one; see sim/replay_engine.hpp), and for either memo
+/// placement (shared-memo values are pure functions of their keys, so the
+/// race for who populates an entry is unobservable). θ-quantization
+/// (CampaignOptions::theta_bucket_width) is the one knob that changes the
+/// summary — deterministically, never as a function of threads. Replays are
+/// simulated in bounded blocks, so memory stays O(block + threads), not
+/// O(replays).
 ///
 /// Within a block, scenarios are *executed* in order of their earliest
 /// crash time so consecutive replays branch from nearby prefix snapshots
@@ -41,6 +46,14 @@ enum class CampaignEngine {
   kIncremental,  ///< prefix-cached ReplayEngine (sim/replay_engine.hpp)
 };
 
+/// Where the incremental engine memoises dead-set results. Both modes
+/// produce bit-for-bit identical summaries; kShared amortizes each mask
+/// across *all* workers instead of once per worker thread.
+enum class CampaignMemo {
+  kScratch,  ///< per-worker Scratch memo (never crosses threads)
+  kShared,   ///< one sharded SharedReplayMemo consulted by every worker
+};
+
 /// Knobs of one campaign run.
 struct CampaignOptions {
   std::size_t replays = 1000;
@@ -55,13 +68,49 @@ struct CampaignOptions {
   std::vector<double> quantiles = {0.5, 0.9, 0.99};
   /// Replay implementation; the summary does not depend on it.
   CampaignEngine engine = CampaignEngine::kIncremental;
+  /// Memo placement for the incremental engine; the summary does not
+  /// depend on it (shared-memo values are pure functions of their keys).
+  CampaignMemo memo = CampaignMemo::kShared;
+  /// θ-quantization bucket width for the shared memo; 0 (the default)
+  /// keeps every replay bit-exact. With a positive width, crash-at-θ
+  /// scenarios are replayed as bucket-midpoint representatives and
+  /// memoised — summaries drift by at most width/2 per crash time but stay
+  /// deterministic and thread-count independent. Requires memo == kShared
+  /// to have any effect.
+  double theta_bucket_width = 0.0;
+  /// Exactness escape hatch: force bit-exact replays even when
+  /// theta_bucket_width > 0 (quantized hits disabled; mask memo stays on).
+  bool exact = false;
+  /// Adaptive snapshot spacing: ask the sampler for its first-crash
+  /// quantiles and concentrate the engine's prefix snapshots there.
+  /// Never affects the summary, only replay speed.
+  bool adaptive_snapshots = true;
+  /// Entry caps of the shared memo and each per-worker Scratch memo (each
+  /// entry is a full CrashResult; see ReplayEngineOptions::memo_capacity).
+  std::size_t memo_capacity = 1 << 15;
+  /// Lock shards of the shared memo.
+  std::size_t memo_shards = 16;
+};
+
+/// Optional observability output of run_campaign — memo effectiveness and
+/// snapshot placement. Purely informational: nothing here feeds back into
+/// the summary.
+struct CampaignTelemetry {
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_evictions = 0;
+  std::size_t memo_entries = 0;  ///< resident at campaign end (shared mode)
+  std::size_t snapshots = 0;     ///< prefix snapshots the engine stored
 };
 
 /// Runs `options.replays` crash replays of `schedule` under scenarios drawn
-/// from `sampler` and returns the folded summary.
+/// from `sampler` and returns the folded summary. `telemetry`, when
+/// non-null, receives memo/snapshot counters.
 [[nodiscard]] CampaignSummary run_campaign(const Schedule& schedule,
                                            const CostModel& costs,
                                            const ScenarioSampler& sampler,
-                                           const CampaignOptions& options);
+                                           const CampaignOptions& options,
+                                           CampaignTelemetry* telemetry =
+                                               nullptr);
 
 }  // namespace caft

@@ -84,12 +84,23 @@ void P2Quantile::add(double x) {
         sign / (dn + dp) *
             ((dp + sign) * (height_[i + 1] - height_[i]) / dn +
              (dn - sign) * (height_[i] - height_[i - 1]) / dp);
-    if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+    // The parabolic step degenerates when marker heights collide (long runs
+    // of identical or near-duplicate observations): the height differences
+    // cancel to ~0 and rounding (or extreme magnitudes) can push the result
+    // out of the bracket or to a non-finite value. Clamp to the linear
+    // fallback in every such case — its denominator is a marker-position
+    // gap, an integer > 1 by the guards above, so it can never divide by ~0.
+    if (std::isfinite(parabolic) && height_[i - 1] < parabolic &&
+        parabolic < height_[i + 1]) {
       height_[i] = parabolic;
     } else {
       const int neighbor = right ? i + 1 : i - 1;
-      height_[i] += sign * (height_[neighbor] - height_[i]) /
-                    (position_[neighbor] - position_[i]);
+      const double linear = height_[i] +
+                            sign * (height_[neighbor] - height_[i]) /
+                                (position_[neighbor] - position_[i]);
+      // Identical-height runs make the linear step 0/huge-gap as well;
+      // keep the marker inside its bracket no matter what arrives.
+      height_[i] = std::clamp(linear, height_[i - 1], height_[i + 1]);
     }
     position_[i] += sign;
   }

@@ -2,12 +2,21 @@
 /// Minimal --flag value parser shared by the CLIs (tools/caft_cli,
 /// tools/campaign_cli): flags are --name value pairs, bare flags
 /// (--gantt) map to "true", anything not starting with -- is positional.
+///
+/// Numeric accessors parse *strictly*: a malformed value ("12x", "", a bare
+/// flag where a number is required, a negative count) throws CheckError
+/// with the flag name and offending text instead of silently truncating or
+/// falling back to the default — a typo'd `--replays 10O0` must fail loudly,
+/// not run a 10-replay campaign.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace caft {
 
@@ -42,14 +51,54 @@ class CliArgs {
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(it->second, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != it->second.size())
+      throw CheckError("invalid number for --" + key + ": '" + it->second +
+                       "'");
+    return value;
   }
   [[nodiscard]] std::size_t get_size(const std::string& key,
                                      std::size_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end()
-               ? fallback
-               : static_cast<std::size_t>(std::stoul(it->second));
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    std::size_t used = 0;
+    unsigned long long value = 0;
+    try {
+      // stoull accepts a leading '-' (wrapping around); reject it up front
+      // so "--replays -5" errors instead of requesting ~2^64 replays.
+      if (text.find_first_not_of("0123456789") == std::string::npos &&
+          !text.empty())
+        value = std::stoull(text, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != text.size())
+      throw CheckError("invalid count for --" + key + ": '" + text + "'");
+    return static_cast<std::size_t>(value);
+  }
+  /// The value of `key` constrained to one of `choices`; throws CheckError
+  /// naming the valid set otherwise.
+  [[nodiscard]] std::string get_choice(
+      const std::string& key, const std::string& fallback,
+      const std::vector<std::string>& choices) const {
+    const std::string value = get(key, fallback);
+    for (const std::string& choice : choices)
+      if (value == choice) return value;
+    std::string valid;
+    for (const std::string& choice : choices) {
+      if (!valid.empty()) valid += "|";
+      valid += choice;
+    }
+    throw CheckError("invalid value for --" + key + ": '" + value +
+                     "' (expected " + valid + ")");
   }
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -1,6 +1,7 @@
 #include "sched/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.hpp"
@@ -137,9 +138,19 @@ double Schedule::upper_bound_latency() const {
 
 double Schedule::horizon() const {
   CAFT_CHECK_MSG(complete(), "schedule is incomplete");
-  double horizon = upper_bound_latency();
+  // Fold only finite instants: a schedule can legitimately carry +inf (or
+  // NaN) sentinels on replicas and comms that were reserved but never
+  // timed — e.g. duplicate slots patched out, or copies addressed to a
+  // partially-dead remainder of the platform. Folding those in would
+  // poison the horizon and with it every crash-window range and snapshot
+  // bound derived from it.
+  double horizon = 0.0;
+  for (const auto& task_replicas : replicas_)
+    for (const ReplicaAssignment& a : task_replicas)
+      if (std::isfinite(a.finish)) horizon = std::max(horizon, a.finish);
   for (const CommAssignment& c : comms_)
-    horizon = std::max(horizon, c.times.arrival);
+    if (std::isfinite(c.times.arrival))
+      horizon = std::max(horizon, c.times.arrival);
   return horizon;
 }
 

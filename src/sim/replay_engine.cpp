@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -35,19 +37,85 @@ double ReplayEngine::first_crash(const CrashScenario& scenario) {
   return earliest;
 }
 
+SharedReplayMemo::SharedReplayMemo(SharedMemoOptions options)
+    : shards_(std::max<std::size_t>(1, options.shards)),
+      shard_capacity_(options.capacity / std::max<std::size_t>(1,
+                                                               options.shards)) {
+  // A capacity smaller than the shard count still leaves one slot per
+  // shard, so tiny caps degrade to "remember the last result per shard"
+  // rather than disabling memoisation outright.
+  if (options.capacity > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
+}
+
+void SharedReplayMemo::bind(std::uint64_t generation) {
+  std::uint64_t expected = 0;
+  if (bound_generation_.compare_exchange_strong(expected, generation,
+                                                std::memory_order_relaxed))
+    return;
+  CAFT_CHECK_MSG(expected == generation,
+                 "SharedReplayMemo is bound to a different ReplayEngine — "
+                 "create one memo per (campaign, engine)");
+}
+
+SharedReplayMemo::Shard& SharedReplayMemo::shard_for(const Key& key) {
+  return shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CrashResult> SharedReplayMemo::find(const Key& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.lookups;
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  ++shard.hits;
+  return it->second;
+}
+
+void SharedReplayMemo::insert(const Key& key,
+                              std::shared_ptr<const CrashResult> value) {
+  if (shard_capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.size() >= shard_capacity_ && shard.map.count(key) == 0) {
+    // Clear-on-threshold: O(1) amortized, keeps the memo bounded while the
+    // hot keys of the next waves repopulate it immediately. Outstanding
+    // shared_ptr references stay valid.
+    shard.map.clear();
+    ++shard.evictions;
+  }
+  shard.map.emplace(key, std::move(value));
+  ++shard.insertions;
+}
+
+SharedReplayMemo::Stats SharedReplayMemo::stats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.lookups += shard.lookups;
+    stats.hits += shard.hits;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
 ReplayEngine::ReplayEngine(const Schedule& schedule, const CostModel& costs,
                            ReplayEngineOptions options)
-    : schedule_(&schedule) {
+    : schedule_(&schedule), options_(std::move(options)) {
   (void)costs;  // durations come from the committed schedule, as in the
                 // naive replay; the parameter keeps the two call shapes
                 // symmetric.
   CAFT_CHECK_MSG(schedule.complete(), "schedule is incomplete");
-  CAFT_CHECK_MSG(options.max_snapshots > 0,
+  CAFT_CHECK_MSG(options_.max_snapshots > 0,
                  "the engine needs at least one snapshot slot");
+  CAFT_CHECK_MSG(options_.theta_bucket_width >= 0.0 &&
+                     !std::isnan(options_.theta_bucket_width),
+                 "theta bucket width must be non-negative");
   static std::atomic<std::uint64_t> next_generation{1};
   generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
   build_template();
-  record_fault_free(options.max_snapshots);
+  record_fault_free();
 }
 
 void ReplayEngine::build_template() {
@@ -549,28 +617,75 @@ CrashResult ReplayEngine::collect(const Scratch& s) const {
   return result;
 }
 
-void ReplayEngine::record_fault_free(std::size_t max_snapshots) {
+void ReplayEngine::record_fault_free() {
+  const std::size_t max_snapshots = options_.max_snapshots;
   const CrashScenario none = CrashScenario::none(m_);
   Scratch s;
 
-  // Pass 1: count events on the fault-free timeline.
+  // Pass 1: count events on the fault-free timeline and record the
+  // committed frontier (running max finish over owned ops) after each —
+  // the scalar whose crossing of a crash time invalidates a snapshot.
   reset_pristine(s);
   commit_count_ = 0;
-  while (commit_next(s, none, nullptr)) ++commit_count_;
+  std::vector<double> frontier;
+  {
+    double running = 0.0;
+    std::uint32_t committed = kNone32;
+    while (commit_next(s, none, &committed)) {
+      ++commit_count_;
+      if (owner_[committed] >= 0)
+        running = std::max(running, s.finish[committed]);
+      frontier.push_back(running);
+    }
+  }
   CAFT_CHECK_MSG(!s.order_deadlock,
                  "fault-free replay of a complete schedule deadlocked");
 
   if (commit_count_ == 0) return;
 
-  // Pass 2: replay again, snapshotting every `interval` commits (the final
-  // state is always snapshotted, so never-crashing scenarios finish in one
-  // restore).
-  const std::size_t interval =
-      std::max<std::size_t>(1, (commit_count_ + max_snapshots - 1) /
-                                   max_snapshots);
+  // Snapshot placement: the 1-based commit counts after which to snapshot.
+  // Adaptive mode places one snapshot per target time (the last event whose
+  // frontier has not passed it — the latest state still valid for a crash
+  // at that time); uniform mode spaces snapshots evenly over the events.
+  // The final state is always snapshotted, so never-crashing scenarios
+  // finish in one restore. Placement never affects replay results.
+  std::vector<std::size_t> marks;
+  if (!options_.snapshot_times.empty()) {
+    for (const double target : options_.snapshot_times) {
+      if (std::isnan(target) || target <= 0.0) continue;
+      const auto it =
+          std::upper_bound(frontier.begin(), frontier.end(), target);
+      const auto commits =
+          static_cast<std::size_t>(it - frontier.begin());
+      if (commits > 0) marks.push_back(commits);
+    }
+  } else {
+    const std::size_t interval =
+        std::max<std::size_t>(1, (commit_count_ + max_snapshots - 1) /
+                                     max_snapshots);
+    for (std::size_t i = interval; i < commit_count_; i += interval)
+      marks.push_back(i);
+  }
+  marks.push_back(commit_count_);
+  std::sort(marks.begin(), marks.end());
+  marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+  if (marks.size() > max_snapshots) {
+    // Thin deterministically to the budget, keeping the final state.
+    std::vector<std::size_t> thinned;
+    thinned.reserve(max_snapshots);
+    for (std::size_t i = 0; i < max_snapshots; ++i)
+      thinned.push_back(
+          marks[((i + 1) * marks.size()) / max_snapshots - 1]);
+    thinned.back() = marks.back();
+    marks = std::move(thinned);
+    marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+  }
+
+  // Pass 2: replay again, snapshotting at the chosen commit counts.
   reset_pristine(s);
   std::vector<double> per_proc_max(m_, 0.0);
   std::size_t done = 0;
+  std::size_t next_mark = 0;
   std::uint32_t committed = kNone32;
   while (commit_next(s, none, &committed)) {
     ++done;
@@ -578,7 +693,8 @@ void ReplayEngine::record_fault_free(std::size_t max_snapshots) {
       auto& peak = per_proc_max[static_cast<std::size_t>(owner_[committed])];
       peak = std::max(peak, s.finish[committed]);
     }
-    if (done % interval == 0 || done == commit_count_) {
+    if (next_mark < marks.size() && done == marks[next_mark]) {
+      ++next_mark;
       Snapshot snap;
       snap.per_proc_max = per_proc_max;
       snap.state = s.state;
@@ -598,36 +714,8 @@ CrashResult ReplayEngine::replay(const CrashScenario& scenario) const {
   return replay(scenario, scratch);
 }
 
-const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
-                                        Scratch& scratch) const {
-  CAFT_CHECK_MSG(scenario.proc_count() == m_,
-                 "scenario size does not match the platform");
-  if (scratch.bound_generation != generation_) {
-    // A Scratch reused across engines must not leak another schedule's
-    // memoised results.
-    scratch.bound_generation = generation_;
-    scratch.memo.clear();
-  }
-
-  // Dead-set memo: when every crash time is 0 or +inf the whole outcome is
-  // a pure function of the dead bitmask (ops of dead processors are
-  // pre-killed, live processors never reach the θ check), and uniform-k
-  // campaigns draw from only C(m, k) such masks.
-  std::uint64_t mask = 0;
-  bool memoisable = m_ <= 64;
-  for (std::size_t p = 0; memoisable && p < m_; ++p) {
-    const double t =
-        scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p)));
-    if (t <= 0.0)
-      mask |= std::uint64_t{1} << p;
-    else if (t != kInf)
-      memoisable = false;
-  }
-  if (memoisable) {
-    const auto hit = scratch.memo.find(mask);
-    if (hit != scratch.memo.end()) return hit->second;
-  }
-
+void ReplayEngine::replay_uncached(const CrashScenario& scenario,
+                                   Scratch& scratch) const {
   const std::size_t snap = pick_snapshot(scenario);
   if (snap == static_cast<std::size_t>(-1)) {
     reset_pristine(scratch);
@@ -649,14 +737,123 @@ const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
   while (commit_next(scratch, scenario, nullptr))
     if (scratch.died) propagate(scratch);
   scratch.result = collect(scratch);
-  // Bounded insert: a campaign over a small dead-set space hits the cache
-  // almost always; a huge space degrades gracefully to plain replays.
-  // unordered_map element addresses are stable, so the returned reference
-  // survives later insertions.
-  constexpr std::size_t kMemoCap = 1024;
-  if (memoisable && scratch.memo.size() < kMemoCap)
-    return scratch.memo.emplace(mask, scratch.result).first->second;
-  return scratch.result;
+}
+
+ReplayEngine::KeyKind ReplayEngine::classify(
+    const CrashScenario& scenario, bool quantize_enabled,
+    std::vector<std::uint64_t>& key) const {
+  key.clear();
+  if (m_ > 64) return KeyKind::kNotMemoisable;
+  const double width = options_.theta_bucket_width;
+  std::uint64_t mask = 0;
+  bool exact = true;
+  bool quantizable = quantize_enabled && width > 0.0 && !options_.exact;
+  key.push_back(0);
+  for (std::size_t p = 0; p < m_; ++p) {
+    const double t =
+        scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p)));
+    if (t <= 0.0) {
+      mask |= std::uint64_t{1} << p;
+    } else if (t != kInf) {
+      // A finite positive crash time rules out the exact dead-set key; it
+      // stays memoisable only via a θ bucket small enough to pack.
+      exact = false;
+      if (!quantizable) return KeyKind::kNotMemoisable;
+      const double bucket = std::floor(t / width);
+      if (!(bucket < 4294967295.0)) return KeyKind::kNotMemoisable;
+      key.push_back((std::uint64_t{p} << 32) |
+                    static_cast<std::uint64_t>(bucket));
+    }
+  }
+  key[0] = mask;
+  return exact ? KeyKind::kExactKey : KeyKind::kQuantizedKey;
+}
+
+CrashScenario ReplayEngine::canonical_scenario(
+    const CrashScenario& scenario) const {
+  const double width = options_.theta_bucket_width;
+  std::vector<double> times(m_);
+  for (std::size_t p = 0; p < m_; ++p) {
+    const double t =
+        scenario.crash_time(ProcId(static_cast<ProcId::value_type>(p)));
+    if (t <= 0.0)
+      times[p] = 0.0;  // dead from the start; the exact instant <= 0 is
+                       // unobservable (all owned ops are pre-killed)
+    else if (t == kInf)
+      times[p] = kInf;
+    else
+      times[p] = (std::floor(t / width) + 0.5) * width;  // bucket midpoint
+  }
+  return CrashScenario(std::move(times));
+}
+
+const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
+                                        Scratch& scratch,
+                                        SharedReplayMemo* shared) const {
+  CAFT_CHECK_MSG(scenario.proc_count() == m_,
+                 "scenario size does not match the platform");
+  if (scratch.bound_generation != generation_) {
+    // A Scratch reused across engines must not leak another schedule's
+    // memoised results.
+    scratch.bound_generation = generation_;
+    scratch.memo.clear();
+    scratch.shared_hold.reset();
+  }
+  if (shared != nullptr) shared->bind(generation_);
+
+  const KeyKind kind =
+      classify(scenario, /*quantize_enabled=*/shared != nullptr, scratch.key);
+
+  if (kind == KeyKind::kNotMemoisable) {
+    replay_uncached(scenario, scratch);
+    return scratch.result;
+  }
+
+  if (shared != nullptr) {
+    // Campaign-wide memo. The value is a pure function of the key (the
+    // quantized key replays its canonical representative), so whichever
+    // worker populates an entry first, every hit returns identical bits.
+    if (auto hit = shared->find(scratch.key)) {
+      scratch.shared_hold = std::move(hit);
+      return *scratch.shared_hold;
+    }
+    if (kind == KeyKind::kQuantizedKey)
+      replay_uncached(canonical_scenario(scenario), scratch);
+    else
+      replay_uncached(scenario, scratch);
+    auto value =
+        std::make_shared<const CrashResult>(std::move(scratch.result));
+    shared->insert(scratch.key, value);
+    scratch.shared_hold = std::move(value);
+    return *scratch.shared_hold;
+  }
+
+  // Per-Scratch dead-set memo (exact keys only: without a shared memo the
+  // quantized path is pointless — each worker would approximate without
+  // amortizing across threads).
+  if (kind == KeyKind::kQuantizedKey || options_.memo_capacity == 0) {
+    replay_uncached(scenario, scratch);
+    return scratch.result;
+  }
+  const std::uint64_t mask = scratch.key[0];
+  ++scratch.lookups;
+  const auto hit = scratch.memo.find(mask);
+  if (hit != scratch.memo.end()) {
+    ++scratch.hits;
+    return hit->second;
+  }
+  replay_uncached(scenario, scratch);
+  // Bounded insert with clear-on-threshold eviction: each entry stores a
+  // full CrashResult, so a long campaign over a large mask space would
+  // otherwise grow the memo without bound. unordered_map element addresses
+  // are stable, so the returned reference survives later insertions; a
+  // clear can only happen on a later replay call, after the reference's
+  // validity window has ended.
+  if (scratch.memo.size() >= options_.memo_capacity) {
+    scratch.memo.clear();
+    ++scratch.evictions;
+  }
+  return scratch.memo.emplace(mask, scratch.result).first->second;
 }
 
 }  // namespace caft

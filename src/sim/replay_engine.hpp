@@ -30,6 +30,18 @@
 ///     memoises those results, so repeated masks cost one hash lookup plus
 ///     a result copy. This is prefix caching taken to its limit: at θ = 0
 ///     the shared prefix is empty, but the branch space itself is finite.
+///  4. **Shared memoisation** (SharedReplayMemo). The per-Scratch memo never
+///     crosses threads, so an 8-worker campaign re-simulates every mask up
+///     to 8 times. A SharedReplayMemo is one sharded, mutex-guarded map all
+///     workers consult; because the memoised value is a pure deterministic
+///     function of its key, a hit returns the *same bits* no matter which
+///     thread computed it first — summaries stay bit-for-bit independent of
+///     thread count. With a positive `theta_bucket_width` the shared memo
+///     also covers crash-at-θ scenarios: every finite positive crash time is
+///     quantized to a bucket and the bucket's *midpoint representative*
+///     scenario is replayed and cached, turning a continuous θ space into a
+///     finite, memoisable one (a deliberate, width-bounded approximation —
+///     see the quantization contract below).
 ///
 /// Determinism contract: for every (schedule, scenario) pair, `replay`
 /// returns a CrashResult **bit-for-bit identical** to
@@ -39,13 +51,29 @@
 /// (instance, schedule, scenario) triples; the campaign executor relies on
 /// it to make `--engine naive` and `--engine incremental` interchangeable.
 ///
-/// Thread safety: `replay` is const and touches only the template plus the
-/// caller's Scratch, so one engine may serve any number of threads as long
-/// as each thread owns its Scratch.
+/// Quantization contract: with `theta_bucket_width > 0` and a SharedReplayMemo
+/// supplied, a scenario containing finite positive crash times is replayed as
+/// its canonical representative (each such time snapped to the midpoint of
+/// its bucket; dead-from-start and never-failing processors are untouched).
+/// The result is exact for the representative and off by at most
+/// width/2 per crash time for the original draw — still a deterministic pure
+/// function of the scenario, so summaries remain independent of thread count
+/// and memo state. Scenarios whose times are all 0/+inf are always exact.
+/// Setting `exact` (or width 0) disables quantized hits entirely and
+/// restores bit-exact naive equivalence for every scenario.
+///
+/// Thread safety: `replay` is const and touches only the template, the
+/// caller's Scratch and (optionally) a SharedReplayMemo, so one engine may
+/// serve any number of threads as long as each thread owns its Scratch; one
+/// SharedReplayMemo may be shared by all of them.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -57,9 +85,105 @@ namespace caft {
 
 /// Tuning knobs; the defaults suit campaign workloads.
 struct ReplayEngineOptions {
-  /// Upper bound on stored fault-free snapshots. Snapshots are spaced
-  /// uniformly over the event timeline; memory is O(max_snapshots × ops).
+  /// Upper bound on stored fault-free snapshots; memory is
+  /// O(max_snapshots × ops).
   std::size_t max_snapshots = 64;
+  /// Adaptive snapshot placement: target times (e.g. quantiles of the
+  /// sampler's first-crash distribution) at which prefix snapshots should
+  /// still be valid. For each target the engine snapshots at the last event
+  /// whose committed frontier does not exceed it, so snapshot density
+  /// follows the θ mass instead of the event timeline. Empty (the default)
+  /// falls back to uniform event-timeline spacing. Placement never affects
+  /// replay results, only how much prefix is reused.
+  std::vector<double> snapshot_times;
+  /// Bucket width for θ-quantized shared-memo keys; 0 disables quantized
+  /// memoisation (crash-at-θ scenarios are then replayed individually).
+  /// See the quantization contract in the file header.
+  double theta_bucket_width = 0.0;
+  /// Exactness escape hatch: when true, quantized hits are disabled even if
+  /// theta_bucket_width > 0 — every replay is bit-exact against the naive
+  /// simulator. Dead-set (mask) memoisation stays on; it is always exact.
+  bool exact = false;
+  /// Entry cap of the per-Scratch dead-set memo. Each entry stores a full
+  /// CrashResult, so an uncapped memo grows without bound over a long
+  /// campaign with a large mask space; on reaching the cap the memo is
+  /// cleared (cheap clear-on-threshold eviction) and keeps memoising.
+  /// 0 disables the per-Scratch memo.
+  std::size_t memo_capacity = 1024;
+};
+
+/// Campaign-wide concurrent replay memo: N mutex-guarded shards keyed by
+/// (dead-set bitmask [, quantized-θ buckets]), shared by every worker thread
+/// of a campaign. Values are pure deterministic functions of their key, so
+/// concurrent population cannot introduce any thread-count dependence in
+/// folded summaries. Bound to one ReplayEngine instance on first use;
+/// rebinding to a different engine is a checked error (a memo never outlives
+/// the campaign that created it).
+struct SharedMemoOptions {
+  /// Lock shards; more shards = less contention, slightly more memory.
+  std::size_t shards = 16;
+  /// Total entry cap across shards. A full shard is cleared and repopulated
+  /// (clear-on-threshold), bounding memory at O(capacity) CrashResults while
+  /// still memoising hot keys. 0 disables the memo (every lookup misses).
+  std::size_t capacity = 1 << 15;
+};
+
+class SharedReplayMemo {
+ public:
+  explicit SharedReplayMemo(SharedMemoOptions options = {});
+
+  SharedReplayMemo(const SharedReplayMemo&) = delete;
+  SharedReplayMemo& operator=(const SharedReplayMemo&) = delete;
+
+  /// Aggregated counters over all shards (snapshot; other threads may be
+  /// mutating concurrently — use after the campaign joined its workers).
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  ///< shard clears forced by the cap
+    std::size_t entries = 0;      ///< currently resident results
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  friend class ReplayEngine;
+
+  /// word 0: dead-from-start bitmask; words 1..: (proc << 32) | θ-bucket for
+  /// every finite positive crash time, in increasing processor order. Exact
+  /// dead-set keys are the 1-word prefix alone, so the two key families can
+  /// never collide (different lengths).
+  using Key = std::vector<std::uint64_t>;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the words
+      for (const std::uint64_t w : key) {
+        h ^= w;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, std::shared_ptr<const CrashResult>, KeyHash> map;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// Binds the memo to one engine generation; throws on mismatch.
+  void bind(std::uint64_t generation);
+  [[nodiscard]] std::shared_ptr<const CrashResult> find(const Key& key);
+  void insert(const Key& key, std::shared_ptr<const CrashResult> value);
+  [[nodiscard]] Shard& shard_for(const Key& key);
+
+  std::deque<Shard> shards_;  ///< deque: Shard holds a mutex, never moves
+  std::size_t shard_capacity_;
+  std::atomic<std::uint64_t> bound_generation_{0};
 };
 
 /// Prefix-cached replay engine bound to one committed schedule.
@@ -78,6 +202,15 @@ class ReplayEngine {
   class Scratch {
    public:
     Scratch() = default;
+
+    /// Resident entries of the per-Scratch dead-set memo (capped at
+    /// ReplayEngineOptions::memo_capacity; see the eviction note there).
+    [[nodiscard]] std::size_t memo_entries() const { return memo.size(); }
+    /// Memo probe counters since construction (scratch-memo path only; a
+    /// SharedReplayMemo keeps its own Stats).
+    [[nodiscard]] std::uint64_t memo_lookups() const { return lookups; }
+    [[nodiscard]] std::uint64_t memo_hits() const { return hits; }
+    [[nodiscard]] std::uint64_t memo_evictions() const { return evictions; }
 
    private:
     friend class ReplayEngine;
@@ -98,8 +231,16 @@ class ReplayEngine {
     /// allocated at a dead one's address); cleared on rebind.
     std::unordered_map<std::uint64_t, CrashResult> memo;
     std::uint64_t bound_generation = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t evictions = 0;
+    /// Reused key buffer for shared-memo probes (no allocation per probe).
+    std::vector<std::uint64_t> key;
+    /// Keeps the latest shared-memo result alive across evictions: replay
+    /// returns a reference into it, valid until the next replay call.
+    std::shared_ptr<const CrashResult> shared_hold;
     /// Home of the most recent non-memoised result (replay returns a
-    /// reference into either this or the memo — never a copy).
+    /// reference into this, the memo, or shared_hold — never a copy).
     CrashResult result;
   };
 
@@ -111,8 +252,14 @@ class ReplayEngine {
   /// returned reference lives inside `scratch` (or its memo) and stays
   /// valid until the next replay call with the same Scratch; memo hits
   /// cost one hash lookup, never a result copy.
-  const CrashResult& replay(const CrashScenario& scenario,
-                            Scratch& scratch) const;
+  ///
+  /// With a non-null `shared`, memoisation goes through the campaign-wide
+  /// SharedReplayMemo instead of the per-Scratch map, and — when the engine
+  /// was built with theta_bucket_width > 0 and not `exact` — crash-at-θ
+  /// scenarios are replayed as their quantized representatives (see the
+  /// quantization contract in the file header).
+  const CrashResult& replay(const CrashScenario& scenario, Scratch& scratch,
+                            SharedReplayMemo* shared = nullptr) const;
 
   /// Events (op commits) on the fault-free timeline.
   [[nodiscard]] std::size_t event_count() const { return commit_count_; }
@@ -143,7 +290,22 @@ class ReplayEngine {
   };
 
   void build_template();
-  void record_fault_free(std::size_t max_snapshots);
+  void record_fault_free();
+
+  /// Full (non-memoised) replay of `scenario` into scratch.result.
+  void replay_uncached(const CrashScenario& scenario, Scratch& scratch) const;
+  /// Classifies `scenario` for memoisation and fills scratch.key: a 1-word
+  /// dead-set key when every crash time is 0/+inf, a multi-word quantized
+  /// key when finite positive times exist and quantization is enabled.
+  /// Returns kExactKey / kQuantizedKey / kNotMemoisable.
+  enum class KeyKind { kExactKey, kQuantizedKey, kNotMemoisable };
+  [[nodiscard]] KeyKind classify(const CrashScenario& scenario,
+                                 bool quantize_enabled,
+                                 std::vector<std::uint64_t>& key) const;
+  /// The canonical representative of a quantized scenario: every finite
+  /// positive crash time snapped to its bucket midpoint.
+  [[nodiscard]] CrashScenario canonical_scenario(
+      const CrashScenario& scenario) const;
 
   void reset_pristine(Scratch& s) const;
   void restore_snapshot(Scratch& s, const Snapshot& snap) const;
@@ -202,6 +364,7 @@ class ReplayEngine {
 
   std::size_t commit_count_ = 0;
   std::vector<Snapshot> snapshots_;
+  ReplayEngineOptions options_;
   /// Process-unique instance id (never 0); keys Scratch memo binding.
   std::uint64_t generation_ = 0;
 };

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -197,6 +198,51 @@ TEST(CampaignStats, P2TracksShiftedExponential) {
   Rng rng(53);
   for (int i = 0; i < 50000; ++i) p99.add(rng.exponential(1.0));
   EXPECT_NEAR(p99.value(), -std::log(0.01), 0.25);
+}
+
+TEST(CampaignStats, P2SurvivesIdenticalValues) {
+  // Degenerate stream: every observation identical. Marker heights all
+  // collide, so the parabolic update's numerator differences cancel; the
+  // estimator must clamp to the (well-conditioned) linear fallback and
+  // report the exact value, never NaN/inf.
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    P2Quantile est(q);
+    for (int i = 0; i < 1000; ++i) est.add(42.5);
+    EXPECT_TRUE(std::isfinite(est.value())) << "q=" << q;
+    EXPECT_DOUBLE_EQ(est.value(), 42.5) << "q=" << q;
+  }
+}
+
+TEST(CampaignStats, P2SurvivesNearDuplicateValues) {
+  // Long runs of near-identical latencies (ulp-scale jitter around a few
+  // plateaus) — the regime where height gaps underflow while position gaps
+  // stay integral. The estimate must stay finite and inside the sample
+  // range, and land on the dominant plateau.
+  P2Quantile median(0.5);
+  Rng rng(99);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 1000; ++i) {
+    const double plateau = (i % 10 == 0) ? 100.0 : 50.0;
+    const double x = plateau * (1.0 + 1e-15 * rng.uniform01());
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    median.add(x);
+    ASSERT_TRUE(std::isfinite(median.value())) << "at observation " << i;
+  }
+  EXPECT_GE(median.value(), lo);
+  EXPECT_LE(median.value(), hi);
+  EXPECT_NEAR(median.value(), 50.0, 1e-3);
+}
+
+TEST(CampaignStats, P2SurvivesExtremeMagnitudes) {
+  // Huge magnitudes can overflow the parabolic step to ±inf; the clamp must
+  // keep markers bracketed and the estimate finite.
+  P2Quantile p90(0.9);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i)
+    p90.add((i % 2 == 0 ? 1.0 : 1e300) * (1.0 + rng.uniform01()));
+  EXPECT_TRUE(std::isfinite(p90.value()));
 }
 
 TEST(CampaignStats, StreamingMomentsMatchDirectComputation) {

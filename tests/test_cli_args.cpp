@@ -1,0 +1,80 @@
+// Tests for the shared --flag parser (common/cli_args.hpp), in particular
+// the strict numeric/choice validation the CLIs rely on: a malformed value
+// must abort with a clear CheckError instead of silently truncating
+// ("10x" -> 10) or falling back to a default — a typo'd campaign flag must
+// never silently run a different campaign.
+#include "common/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace caft {
+namespace {
+
+/// Builds a CliArgs from a token list (argv[0] is skipped by the parser).
+CliArgs make_args(std::vector<std::string> tokens) {
+  tokens.insert(tokens.begin(), "prog");
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& token : tokens) argv.push_back(token.data());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesFlagsValuesAndPositionals) {
+  // A flag followed by a non-flag token consumes it as its value, so the
+  // positional comes first and the bare flag last.
+  const CliArgs args = make_args({"input.txt", "--replays", "500", "--gantt"});
+  EXPECT_EQ(args.get("replays"), "500");
+  EXPECT_TRUE(args.has("gantt"));
+  EXPECT_EQ(args.get("gantt"), "true");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.get_size("replays", 0), 500u);
+  EXPECT_EQ(args.get_size("absent", 7), 7u);
+}
+
+TEST(CliArgs, GetDoubleParsesStrictly) {
+  const CliArgs args = make_args({"--rate", "0.25", "--bad", "0.25x",
+                                  "--empty-ish", "--neg", "-0.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 1.5), 1.5);
+  // Trailing junk, and a bare flag where a number is required, both throw.
+  EXPECT_THROW((void)args.get_double("bad", 0.0), CheckError);
+  EXPECT_THROW((void)args.get_double("empty-ish", 0.0), CheckError);
+  // "-0.5" parses as the *next flag* being absent — the parser treats a
+  // leading '-' token as this flag's value only when it does not start
+  // with "--"; get_double accepts genuine negative numbers.
+  EXPECT_DOUBLE_EQ(args.get_double("neg", 0.0), -0.5);
+}
+
+TEST(CliArgs, GetSizeRejectsMalformedCounts) {
+  const CliArgs args = make_args({"--replays", "10O0", "--neg", "-5",
+                                  "--float", "3.5", "--ok", "12"});
+  EXPECT_EQ(args.get_size("ok", 0), 12u);
+  EXPECT_THROW((void)args.get_size("replays", 0), CheckError);  // letter O
+  EXPECT_THROW((void)args.get_size("neg", 0), CheckError);
+  EXPECT_THROW((void)args.get_size("float", 0), CheckError);
+}
+
+TEST(CliArgs, GetChoiceValidatesAgainstSet) {
+  const CliArgs args = make_args({"--memo", "shared", "--engine", "fast"});
+  EXPECT_EQ(args.get_choice("memo", "scratch", {"shared", "scratch"}),
+            "shared");
+  EXPECT_EQ(args.get_choice("absent", "scratch", {"shared", "scratch"}),
+            "scratch");
+  try {
+    (void)args.get_choice("engine", "incremental", {"incremental", "naive"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    // The message must name the flag, the bad value and the valid set.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--engine"), std::string::npos);
+    EXPECT_NE(what.find("'fast'"), std::string::npos);
+    EXPECT_NE(what.find("incremental|naive"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace caft

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "dag/generators.hpp"
 #include "sched/bounds.hpp"
 
@@ -82,6 +85,56 @@ TEST(Schedule, LatencyIsMaxOverTasksOfFirstReplica) {
 TEST(Schedule, IncompleteLatencyThrows) {
   Fixture f;
   EXPECT_THROW((void)f.schedule.zero_crash_latency(), CheckError);
+}
+
+TEST(Schedule, HorizonCoversReplicasAndArrivals) {
+  Fixture f;
+  f.schedule.set_replica(T(0), 0, {P(0), 0.0, 5.0});
+  f.schedule.set_replica(T(0), 1, {P(1), 0.0, 6.0});
+  f.schedule.set_replica(T(1), 0, {P(0), 5.0, 15.0});
+  f.schedule.set_replica(T(1), 1, {P(2), 10.0, 25.0});
+  EXPECT_DOUBLE_EQ(f.schedule.horizon(), 25.0);
+
+  CommAssignment c;
+  c.edge = 0;
+  c.from = {T(0), 1};
+  c.to = {T(1), 1};
+  c.src_proc = P(1);
+  c.dst_proc = P(2);
+  c.volume = 1.0;
+  c.times = times_at(6.0, 30.0);  // arrival after every replica finish
+  f.schedule.add_comm(c);
+  EXPECT_DOUBLE_EQ(f.schedule.horizon(), 30.0);
+}
+
+TEST(Schedule, HorizonIgnoresNonFiniteInstants) {
+  // A "partially dead" schedule: some copies were reserved but never got a
+  // finite timetable (+inf sentinels). Folding them into horizon() would
+  // poison every crash-window range and snapshot bound derived from it.
+  const double inf = std::numeric_limits<double>::infinity();
+  Fixture f;
+  f.schedule.set_replica(T(0), 0, {P(0), 0.0, 5.0});
+  f.schedule.set_replica(T(0), 1, {P(1), 0.0, 6.0});
+  f.schedule.set_replica(T(1), 0, {P(0), 5.0, 15.0});
+  f.schedule.set_replica(T(1), 1, {P(2), 10.0, 25.0});
+
+  // An unscheduled copy's message: committed but its arrival never timed.
+  CommAssignment dead;
+  dead.edge = 0;
+  dead.from = {T(0), 0};
+  dead.to = {T(1), 0};
+  dead.src_proc = P(0);
+  dead.dst_proc = P(2);
+  dead.volume = 1.0;
+  dead.times = times_at(5.0, inf);
+  f.schedule.add_comm(dead);
+  EXPECT_DOUBLE_EQ(f.schedule.horizon(), 25.0);
+
+  // A duplicate reserved with an +inf finish (never patched to a real slot)
+  // must not poison the replica fold either.
+  f.schedule.add_duplicate(T(1), {P(1), 30.0, inf});
+  EXPECT_DOUBLE_EQ(f.schedule.horizon(), 25.0);
+  EXPECT_TRUE(std::isfinite(f.schedule.horizon()));
 }
 
 TEST(Schedule, CommRecordingAndLookup) {

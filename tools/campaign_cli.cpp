@@ -28,6 +28,19 @@
 /// implementation: `incremental` is the prefix-cached ReplayEngine,
 /// `naive` re-simulates every scenario from t=0. Both produce bit-for-bit
 /// identical reports — the flag exists for A/B validation and benchmarks.
+///
+/// --memo shared|scratch (default shared) places the incremental engine's
+/// dead-set memo: `shared` is one sharded concurrent memo every worker
+/// thread consults, `scratch` keeps one private memo per worker. Both
+/// produce bit-for-bit identical reports.
+///
+/// --theta-buckets N (default 0 = off) additionally memoises crash-at-θ
+/// scenarios by quantizing each finite crash time to one of N buckets of
+/// the schedule horizon and replaying the bucket midpoint — a
+/// deterministic approximation whose drift is bounded by the bucket width.
+/// --exact is the escape hatch: bit-exact replays even with buckets set.
+/// Numeric/choice flags are validated strictly; malformed values abort
+/// with a clear error instead of silently falling back to defaults.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -54,7 +67,8 @@ using Args = CliArgs;
 std::unique_ptr<ScenarioSampler> build_sampler(const Args& args,
                                                std::size_t procs,
                                                std::size_t eps) {
-  const std::string kind = args.get("sampler", "uniform");
+  const std::string kind = args.get_choice(
+      "sampler", "uniform", {"uniform", "exp", "weibull", "window", "groups"});
   const std::size_t k = args.get_size("k", eps);
   // Lifetimes beyond --horizon are censored to "never fails"; without it
   // every processor eventually crashes, so the within-eps statistics of
@@ -73,19 +87,24 @@ std::unique_ptr<ScenarioSampler> build_sampler(const Args& args,
     return std::make_unique<CrashWindowSampler>(
         procs, k, args.get_double("theta-lo", 0.0),
         args.get_double("theta-hi", 1000.0));
-  if (kind == "groups")
-    return std::make_unique<CorrelatedGroupSampler>(
-        procs, args.get_size("group-size", 2),
-        args.get_double("group-prob", 0.1), args.get_double("theta-lo", 0.0),
-        args.get_double("theta-hi", 0.0));
-  throw CheckError("unknown sampler '" + kind + "'");
+  // get_choice above guarantees kind == "groups" here.
+  return std::make_unique<CorrelatedGroupSampler>(
+      procs, args.get_size("group-size", 2),
+      args.get_double("group-prob", 0.1), args.get_double("theta-lo", 0.0),
+      args.get_double("theta-hi", 0.0));
 }
 
 CampaignEngine parse_engine(const Args& args) {
-  const std::string kind = args.get("engine", "incremental");
-  if (kind == "incremental") return CampaignEngine::kIncremental;
-  if (kind == "naive") return CampaignEngine::kNaive;
-  throw CheckError("unknown engine '" + kind + "' (naive|incremental)");
+  return args.get_choice("engine", "incremental", {"incremental", "naive"}) ==
+                 "incremental"
+             ? CampaignEngine::kIncremental
+             : CampaignEngine::kNaive;
+}
+
+CampaignMemo parse_memo(const Args& args) {
+  return args.get_choice("memo", "shared", {"shared", "scratch"}) == "shared"
+             ? CampaignMemo::kShared
+             : CampaignMemo::kScratch;
 }
 
 bool wants_algo(const std::string& algos, const std::string& name) {
@@ -130,9 +149,26 @@ int main(int argc, char** argv) {
 
     CampaignOptions options;
     options.replays = args.get_size("replays", 1000);
+    CAFT_CHECK_MSG(options.replays > 0, "--replays must be positive");
     options.seed = args.get_size("seed", 20080201);
     options.threads = args.get_size("threads", 0);
     options.engine = parse_engine(args);
+    options.memo = parse_memo(args);
+    options.exact = args.has("exact");
+    // --theta-buckets N splits each schedule's horizon into N θ buckets for
+    // shared-memo quantization (width = horizon / N, set per schedule
+    // below); 0 keeps every replay bit-exact. Quantization only exists on
+    // the incremental engine's shared memo, so reject the inert
+    // combinations rather than silently running an exact campaign the user
+    // believes is bucketed (--exact is the intentional opt-out and stays
+    // allowed).
+    const std::size_t theta_buckets = args.get_size("theta-buckets", 0);
+    if (theta_buckets > 0 && !options.exact) {
+      CAFT_CHECK_MSG(options.engine == CampaignEngine::kIncremental,
+                     "--theta-buckets requires --engine incremental");
+      CAFT_CHECK_MSG(options.memo == CampaignMemo::kShared,
+                     "--theta-buckets requires --memo shared");
+    }
 
     const auto sampler = build_sampler(args, m, eps);
     std::printf("instance: %zu tasks, %zu edges, m=%zu, eps=%zu\n",
@@ -171,8 +207,25 @@ int main(int argc, char** argv) {
                   "%zu messages — running campaign...\n",
                   label.c_str(), schedule.zero_crash_latency(),
                   schedule.upper_bound_latency(), schedule.message_count());
-      rows.emplace_back(label,
-                        run_campaign(schedule, *costs, *sampler, options));
+      options.theta_bucket_width =
+          theta_buckets > 0
+              ? schedule.horizon() / static_cast<double>(theta_buckets)
+              : 0.0;
+      CampaignTelemetry telemetry;
+      rows.emplace_back(
+          label, run_campaign(schedule, *costs, *sampler, options, &telemetry));
+      // Quantization is an opt-in approximation; surface its effect. (Not
+      // printed otherwise — nor under --exact, where no bucketing happens —
+      // so exact reports stay byte-stable.)
+      if (theta_buckets > 0 && !options.exact)
+        std::printf("  theta buckets: %zu (width %.4f), memo hit rate "
+                    "%.1f%% over %llu lookups\n",
+                    theta_buckets, options.theta_bucket_width,
+                    telemetry.memo_lookups == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(telemetry.memo_hits) /
+                              static_cast<double>(telemetry.memo_lookups),
+                    static_cast<unsigned long long>(telemetry.memo_lookups));
     }
     std::printf("\n");
 
