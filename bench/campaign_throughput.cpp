@@ -6,6 +6,11 @@
 ///   --engine incremental  prefix-cached ReplayEngine
 ///   --engine both         (default) run both and report the speedup
 ///
+/// The bench runs through the ftsched:: facade: the schedule comes from
+/// SchedulerRegistry::make("caft"), and every cell is one ftsched::Session
+/// (the execution policy — threads, engine, memo placement — is exactly
+/// what a Session owns) evaluating the same pre-built schedule.
+///
 /// The incremental engine runs twice per cell: once with the per-worker
 /// Scratch memo (--memo scratch) and once with the campaign-wide sharded
 /// SharedReplayMemo (--memo shared), so the table shows what sharing the
@@ -36,9 +41,8 @@
 #include <thread>
 #include <vector>
 
-#include "algo/caft.hpp"
-#include "campaign/campaign.hpp"
-#include "campaign/scenario_sampler.hpp"
+#include "api/api.hpp"
+#include "campaign/stats.hpp"
 #include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "dag/generators.hpp"
@@ -114,35 +118,34 @@ int run_bench(int argc, char** argv) {
 
   const std::size_t replays = bench_reps_from_env(200) * 10;
 
-  // 50-task instance at granularity 1, m = 10, CAFT with eps = 1.
+  // 50-task instance at granularity 1, m = 10, CAFT with eps = 1 — the
+  // schedule every cell replays, produced once through the registry.
   Rng rng(7);
   RandomDagParams dag;
   dag.min_tasks = 50;
   dag.max_tasks = 50;
-  const TaskGraph graph = random_dag(dag, rng);
-  const Platform platform(10);
+  TaskGraph graph = random_dag(dag, rng);
   CostSynthesisParams cost_params;
   cost_params.granularity = 1.0;
-  const CostModel costs = synthesize_costs(graph, platform, cost_params, rng);
-  CaftOptions options;
-  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
-  const Schedule schedule = caft_schedule(graph, platform, costs, options);
+  const ftsched::Instance instance(std::move(graph), Platform(10), cost_params,
+                                   rng, ftsched::RunOptions{/*eps=*/1});
+  const ftsched::ScheduleResult schedule =
+      ftsched::SchedulerRegistry::global().make("caft")->schedule(instance);
+  const double horizon = schedule.schedule.horizon();
 
   // Workload A: the paper's model — k=2 dead from t=0: C(10, 2) = 45 masks,
   // the memo-friendly regime where a shared memo computes each mask once
   // for the whole campaign instead of once per worker. Workload B: crashes
   // in the first half of the committed horizon (prefix snapshots, placed
   // adaptively from the sampler's θ quantiles, shorten every replay).
-  const UniformKSampler uniform_sampler(10, 2);
-  const CrashWindowSampler window_sampler(10, 2, 0.0,
-                                          schedule.horizon() * 0.5);
   struct Workload {
     const char* label;
-    const ScenarioSampler* sampler;
+    ftsched::SamplerSpec sampler;
   };
   const std::vector<Workload> workloads = {
-      {"uniform-k", &uniform_sampler},
-      {"crash-window", &window_sampler},
+      {"uniform-k", ftsched::SamplerSpec::uniform_k(2)},
+      {"crash-window",
+       ftsched::SamplerSpec::window(2, 0.0, horizon * 0.5)},
   };
 
   std::cout << "=== campaign throughput: " << replays
@@ -161,6 +164,9 @@ int run_bench(int argc, char** argv) {
     Table table(std::string("replays/sec vs threads — ") + workload.label,
                 {"threads", "engine", "memo", "seconds", "replays_per_sec",
                  "speedup_vs_naive", "memo_hit_rate"});
+    ftsched::CampaignSpec spec;
+    spec.sampler = workload.sampler;
+    spec.replays = replays;
     // Every (engine, memo, thread count) cell is compared against the first
     // cell run — one shared reference, so engines and memo placements
     // cross-check each other too.
@@ -169,25 +175,26 @@ int run_bench(int argc, char** argv) {
       double naive_rate = 0.0;
       double scratch_rate = 0.0;
       for (const Variant& variant : variants) {
-        CampaignOptions campaign;
-        campaign.replays = replays;
-        campaign.threads = threads;
-        campaign.engine = std::string(variant.engine) == "naive"
-                              ? CampaignEngine::kNaive
-                              : CampaignEngine::kIncremental;
-        campaign.memo = std::string(variant.memo) == "shared"
-                            ? CampaignMemo::kShared
-                            : CampaignMemo::kScratch;
-        CampaignTelemetry telemetry;
+        ftsched::SessionOptions session_options;
+        session_options.threads = threads;
+        session_options.engine = std::string(variant.engine) == "naive"
+                                     ? CampaignEngine::kNaive
+                                     : CampaignEngine::kIncremental;
+        session_options.memo = std::string(variant.memo) == "shared"
+                                   ? CampaignMemo::kShared
+                                   : CampaignMemo::kScratch;
+        const ftsched::Session session(session_options);
         const auto start = Clock::now();
-        const CampaignSummary summary = run_campaign(
-            schedule, costs, *workload.sampler, campaign, &telemetry);
+        const ftsched::CampaignRun run =
+            session.evaluate_schedule(instance, schedule, spec);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - start).count();
         const double rate = static_cast<double>(replays) / seconds;
-        if (campaign.engine == CampaignEngine::kNaive) naive_rate = rate;
-        if (campaign.engine == CampaignEngine::kIncremental) {
-          if (campaign.memo == CampaignMemo::kScratch) scratch_rate = rate;
+        if (session_options.engine == CampaignEngine::kNaive)
+          naive_rate = rate;
+        if (session_options.engine == CampaignEngine::kIncremental) {
+          if (session_options.memo == CampaignMemo::kScratch)
+            scratch_rate = rate;
           // Reported (not exit-code-gated, like the naive-speedup line:
           // raw timings are too noisy on shared CI runners): sharing the
           // memo should not cost throughput where it matters — 4+ workers
@@ -197,8 +204,8 @@ int run_bench(int argc, char** argv) {
             shared_ok = false;
         }
         if (reference == nullptr) {
-          reference = std::make_unique<CampaignSummary>(summary);
-        } else if (!summaries_identical(summary, *reference)) {
+          reference = std::make_unique<CampaignSummary>(run.summary);
+        } else if (!summaries_identical(run.summary, *reference)) {
           deterministic = false;
           std::cerr << "MISMATCH: " << workload.label << " engine "
                     << variant.engine << " memo " << variant.memo << " at "
@@ -212,14 +219,14 @@ int run_bench(int argc, char** argv) {
         if (naive_rate > 0.0) {
           const double speedup = rate / naive_rate;
           speedup_cell = speedup;
-          if (campaign.engine == CampaignEngine::kIncremental &&
+          if (session_options.engine == CampaignEngine::kIncremental &&
               threads == 8 && speedup < 2.0)
             speedup_ok = false;
         }
         table.add_row({static_cast<double>(threads),
                        std::string(variant.engine),
                        std::string(variant.memo), seconds, rate,
-                       speedup_cell, hit_rate(telemetry)});
+                       speedup_cell, hit_rate(run.telemetry)});
       }
     }
     table.print(std::cout, 3);
@@ -227,56 +234,63 @@ int run_bench(int argc, char** argv) {
   }
 
   // --- θ-quantized crash-window workload: shared memo with bucketed keys.
-  // k=1 over 32 buckets gives a keyspace of m × 32 = 320, small enough for
-  // the memo to start paying within one bench run. The quantized summary is
-  // an approximation of the exact one, so it is held to its own determinism
-  // gate (identical across thread counts) and reported as hit rate + drift,
-  // not compared bit-for-bit to exact. Skipped for --engine naive: the
-  // whole block measures the incremental engine.
+  // k=1 over 32 buckets of the half-horizon window gives a keyspace of
+  // m × 32 = 320, small enough for the memo to start paying within one
+  // bench run. The quantized summary is an approximation of the exact one,
+  // so it is held to its own determinism gate (identical across thread
+  // counts) and reported as hit rate + drift, not compared bit-for-bit to
+  // exact. Skipped for --engine naive: the whole block measures the
+  // incremental engine.
   bool quantized_deterministic = true;
   double quantized_hit_rate = 0.0;
   if (engine_arg != "naive") {
-    const CrashWindowSampler quantized_sampler(10, 1, 0.0,
-                                               schedule.horizon() * 0.5);
-    CampaignOptions exact_campaign;
-    exact_campaign.replays = replays;
-    exact_campaign.threads = 1;
-    const CampaignSummary exact =
-        run_campaign(schedule, costs, quantized_sampler, exact_campaign);
+    ftsched::CampaignSpec spec;
+    spec.sampler = ftsched::SamplerSpec::window(1, 0.0, horizon * 0.5);
+    spec.replays = replays;
+    {
+      ftsched::SessionOptions exact_options;
+      exact_options.threads = 1;
+      const ftsched::Session exact_session(exact_options);
+      const CampaignSummary exact =
+          exact_session.evaluate_schedule(instance, schedule, spec).summary;
 
-    Table table("θ-quantized shared memo — crash-window k=1, 32 buckets",
-                {"threads", "seconds", "replays_per_sec", "memo_hit_rate",
-                 "success_drift", "latency_mean_drift"});
-    std::unique_ptr<CampaignSummary> reference;
-    for (const std::size_t threads : thread_counts) {
-      CampaignOptions campaign;
-      campaign.replays = replays;
-      campaign.threads = threads;
-      campaign.memo = CampaignMemo::kShared;
-      campaign.theta_bucket_width = schedule.horizon() * 0.5 / 32.0;
-      CampaignTelemetry telemetry;
-      const auto start = Clock::now();
-      const CampaignSummary summary = run_campaign(
-          schedule, costs, quantized_sampler, campaign, &telemetry);
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - start).count();
-      if (reference == nullptr)
-        reference = std::make_unique<CampaignSummary>(summary);
-      else if (!summaries_identical(summary, *reference)) {
-        quantized_deterministic = false;
-        std::cerr << "MISMATCH: quantized summary at " << threads
-                  << " threads diverged\n";
+      // 32 buckets over the half-horizon window = horizon / 64.
+      ftsched::CampaignSpec quantized = spec;
+      quantized.theta_buckets = 64;
+
+      Table table("θ-quantized shared memo — crash-window k=1, 32 buckets",
+                  {"threads", "seconds", "replays_per_sec", "memo_hit_rate",
+                   "success_drift", "latency_mean_drift"});
+      std::unique_ptr<CampaignSummary> reference;
+      for (const std::size_t threads : thread_counts) {
+        ftsched::SessionOptions session_options;
+        session_options.threads = threads;
+        session_options.memo = CampaignMemo::kShared;
+        const ftsched::Session session(session_options);
+        const auto start = Clock::now();
+        const ftsched::CampaignRun run =
+            session.evaluate_schedule(instance, schedule, quantized);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (reference == nullptr)
+          reference = std::make_unique<CampaignSummary>(run.summary);
+        else if (!summaries_identical(run.summary, *reference)) {
+          quantized_deterministic = false;
+          std::cerr << "MISMATCH: quantized summary at " << threads
+                    << " threads diverged\n";
+        }
+        quantized_hit_rate =
+            std::max(quantized_hit_rate, hit_rate(run.telemetry));
+        table.add_row(
+            {static_cast<double>(threads), seconds,
+             static_cast<double>(replays) / seconds, hit_rate(run.telemetry),
+             static_cast<double>(run.summary.successes) -
+                 static_cast<double>(exact.successes),
+             run.summary.latency.mean() - exact.latency.mean()});
       }
-      quantized_hit_rate = std::max(quantized_hit_rate, hit_rate(telemetry));
-      table.add_row(
-          {static_cast<double>(threads), seconds,
-           static_cast<double>(replays) / seconds, hit_rate(telemetry),
-           static_cast<double>(summary.successes) -
-               static_cast<double>(exact.successes),
-           summary.latency.mean() - exact.latency.mean()});
+      table.print(std::cout, 3);
+      std::cout << "\n";
     }
-    table.print(std::cout, 3);
-    std::cout << "\n";
   }
 
   std::cout << "summaries bit-for-bit identical across engines, memo "

@@ -1,0 +1,73 @@
+# Golden-file regression for `caft_cli schedule` through the registry path,
+# run as a ctest via
+#   cmake -DCLI=<caft_cli> -DGOLDEN_DIR=<tests/golden>
+#         -DWORK_DIR=<scratch> -P cmake/caft_cli_golden.cmake
+#
+# One pinned instance (random family, m=10, granularity 1.0, seed 11) is
+# generated, then scheduled with *every* registered algorithm name at
+# eps=2; the concatenated schedule reports must match the committed golden
+# byte for byte. Regenerate with tools/regen_caft_cli_golden.sh after an
+# intentional change.
+if(NOT CLI OR NOT GOLDEN_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "caft_cli_golden.cmake needs -DCLI, -DGOLDEN_DIR and -DWORK_DIR")
+endif()
+
+set(ALGOS caft caft-batch ftsa ftbar heft)
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${CLI} generate --family random --procs 10 --granularity 1.0
+          --seed 11 --out instance.txt
+  OUTPUT_QUIET
+  RESULT_VARIABLE generate_rc
+  WORKING_DIRECTORY ${WORK_DIR})
+if(NOT generate_rc EQUAL 0)
+  message(FATAL_ERROR "caft_cli generate exited with ${generate_rc}")
+endif()
+
+set(REPORT "")
+foreach(algo ${ALGOS})
+  execute_process(
+    COMMAND ${CLI} schedule --in instance.txt --algo ${algo} --eps 2
+    OUTPUT_VARIABLE algo_out
+    RESULT_VARIABLE algo_rc
+    WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT algo_rc EQUAL 0)
+    message(FATAL_ERROR
+      "caft_cli schedule --algo ${algo} exited with ${algo_rc} (a valid "
+      "schedule exits 0)")
+  endif()
+  string(APPEND REPORT "${algo_out}")
+endforeach()
+
+# The registry's unknown-algo error is part of the CLI contract too.
+execute_process(
+  COMMAND ${CLI} schedule --in instance.txt --algo no-such-algo
+  ERROR_VARIABLE unknown_err
+  OUTPUT_QUIET
+  RESULT_VARIABLE unknown_rc
+  WORKING_DIRECTORY ${WORK_DIR})
+if(unknown_rc EQUAL 0)
+  message(FATAL_ERROR "caft_cli schedule accepted an unknown algorithm")
+endif()
+if(NOT unknown_err MATCHES "unknown algo 'no-such-algo'; known: caft, caft-batch, ftsa, ftbar, heft")
+  message(FATAL_ERROR
+    "unknown-algo error message does not list the registry names: ${unknown_err}")
+endif()
+
+file(WRITE ${WORK_DIR}/caft_cli_schedule.txt "${REPORT}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/caft_cli_schedule.txt
+          ${GOLDEN_DIR}/caft_cli_schedule.txt
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "caft_cli schedule output differs from the golden "
+    "tests/golden/caft_cli_schedule.txt.\n"
+    "If the change is intentional, regenerate with "
+    "tools/regen_caft_cli_golden.sh <build-dir> and commit the result.")
+endif()
+
+message(STATUS "caft_cli schedule golden outputs match for: ${ALGOS}")

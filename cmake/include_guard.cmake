@@ -1,0 +1,38 @@
+# include-what-they-ship guard, run as a ctest via
+#   cmake -DSOURCE_DIR=<repo> -P cmake/include_guard.cmake
+#
+# tools/ and examples/ are the shipped consumers of the library: they must
+# obtain algorithms exclusively through the ftsched:: facade
+# (api/api.hpp + SchedulerRegistry), never by including the per-algorithm
+# implementation headers under algo/ directly. The same grep runs in CI.
+if(NOT SOURCE_DIR)
+  message(FATAL_ERROR "include_guard.cmake needs -DSOURCE_DIR")
+endif()
+
+file(GLOB shipped
+     ${SOURCE_DIR}/tools/*.cpp ${SOURCE_DIR}/tools/*.hpp
+     ${SOURCE_DIR}/examples/*.cpp ${SOURCE_DIR}/examples/*.hpp)
+
+# An empty glob means the guard is scanning nothing (e.g. a moved
+# directory) — fail loudly instead of passing vacuously.
+if(NOT shipped)
+  message(FATAL_ERROR
+    "include guard found no sources under ${SOURCE_DIR}/tools and "
+    "${SOURCE_DIR}/examples — wrong SOURCE_DIR?")
+endif()
+
+set(violations "")
+foreach(source ${shipped})
+  file(STRINGS ${source} bad_includes REGEX "#include[ \t]+\"algo/")
+  if(bad_includes)
+    string(APPEND violations "  ${source}: ${bad_includes}\n")
+  endif()
+endforeach()
+
+if(violations)
+  message(FATAL_ERROR
+    "tools/ and examples/ must consume algorithms via the api/ facade "
+    "(SchedulerRegistry), not algo/*.hpp directly:\n${violations}")
+endif()
+
+message(STATUS "include guard clean: tools/ and examples/ use api/ only")

@@ -1,7 +1,8 @@
 /// Crash replay: watch a fault-tolerant schedule absorb real failures.
 ///
-/// Schedules a wavefront stencil with CAFT at eps = 2, then re-executes the
-/// committed schedule under increasingly hostile conditions:
+/// Schedules a wavefront stencil with CAFT (via the SchedulerRegistry) at
+/// eps = 2, then re-executes the committed schedule under increasingly
+/// hostile conditions:
 ///   - no failures (the replay reproduces the committed timetable exactly);
 ///   - each single-processor crash;
 ///   - the adversarially worst pair of crashes (found exhaustively);
@@ -10,53 +11,50 @@
 #include <cstdio>
 #include <iostream>
 
-#include "algo/caft.hpp"
+#include "api/api.hpp"
 #include "dag/generators.hpp"
 #include "metrics/gantt.hpp"
-#include "platform/cost_synthesis.hpp"
 #include "sim/resilience.hpp"
 
 int main() {
   using namespace caft;
 
-  const TaskGraph graph = stencil(4, 5, 90.0);
-  const Platform platform(6);
-  Rng rng(17);
   CostSynthesisParams params;
   params.granularity = 1.0;
-  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+  const ftsched::Instance instance(stencil(4, 5, 90.0), Platform(6), params,
+                                   /*cost_seed=*/17, ftsched::RunOptions{2});
 
-  CaftOptions options;
-  options.base = SchedulerOptions{2, CommModelKind::kOnePort};
-  const Schedule sched = caft_schedule(graph, platform, costs, options);
+  const ftsched::ScheduleResult result =
+      ftsched::SchedulerRegistry::global().make("caft")->schedule(instance);
+  const Schedule& sched = result.schedule;
   std::printf("stencil 4x5 on m=6, eps=2: committed latency %.1f "
               "(upper bound %.1f), %zu messages\n\n",
-              sched.zero_crash_latency(), sched.upper_bound_latency(),
-              sched.message_count());
+              result.makespan, result.upper_bound, result.messages);
 
   GanttOptions gantt;
   gantt.width = 90;
 
   // 1. Clean replay.
   const CrashResult clean =
-      simulate_crashes(sched, costs, CrashScenario::none(6));
+      simulate_crashes(sched, instance.costs(), CrashScenario::none(6));
   std::printf("clean replay: latency %.1f (committed %.1f) — the replay is "
               "exact\n",
-              clean.latency, sched.zero_crash_latency());
+              clean.latency, result.makespan);
 
   // 2. Every single crash.
   std::printf("\nsingle crashes:\n");
-  for (const ProcId p : platform.all_procs()) {
-    const CrashResult result =
-        simulate_crashes(sched, costs, CrashScenario::at_zero(6, {p}));
+  for (const ProcId p : instance.platform().all_procs()) {
+    const CrashResult crash = simulate_crashes(sched, instance.costs(),
+                                               CrashScenario::at_zero(6, {p}));
     std::printf("  P%u down: %s, latency %8.1f (%+.1f%% vs 0-crash)\n",
-                p.value(), result.success ? "survived" : "FAILED",
-                result.latency,
-                100.0 * (result.latency / sched.zero_crash_latency() - 1.0));
+                p.value(), crash.success ? "survived" : "FAILED",
+                crash.latency,
+                100.0 * (crash.latency / result.makespan - 1.0));
   }
 
   // 3. The adversarial pair.
-  const ResilienceReport report = check_resilience_exhaustive(sched, costs, 2);
+  const ResilienceReport report =
+      check_resilience_exhaustive(sched, instance.costs(), 2);
   std::printf("\nall %zu crash pairs survive: %s (worst latency %.1f)\n",
               report.scenarios_tested, report.resistant ? "yes" : "NO",
               report.worst_latency);
@@ -69,23 +67,24 @@ int main() {
       const CrashScenario scenario = CrashScenario::at_zero(
           6, {ProcId(static_cast<ProcId::value_type>(a)),
               ProcId(static_cast<ProcId::value_type>(b))});
-      const CrashResult result = simulate_crashes(sched, costs, scenario);
-      if (result.success && result.latency > worst) {
-        worst = result.latency;
+      const CrashResult crash =
+          simulate_crashes(sched, instance.costs(), scenario);
+      if (crash.success && crash.latency > worst) {
+        worst = crash.latency;
         worst_scenario = scenario;
       }
     }
   const CrashResult worst_result =
-      simulate_crashes(sched, costs, worst_scenario);
+      simulate_crashes(sched, instance.costs(), worst_scenario);
   std::printf("\nworst surviving pair (latency %.1f):\n", worst_result.latency);
   std::cout << render_crash_gantt(sched, worst_result, worst_scenario, gantt);
 
   // 4. Crash at mid-flight: results computed before the crash stay usable.
   CrashScenario midflight = CrashScenario::none(6);
-  midflight.set_crash_time(ProcId(0), sched.zero_crash_latency() / 2.0);
-  const CrashResult mid = simulate_crashes(sched, costs, midflight);
+  midflight.set_crash_time(ProcId(0), result.makespan / 2.0);
+  const CrashResult mid = simulate_crashes(sched, instance.costs(), midflight);
   std::printf("\nP0 dies at t=%.1f (mid-flight): %s, latency %.1f\n",
-              sched.zero_crash_latency() / 2.0,
-              mid.success ? "survived" : "FAILED", mid.latency);
+              result.makespan / 2.0, mid.success ? "survived" : "FAILED",
+              mid.latency);
   return report.resistant && clean.success ? 0 : 1;
 }

@@ -4,17 +4,17 @@
 /// refinement -> merge) models the kind of application the paper's
 /// introduction motivates: throughput-oriented work on a heterogeneous
 /// cluster where any node may drop out. The example builds the pipeline DAG
-/// by hand with the public TaskGraph API (no generator), schedules it with
-/// CAFT at eps = 1 and eps = 2, and prints the latency/overhead trade-off
-/// together with the Gantt chart of the eps = 1 schedule.
+/// by hand with the public TaskGraph API (no generator), wraps it into an
+/// ftsched::Instance, schedules it with CAFT (via the registry) at eps = 1
+/// and eps = 2, and prints the latency/overhead trade-off together with the
+/// Gantt chart of the eps = 1 schedule.
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
-#include "algo/caft.hpp"
-#include "algo/heft.hpp"
+#include "api/api.hpp"
 #include "metrics/gantt.hpp"
 #include "metrics/metrics.hpp"
-#include "platform/cost_synthesis.hpp"
 #include "sim/resilience.hpp"
 
 namespace {
@@ -49,40 +49,42 @@ TaskGraph build_pipeline(std::size_t bands) {
 }  // namespace
 
 int main() {
-  const TaskGraph graph = build_pipeline(6);
-  const Platform platform(8);
-  Rng rng(11);
   CostSynthesisParams params;
   params.granularity = 0.5;  // bandwidth-hungry pipeline
-  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+  const ftsched::Instance instance(build_pipeline(6), Platform(8), params,
+                                   /*cost_seed=*/11);
 
   std::printf("image pipeline: %zu tasks, %zu edges on m=%zu processors\n\n",
-              graph.task_count(), graph.edge_count(), platform.proc_count());
+              instance.graph().task_count(), instance.graph().edge_count(),
+              instance.proc_count());
 
-  const Schedule baseline =
-      heft_schedule(graph, platform, costs, CommModelKind::kOnePort);
+  const ftsched::SchedulerRegistry& registry =
+      ftsched::SchedulerRegistry::global();
+  const ftsched::ScheduleResult baseline =
+      registry.make("heft")->schedule(instance);
   std::printf("%-18s latency %8.1f   (no failures survived)\n",
-              "HEFT (fault-free)", baseline.zero_crash_latency());
+              "HEFT (fault-free)", baseline.makespan);
 
-  Schedule last_tolerant = baseline;
+  const auto caft_scheduler = registry.make("caft");
+  std::optional<ftsched::ScheduleResult> tolerant;
   for (const std::size_t eps : {1u, 2u}) {
-    CaftOptions options;
-    options.base = SchedulerOptions{eps, CommModelKind::kOnePort};
-    Schedule sched = caft_schedule(graph, platform, costs, options);
+    ftsched::ScheduleRequest request;
+    request.eps = eps;
+    ftsched::ScheduleResult result =
+        caft_scheduler->schedule(instance, request);
     const ResilienceReport report =
-        check_resilience_exhaustive(sched, costs, eps);
+        check_resilience_exhaustive(result.schedule, instance.costs(), eps);
     std::printf("%-10s eps=%zu  latency %8.1f   overhead %+6.1f%%   msgs %3zu"
                 "   survives all %zu-subsets: %s\n",
-                "CAFT", eps, sched.zero_crash_latency(),
-                overhead_percent(sched.zero_crash_latency(),
-                                 baseline.zero_crash_latency()),
-                sched.message_count(), eps, report.resistant ? "yes" : "NO");
-    if (eps == 1) last_tolerant = std::move(sched);
+                "CAFT", eps, result.makespan,
+                overhead_percent(result.makespan, baseline.makespan),
+                result.messages, eps, report.resistant ? "yes" : "NO");
+    if (eps == 1) tolerant = std::move(result);
   }
 
   std::printf("\nGantt of the eps=1 schedule (replicated stages visible):\n");
   GanttOptions gantt;
   gantt.width = 96;
-  std::cout << render_gantt(last_tolerant, gantt);
+  std::cout << render_gantt(tolerant->schedule, gantt);
   return 0;
 }

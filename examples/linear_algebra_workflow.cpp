@@ -8,15 +8,14 @@
 ///   - FFT (16 points): the butterfly exchange pattern.
 ///
 /// For each, the example compares the fault-free HEFT latency against CAFT
-/// with eps = 1 and reports the replication overhead the paper's formula
-/// assigns — the price of surviving a node loss mid-factorization.
+/// with eps = 1 (both obtained by name from the SchedulerRegistry) and
+/// reports the replication overhead the paper's formula assigns — the price
+/// of surviving a node loss mid-factorization.
 #include <cstdio>
 
-#include "algo/caft.hpp"
-#include "algo/heft.hpp"
+#include "api/api.hpp"
 #include "dag/generators.hpp"
 #include "metrics/metrics.hpp"
-#include "platform/cost_synthesis.hpp"
 #include "sched/bounds.hpp"
 #include "sim/resilience.hpp"
 
@@ -25,30 +24,30 @@ namespace {
 using namespace caft;
 
 void run_workflow(const char* name, TaskGraph graph, double granularity) {
-  const Platform platform(12);
-  Rng rng(7);
   CostSynthesisParams params;
   params.granularity = granularity;
-  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+  const ftsched::Instance instance(std::move(graph), Platform(12), params,
+                                   /*cost_seed=*/7, ftsched::RunOptions{1});
 
-  const Schedule baseline =
-      heft_schedule(graph, platform, costs, CommModelKind::kOnePort);
-  CaftOptions options;
-  options.base = SchedulerOptions{1, CommModelKind::kOnePort};
-  const Schedule tolerant = caft_schedule(graph, platform, costs, options);
+  const ftsched::SchedulerRegistry& registry =
+      ftsched::SchedulerRegistry::global();
+  const ftsched::ScheduleResult baseline =
+      registry.make("heft")->schedule(instance);
+  const ftsched::ScheduleResult tolerant =
+      registry.make("caft")->schedule(instance);
 
-  const ScheduleStats stats = schedule_stats(tolerant);
+  const ScheduleStats stats = schedule_stats(tolerant.schedule);
   const ResilienceReport report =
-      check_resilience_exhaustive(tolerant, costs, 1);
+      check_resilience_exhaustive(tolerant.schedule, instance.costs(), 1);
 
   std::printf("%-22s %4zu tasks %4zu edges | HEFT %8.1f | CAFT(eps=1) %8.1f "
               "(overhead %+5.1f%%) | msgs %3zu | util %4.1f%% | survives all "
               "single failures: %s\n",
-              name, graph.task_count(), graph.edge_count(),
-              baseline.zero_crash_latency(), tolerant.zero_crash_latency(),
-              overhead_percent(tolerant.zero_crash_latency(),
-                               baseline.zero_crash_latency()),
-              tolerant.message_count(), 100.0 * stats.mean_utilization,
+              name, instance.graph().task_count(),
+              instance.graph().edge_count(), baseline.makespan,
+              tolerant.makespan,
+              overhead_percent(tolerant.makespan, baseline.makespan),
+              tolerant.messages, 100.0 * stats.mean_utilization,
               report.resistant ? "yes" : "NO");
 }
 

@@ -1,81 +1,79 @@
-/// Quickstart: the whole public API in one small program.
+/// Quickstart: the whole public API in one small program, built on the
+/// ftsched:: facade (api/api.hpp) — the same flow the README's "Library
+/// API" section walks through:
 ///
-///  1. Build a task graph (here the paper's random layered DAGs).
-///  2. Describe the platform (a fully connected heterogeneous cluster) and
-///     synthesize costs at a chosen granularity.
-///  3. Run the schedulers: HEFT (fault-free), FTSA, FTBAR, CAFT.
-///  4. Validate, measure, and check the fault-tolerance guarantee.
+///  1. Build an Instance: task graph + platform + synthesized costs + ε.
+///  2. Enumerate the SchedulerRegistry and schedule with every algorithm.
+///  3. Read the ScheduleResult: makespan, messages, validator verdict,
+///     typed per-algorithm stats.
+///  4. Run a Monte-Carlo fault-injection campaign through a Session.
 ///
 /// Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "algo/caft.hpp"
-#include "algo/ftbar.hpp"
-#include "algo/ftsa.hpp"
-#include "algo/heft.hpp"
+#include "api/api.hpp"
 #include "dag/generators.hpp"
 #include "metrics/metrics.hpp"
-#include "platform/cost_synthesis.hpp"
-#include "sched/validator.hpp"
-#include "sim/resilience.hpp"
 
 int main() {
-  using namespace caft;
+  using namespace ftsched;
 
-  // 1. A random precedence graph per the paper's protocol: 80-120 tasks,
-  //    fan-out 1-3, edge volumes in [50, 150].
-  Rng rng(2008);
-  const TaskGraph graph = random_dag(RandomDagParams{}, rng);
-  std::printf("task graph: %zu tasks, %zu edges\n", graph.task_count(),
-              graph.edge_count());
-
-  // 2. Ten fully connected heterogeneous processors; costs drawn so the
-  //    granularity (computation/communication ratio) is exactly 1.0.
-  const Platform platform(10);
-  CostSynthesisParams cost_params;
+  // 1. An Instance bundles the paper's random DAG (80-120 tasks), a fully
+  //    connected 10-processor heterogeneous platform, costs synthesized at
+  //    granularity 1.0, and the reliability target eps = 2.
+  caft::Rng rng(2008);
+  caft::TaskGraph graph = caft::random_dag(caft::RandomDagParams{}, rng);
+  caft::CostSynthesisParams cost_params;
   cost_params.granularity = 1.0;
-  const CostModel costs = synthesize_costs(graph, platform, cost_params, rng);
-  std::printf("platform: m=%zu processors, granularity g(G,P)=%.2f\n\n",
-              platform.proc_count(), costs.granularity(graph));
+  const Instance instance(std::move(graph), caft::Platform(10), cost_params,
+                          rng, RunOptions{/*eps=*/2});
+  std::printf("instance: %zu tasks, %zu edges, m=%zu, g=%.2f, eps=%zu\n\n",
+              instance.graph().task_count(), instance.graph().edge_count(),
+              instance.proc_count(),
+              instance.costs().granularity(instance.graph()),
+              instance.eps());
 
-  // 3. Schedule. eps = 2 failures must be survivable.
-  const std::size_t eps = 2;
-  const SchedulerOptions options{eps, CommModelKind::kOnePort};
+  // 2+3. Every registered algorithm (caft, caft-batch, ftsa, ftbar, heft),
+  //      discovered by name — no per-algorithm includes or call sites.
+  SchedulerRegistry::global().for_each([&](const Scheduler& scheduler) {
+    const ScheduleResult result = scheduler.schedule(instance);
+    std::printf("%-10s eps=%zu  valid=%-3s  latency=%8.1f (normalized "
+                "%5.2f)  messages=%4zu\n",
+                scheduler.name().c_str(), result.eps,
+                result.ok() ? "yes" : "NO", result.makespan,
+                caft::normalized_latency(result.makespan, instance.graph(),
+                                         instance.costs()),
+                result.messages);
+    // Typed per-algorithm stats ride along in the result.
+    if (const auto* stats = result.stats_as<caft::CaftRunStats>())
+      std::printf("           one-to-one commits=%zu, fallbacks=%zu\n",
+                  stats->one_to_one_commits, stats->fallback_commits);
+  });
 
-  const Schedule heft =
-      heft_schedule(graph, platform, costs, CommModelKind::kOnePort);
-  const Schedule ftsa = ftsa_schedule(graph, platform, costs, options);
-  FtbarOptions ftbar_options;
-  ftbar_options.base = options;
-  const Schedule ftbar = ftbar_schedule(graph, platform, costs, ftbar_options);
-  CaftOptions caft_options;
-  caft_options.base = options;
-  const Schedule caft = caft_schedule(graph, platform, costs, caft_options);
-
-  // 4a. Validate (structure + one-port conformance).
-  for (const auto& [name, sched] :
-       {std::pair<const char*, const Schedule*>{"HEFT", &heft},
-        {"FTSA", &ftsa},
-        {"FTBAR", &ftbar},
-        {"CAFT", &caft}}) {
-    const ValidationResult result = validate_schedule(*sched, costs);
-    std::printf("%-6s valid=%s  latency=%8.1f (normalized %5.2f)  "
-                "messages=%4zu\n",
-                name, result.ok() ? "yes" : "NO", sched->zero_crash_latency(),
-                normalized_latency(sched->zero_crash_latency(), graph, costs),
-                sched->message_count());
+  // 4. The distributional question the paper's single-crash-set protocol
+  //    cannot answer: survival probability and latency quantiles under
+  //    3000 random <=eps crash sets, via the campaign service facade.
+  Session session;
+  CampaignSpec spec;
+  spec.algorithms = {"caft", "ftsa"};
+  spec.sampler = SamplerSpec::uniform_k(instance.eps());
+  spec.replays = 3000;
+  const CampaignReport report = session.evaluate(instance, spec);
+  std::printf("\ncampaign: %zu replays of uniform-%zu crash sets\n",
+              spec.replays, instance.eps());
+  bool all_survived = true;
+  for (const CampaignRun& run : report.runs) {
+    std::printf("%-10s survived %zu/%zu, mean crash latency %.1f "
+                "(0-crash %.1f)\n",
+                run.algorithm.c_str(), run.summary.successes,
+                run.summary.replays, run.summary.latency.mean(),
+                run.result.makespan);
+    // Proposition 5.2: every <=eps crash set must be survived.
+    all_survived = all_survived &&
+                   run.summary.successes_within_eps ==
+                       run.summary.replays_within_eps;
   }
-
-  // 4b. The guarantee: every crash set of eps processors leaves a complete
-  //     copy of every task (Proposition 5.2; CAFT's default support mode
-  //     makes this a theorem).
-  const ResilienceReport report = check_resilience_exhaustive(caft, costs, eps);
-  std::printf("\nCAFT resilience: %zu/%zu crash subsets of size %zu survive\n",
-              report.scenarios_tested - report.failures,
-              report.scenarios_tested, eps);
-  std::printf("re-executed latency across surviving subsets: best %.1f, "
-              "worst %.1f (0-crash estimate %.1f)\n",
-              report.best_latency, report.worst_latency,
-              caft.zero_crash_latency());
-  return report.resistant ? 0 : 1;
+  std::printf("every <=eps crash set survived: %s\n",
+              all_survived ? "yes" : "NO");
+  return all_survived ? 0 : 1;
 }

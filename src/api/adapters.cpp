@@ -1,0 +1,157 @@
+/// \file api/adapters.cpp
+/// The five built-in schedulers of the registry, adapting the per-algorithm
+/// free functions of algo/ to the ftsched::Scheduler contract. The algo/
+/// headers remain the implementation layer; tools/ and examples/ consume
+/// algorithms exclusively through the registry — an include guard (ctest
+/// `include_what_they_ship` + a CI grep) enforces it there. bench/ also
+/// schedules via the registry where it compares algorithms, but its
+/// mechanism-level ablations (support modes, one-to-one toggles) may keep
+/// reaching into algo/ directly.
+#include <any>
+#include <memory>
+
+#include "algo/caft.hpp"
+#include "algo/caft_batch.hpp"
+#include "algo/ftbar.hpp"
+#include "algo/ftsa.hpp"
+#include "algo/heft.hpp"
+#include "api/scheduler.hpp"
+
+namespace ftsched {
+
+namespace {
+
+class CaftScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "caft"; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override {
+    return {.supports_eps = true, .contention_aware = true,
+            .emits_duplicates = false};
+  }
+
+ protected:
+  [[nodiscard]] caft::Schedule run(const Instance& instance,
+                                   const caft::SchedulerOptions& options,
+                                   const ScheduleRequest& request,
+                                   std::any* stats) const override {
+    caft::CaftOptions caft_options;
+    caft_options.base = options;
+    caft_options.one_to_one = request.one_to_one;
+    caft_options.support_mode = request.support_mode;
+    caft::CaftRunStats run_stats;
+    caft::Schedule schedule = caft_schedule(
+        instance.graph(), instance.platform(), instance.costs(), caft_options,
+        &run_stats);
+    if (stats != nullptr) *stats = run_stats;
+    return schedule;
+  }
+};
+
+class CaftBatchScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "caft-batch"; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override {
+    return {.supports_eps = true, .contention_aware = true,
+            .emits_duplicates = false};
+  }
+
+ protected:
+  [[nodiscard]] caft::Schedule run(const Instance& instance,
+                                   const caft::SchedulerOptions& options,
+                                   const ScheduleRequest& request,
+                                   std::any* stats) const override {
+    caft::CaftBatchOptions batch_options;
+    batch_options.caft.base = options;
+    batch_options.caft.one_to_one = request.one_to_one;
+    batch_options.caft.support_mode = request.support_mode;
+    batch_options.batch_size = request.batch_size;
+    caft::CaftRunStats run_stats;
+    caft::Schedule schedule = caft_batch_schedule(
+        instance.graph(), instance.platform(), instance.costs(), batch_options,
+        &run_stats);
+    if (stats != nullptr) *stats = run_stats;
+    return schedule;
+  }
+};
+
+class FtsaScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ftsa"; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override {
+    return {.supports_eps = true, .contention_aware = false,
+            .emits_duplicates = false};
+  }
+
+ protected:
+  [[nodiscard]] caft::Schedule run(const Instance& instance,
+                                   const caft::SchedulerOptions& options,
+                                   const ScheduleRequest& /*request*/,
+                                   std::any* /*stats*/) const override {
+    return ftsa_schedule(instance.graph(), instance.platform(),
+                         instance.costs(), options);
+  }
+};
+
+class FtbarScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ftbar"; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override {
+    return {.supports_eps = true, .contention_aware = false,
+            .emits_duplicates = true};
+  }
+
+ protected:
+  [[nodiscard]] caft::Schedule run(const Instance& instance,
+                                   const caft::SchedulerOptions& options,
+                                   const ScheduleRequest& request,
+                                   std::any* /*stats*/) const override {
+    caft::FtbarOptions ftbar_options;
+    ftbar_options.base = options;
+    ftbar_options.minimize_start_time = request.minimize_start_time;
+    return ftbar_schedule(instance.graph(), instance.platform(),
+                          instance.costs(), ftbar_options);
+  }
+};
+
+class HeftScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "heft"; }
+  [[nodiscard]] SchedulerCapabilities capabilities() const override {
+    return {.supports_eps = false, .contention_aware = false,
+            .emits_duplicates = false};
+  }
+
+ protected:
+  /// HEFT is the fault-free baseline: ε is pinned to 0 whatever the
+  /// instance or request says (capabilities().supports_eps is false).
+  [[nodiscard]] std::size_t resolve_eps(
+      const Instance& /*instance*/,
+      const ScheduleRequest& /*request*/) const override {
+    return 0;
+  }
+
+  [[nodiscard]] caft::Schedule run(const Instance& instance,
+                                   const caft::SchedulerOptions& options,
+                                   const ScheduleRequest& /*request*/,
+                                   std::any* /*stats*/) const override {
+    return heft_schedule(instance.graph(), instance.platform(),
+                         instance.costs(), options.model);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_schedulers(SchedulerRegistry& registry) {
+  // Canonical order — names() and every "known: ..." message follow it.
+  registry.add(std::make_shared<CaftScheduler>());
+  registry.add(std::make_shared<CaftBatchScheduler>());
+  registry.add(std::make_shared<FtsaScheduler>());
+  registry.add(std::make_shared<FtbarScheduler>());
+  registry.add(std::make_shared<HeftScheduler>());
+}
+
+}  // namespace detail
+
+}  // namespace ftsched

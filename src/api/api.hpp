@@ -1,0 +1,17 @@
+/// \file api/api.hpp
+/// Umbrella header of the `ftsched::` facade — the stable public surface of
+/// the library. Consumers outside src/ (tools, examples, benches, services)
+/// include this (or the individual api/ headers) and obtain algorithms via
+/// SchedulerRegistry; the per-algorithm headers under algo/ are the
+/// implementation layer the adapters call.
+///
+///   ftsched::Instance   — owning graph+platform+costs bundle, load/save,
+///                         validation (api/instance.hpp)
+///   ftsched::Scheduler  — polymorphic algorithm contract + SchedulerRegistry
+///                         (api/scheduler.hpp)
+///   ftsched::Session    — batch/campaign service facade (api/session.hpp)
+#pragma once
+
+#include "api/instance.hpp"
+#include "api/scheduler.hpp"
+#include "api/session.hpp"

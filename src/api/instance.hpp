@@ -1,0 +1,125 @@
+/// \file api/instance.hpp
+/// `ftsched::Instance` — the owning bundle every consumer of this library
+/// schedules against: one task graph, one platform, one cost model, plus the
+/// per-run options (ε, communication model) all schedulers share.
+///
+/// Why a class instead of three loose references: the core types
+/// cross-reference each other by pointer (CostModel keeps a pointer to its
+/// Platform, Schedule keeps pointers to its TaskGraph and Platform), so the
+/// lifetime and address stability of the parts is a contract every caller
+/// used to re-implement with ad-hoc unique_ptr plumbing. The Instance owns
+/// the parts behind one stable heap allocation: it is movable, the addresses
+/// of graph()/platform()/costs() never change, and any Schedule produced
+/// from it stays valid for as long as the Instance lives.
+///
+/// Loading and saving go through io/instance_io (the archival text format),
+/// so CLIs, tests and services all share a single serialization path.
+///
+/// `validate()` front-loads the checks that used to surface as CHECK
+/// failures deep inside list_core mid-run: ε ≥ m (more replicas than
+/// processors), cost-model/graph and cost-model/platform size mismatches,
+/// and the 64-processor support-mask cap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dag/task_graph.hpp"
+#include "io/instance_io.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/cost_synthesis.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace ftsched {
+
+/// Options every scheduler in the registry understands. They live on the
+/// Instance (the natural scope: ε is a property of the reliability target of
+/// a run, not of an algorithm); a ScheduleRequest can override per call.
+struct RunOptions {
+  std::size_t eps = 0;  ///< failures ε to tolerate (ε+1 replicas per task)
+  caft::CommModelKind model = caft::CommModelKind::kOnePort;
+};
+
+/// Owning, movable, address-stable bundle of graph + platform + costs (+ an
+/// optional schedule loaded alongside, for replay tooling).
+class Instance {
+ public:
+  /// Adopts pre-built parts. `costs` must have been built against
+  /// `*platform` (checked); `schedule`, when given, against `graph`.
+  Instance(caft::TaskGraph graph, std::unique_ptr<caft::Platform> platform,
+           std::unique_ptr<caft::CostModel> costs, RunOptions options = {},
+           std::unique_ptr<caft::Schedule> schedule = nullptr);
+
+  /// Builds the platform in place and synthesizes costs against it with the
+  /// paper's protocol, drawing from `rng` (shared-stream variant: the caller
+  /// keeps control of the stream, e.g. graph and costs from one seed).
+  Instance(caft::TaskGraph graph, caft::Platform platform,
+           const caft::CostSynthesisParams& params, caft::Rng& rng,
+           RunOptions options = {});
+
+  /// Same, seeding a private stream — the one-liner for examples and tools.
+  Instance(caft::TaskGraph graph, caft::Platform platform,
+           const caft::CostSynthesisParams& params, std::uint64_t cost_seed,
+           RunOptions options = {});
+
+  Instance(Instance&&) noexcept = default;
+  Instance& operator=(Instance&&) noexcept = default;
+
+  /// Loads an instance file (io/instance_io format). A schedule serialized
+  /// alongside is kept — see loaded_schedule(); its ε becomes options().eps.
+  [[nodiscard]] static Instance load(const std::string& path,
+                                     RunOptions options = {});
+
+  /// Saves through the same io/instance_io path. `schedule` may be null
+  /// (instance only) — pass e.g. &result.schedule to archive a run.
+  void save(const std::string& path,
+            const caft::Schedule* schedule = nullptr) const;
+
+  [[nodiscard]] const caft::TaskGraph& graph() const {
+    return *bundle_->graph;
+  }
+  [[nodiscard]] const caft::Platform& platform() const {
+    return *bundle_->platform;
+  }
+  [[nodiscard]] const caft::CostModel& costs() const { return *bundle_->costs; }
+  [[nodiscard]] std::size_t proc_count() const {
+    return bundle_->platform->proc_count();
+  }
+
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+  [[nodiscard]] RunOptions& options() { return options_; }
+  [[nodiscard]] std::size_t eps() const { return options_.eps; }
+  void set_eps(std::size_t eps) { options_.eps = eps; }
+
+  /// Schedule that was serialized in the loaded file; null when none (or
+  /// when the instance was built in memory).
+  [[nodiscard]] const caft::Schedule* loaded_schedule() const {
+    return bundle_->schedule.get();
+  }
+
+  /// Hard-fails (caft::CheckError) on instances no scheduler can handle,
+  /// with actionable messages instead of mid-run CHECK failures:
+  ///   - empty graph;
+  ///   - cost model sized for a different graph or platform;
+  ///   - more than 64 processors (the support-mask cap of list_core);
+  ///   - ε ≥ m — ε+1 replicas cannot occupy distinct processors.
+  /// Validates `eps` (default: the instance's own options().eps).
+  void validate() const { validate(options_.eps); }
+  void validate(std::size_t eps) const;
+
+ private:
+  explicit Instance(std::unique_ptr<caft::InstanceBundle> bundle,
+                    RunOptions options);
+
+  /// All parts behind one stable allocation (see file comment). The
+  /// InstanceBundle layout is reused so load() keeps the internal
+  /// cross-references of a deserialized schedule intact.
+  std::unique_ptr<caft::InstanceBundle> bundle_;
+  RunOptions options_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,102 @@
+#include "api/scheduler.hpp"
+
+#include <cctype>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ftsched {
+
+std::string display_name(const std::string& algorithm) {
+  std::string label = algorithm;
+  for (char& c : label)
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return label;
+}
+
+std::size_t Scheduler::resolve_eps(const Instance& instance,
+                                   const ScheduleRequest& request) const {
+  return request.eps.value_or(instance.eps());
+}
+
+ScheduleResult Scheduler::schedule(const Instance& instance,
+                                   const ScheduleRequest& request) const {
+  const std::size_t eps = resolve_eps(instance, request);
+  instance.validate(eps);
+  const caft::SchedulerOptions options{
+      eps, request.model.value_or(instance.options().model)};
+
+  std::any stats;
+  ScheduleResult result(run(instance, options, request, &stats));
+  result.algorithm = name();
+  result.eps = eps;
+  result.makespan = result.schedule.zero_crash_latency();
+  result.upper_bound = result.schedule.upper_bound_latency();
+  result.messages = result.schedule.message_count();
+  result.message_volume = result.schedule.message_volume();
+  result.stats = std::move(stats);
+  if (request.validate) {
+    result.validated = true;
+    result.validation = validate_schedule(result.schedule, instance.costs());
+  }
+  return result;
+}
+
+SchedulerRegistry& SchedulerRegistry::global() {
+  // Built-ins are registered inside the magic-static initializer (directly
+  // on the local object, not through global(), so there is no reentrancy),
+  // which both guarantees they precede any external registration and forces
+  // the adapters translation unit to be linked.
+  static SchedulerRegistry& registry = *[] {
+    auto* r = new SchedulerRegistry();
+    detail::register_builtin_schedulers(*r);
+    return r;
+  }();
+  return registry;
+}
+
+void SchedulerRegistry::add(std::shared_ptr<const Scheduler> scheduler) {
+  CAFT_CHECK_MSG(scheduler != nullptr, "cannot register a null scheduler");
+  const std::string name = scheduler->name();
+  CAFT_CHECK_MSG(!name.empty(), "scheduler name must be non-empty");
+  CAFT_CHECK_MSG(!contains(name),
+                 "scheduler '" + name + "' is already registered");
+  schedulers_.push_back(std::move(scheduler));
+}
+
+std::shared_ptr<const Scheduler> SchedulerRegistry::make(
+    const std::string& name) const {
+  for (const auto& scheduler : schedulers_)
+    if (scheduler->name() == name) return scheduler;
+  throw caft::CheckError("unknown algo '" + name + "'; known: " +
+                         known_list());
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  for (const auto& scheduler : schedulers_)
+    if (scheduler->name() == name) return true;
+  return false;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(schedulers_.size());
+  for (const auto& scheduler : schedulers_) result.push_back(scheduler->name());
+  return result;
+}
+
+std::string SchedulerRegistry::known_list() const {
+  std::string joined;
+  for (const auto& scheduler : schedulers_) {
+    if (!joined.empty()) joined += ", ";
+    joined += scheduler->name();
+  }
+  return joined;
+}
+
+void SchedulerRegistry::for_each(
+    const std::function<void(const Scheduler&)>& visit) const {
+  for (const auto& scheduler : schedulers_) visit(*scheduler);
+}
+
+}  // namespace ftsched

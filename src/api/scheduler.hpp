@@ -1,0 +1,191 @@
+/// \file api/scheduler.hpp
+/// The polymorphic algorithm contract of the `ftsched::` facade and the
+/// registry that discovers implementations by name.
+///
+/// The paper evaluates four interchangeable policies (CAFT, FTSA, FTBAR,
+/// HEFT) over one instance/objective contract; this header is that contract
+/// made executable. A `Scheduler` maps an `Instance` (+ per-call
+/// `ScheduleRequest` overrides) to a `ScheduleResult` — the committed
+/// schedule plus the metrics and validator verdict every consumer used to
+/// recompute by hand. The `SchedulerRegistry` holds one stateless adapter
+/// per algorithm under its canonical name ("caft", "caft-batch", "ftsa",
+/// "ftbar", "heft"), so CLIs, the experiment runner, examples, benches and
+/// tests all dispatch through `make(name)` / `for_each` instead of
+/// re-implementing `if (algo == "heft") ...` string ladders.
+///
+/// Adding an algorithm = one adapter class + one registration line (see
+/// api/adapters.cpp, or FTSCHED_REGISTER_SCHEDULER for out-of-library
+/// schedulers); nothing else in the repo needs touching.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/caft.hpp"  // CaftSupportMode, SchedulerOptions (via list_core)
+#include "api/instance.hpp"
+#include "sched/schedule.hpp"
+#include "sched/validator.hpp"
+
+namespace ftsched {
+
+/// Per-call overrides and per-algorithm knobs. Fields an algorithm does not
+/// use are ignored (capabilities() says what is honoured).
+struct ScheduleRequest {
+  /// Overrides the instance's ε when set.
+  std::optional<std::size_t> eps;
+  /// Overrides the instance's communication model when set.
+  std::optional<caft::CommModelKind> model;
+  /// Run the structural/one-port validator on the result (cheap relative to
+  /// scheduling; the verdict lands in ScheduleResult::validation). Off for
+  /// hot loops that validate by other means (e.g. the experiment runner).
+  bool validate = true;
+
+  // --- CAFT / CAFT-batch knobs (see algo/caft.hpp for semantics).
+  caft::CaftSupportMode support_mode = caft::CaftSupportMode::kTransitive;
+  bool one_to_one = true;
+  std::size_t batch_size = 10;
+
+  // --- FTBAR knob: the Minimize-Start-Time duplication pass.
+  bool minimize_start_time = true;
+};
+
+/// What an algorithm can do — drives CLI help, test generation and the
+/// guard-rails of Session (e.g. campaigning a non-ε-aware scheduler).
+struct SchedulerCapabilities {
+  /// Honours ε > 0 (ε+1 replicas, Proposition 5.2 guarantee). HEFT does
+  /// not: it always emits one replica per task.
+  bool supports_eps = false;
+  /// Builds contention-aware one-to-one channels (equation (7)).
+  bool contention_aware = false;
+  /// May emit replicas beyond the ε+1 primaries (FTBAR's MST duplicates).
+  bool emits_duplicates = false;
+};
+
+/// Everything one scheduling run produces. The schedule references the
+/// Instance's graph/platform — a result must not outlive its instance.
+struct ScheduleResult {
+  explicit ScheduleResult(caft::Schedule schedule)
+      : schedule(std::move(schedule)) {}
+
+  caft::Schedule schedule;
+  std::string algorithm;            ///< registry name that produced it
+  std::size_t eps = 0;              ///< ε the run actually used
+  double makespan = 0.0;            ///< zero-crash latency L(0)
+  double upper_bound = 0.0;         ///< all-replicas latency bound
+  std::size_t messages = 0;         ///< inter-processor messages
+  double message_volume = 0.0;      ///< total inter-processor data volume
+  bool validated = false;           ///< whether the validator ran
+  caft::ValidationResult validation;
+
+  /// Per-algorithm run stats behind a typed accessor — e.g.
+  /// `result.stats_as<caft::CaftRunStats>()` after a caft/caft-batch run.
+  /// Null when the algorithm publishes none (or the type does not match).
+  std::any stats;
+  template <typename S>
+  [[nodiscard]] const S* stats_as() const {
+    return std::any_cast<S>(&stats);
+  }
+
+  /// True when the result is usable: validator clean (or not requested).
+  [[nodiscard]] bool ok() const { return !validated || validation.ok(); }
+};
+
+/// One algorithm behind the facade. Implementations are stateless and
+/// shareable (schedule() is const and thread-compatible).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Canonical registry name ("caft", "ftsa", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual SchedulerCapabilities capabilities() const = 0;
+
+  /// Validates the instance (Instance::validate with the resolved ε), runs
+  /// the algorithm, fills the metrics, and runs the validator when
+  /// requested. Template method: algorithms only implement run().
+  [[nodiscard]] ScheduleResult schedule(const Instance& instance,
+                                        const ScheduleRequest& request =
+                                            {}) const;
+
+ protected:
+  /// Algorithm hook. `options` carries the resolved (ε, model) pair; the
+  /// raw request is passed through for algorithm-specific knobs. `stats`
+  /// may receive a typed stats object (std::any).
+  [[nodiscard]] virtual caft::Schedule run(const Instance& instance,
+                                           const caft::SchedulerOptions& options,
+                                           const ScheduleRequest& request,
+                                           std::any* stats) const = 0;
+
+  /// ε the algorithm will actually honour; HEFT overrides this to pin 0.
+  [[nodiscard]] virtual std::size_t resolve_eps(const Instance& instance,
+                                                const ScheduleRequest& request)
+      const;
+};
+
+/// Uppercased registry name ("caft" -> "CAFT", "caft-batch" ->
+/// "CAFT-BATCH") — the display convention of every report table.
+[[nodiscard]] std::string display_name(const std::string& algorithm);
+
+/// Name-keyed catalogue of schedulers. The five built-ins self-register on
+/// first access (api/adapters.cpp); external code may add() more — e.g.
+/// experimental policies in a bench — and every consumer of names(),
+/// for_each() and make() picks them up with zero further wiring.
+class SchedulerRegistry {
+ public:
+  /// The process-wide registry (thread-safe initialization; built-ins are
+  /// registered before the first accessor returns).
+  [[nodiscard]] static SchedulerRegistry& global();
+
+  /// Registers `scheduler` under scheduler->name(). Throws caft::CheckError
+  /// on a duplicate name.
+  void add(std::shared_ptr<const Scheduler> scheduler);
+
+  /// Scheduler registered under `name`; throws caft::CheckError
+  /// "unknown algo 'x'; known: ..." otherwise.
+  [[nodiscard]] std::shared_ptr<const Scheduler> make(
+      const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registration-order names — the built-ins come first, in the canonical
+  /// order: caft, caft-batch, ftsa, ftbar, heft.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// names() joined with ", " — the single source of the "known: ..." list
+  /// every CLI error message shows.
+  [[nodiscard]] std::string known_list() const;
+
+  void for_each(
+      const std::function<void(const Scheduler&)>& visit) const;
+
+ private:
+  SchedulerRegistry() = default;
+
+  std::vector<std::shared_ptr<const Scheduler>> schedulers_;  ///< in order
+};
+
+namespace detail {
+/// Defined in api/adapters.cpp; referenced from SchedulerRegistry::global()
+/// so the adapter translation unit is always linked out of the static
+/// archive (static self-registration alone would be dead-stripped).
+void register_builtin_schedulers(SchedulerRegistry& registry);
+}  // namespace detail
+
+}  // namespace ftsched
+
+/// Static self-registration for schedulers defined outside api/adapters.cpp
+/// (tests, benches, downstream code): expands to a namespace-scope dummy
+/// whose initializer adds one instance of `Type` to the global registry.
+#define FTSCHED_REGISTER_SCHEDULER(Type)                                   \
+  namespace {                                                              \
+  const bool ftsched_registered_##Type =                                   \
+      (::ftsched::SchedulerRegistry::global().add(                         \
+           std::make_shared<Type>()),                                      \
+       true);                                                              \
+  }

@@ -1,0 +1,168 @@
+#include "api/session.hpp"
+
+#include "common/check.hpp"
+
+namespace ftsched {
+
+SamplerSpec SamplerSpec::uniform_k(std::size_t k) {
+  SamplerSpec spec;
+  spec.kind = Kind::kUniformK;
+  spec.failures = k;
+  return spec;
+}
+
+SamplerSpec SamplerSpec::exponential(double rate, double horizon) {
+  SamplerSpec spec;
+  spec.kind = Kind::kExponential;
+  spec.rate = rate;
+  spec.horizon = horizon;
+  return spec;
+}
+
+SamplerSpec SamplerSpec::weibull(double shape, double scale, double horizon) {
+  SamplerSpec spec;
+  spec.kind = Kind::kWeibull;
+  spec.shape = shape;
+  spec.scale = scale;
+  spec.horizon = horizon;
+  return spec;
+}
+
+SamplerSpec SamplerSpec::window(std::size_t k, double theta_lo,
+                                double theta_hi) {
+  SamplerSpec spec;
+  spec.kind = Kind::kWindow;
+  spec.failures = k;
+  spec.theta_lo = theta_lo;
+  spec.theta_hi = theta_hi;
+  return spec;
+}
+
+SamplerSpec SamplerSpec::groups(std::size_t group_size, double group_prob,
+                                double theta_lo, double theta_hi) {
+  SamplerSpec spec;
+  spec.kind = Kind::kGroups;
+  spec.group_size = group_size;
+  spec.group_prob = group_prob;
+  spec.theta_lo = theta_lo;
+  spec.theta_hi = theta_hi;
+  return spec;
+}
+
+std::unique_ptr<caft::ScenarioSampler> SamplerSpec::build(
+    std::size_t procs) const {
+  switch (kind) {
+    case Kind::kUniformK:
+      return std::make_unique<caft::UniformKSampler>(procs, failures);
+    case Kind::kExponential:
+      return std::make_unique<caft::ExponentialLifetimeSampler>(procs, rate,
+                                                                horizon);
+    case Kind::kWeibull:
+      return std::make_unique<caft::WeibullLifetimeSampler>(procs, shape,
+                                                            scale, horizon);
+    case Kind::kWindow:
+      return std::make_unique<caft::CrashWindowSampler>(procs, failures,
+                                                        theta_lo, theta_hi);
+    case Kind::kGroups:
+      return std::make_unique<caft::CorrelatedGroupSampler>(
+          procs, group_size, group_prob, theta_lo, theta_hi);
+  }
+  throw caft::CheckError("unhandled sampler kind");
+}
+
+const CampaignRun* CampaignReport::find(const std::string& algorithm) const {
+  for (const CampaignRun& run : runs)
+    if (run.algorithm == algorithm) return &run;
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, caft::CampaignSummary>>
+CampaignReport::summary_rows() const {
+  std::vector<std::pair<std::string, caft::CampaignSummary>> rows;
+  rows.reserve(runs.size());
+  for (const CampaignRun& run : runs)
+    rows.emplace_back(display_name(run.algorithm), run.summary);
+  return rows;
+}
+
+Session::Session(SessionOptions options) : options_(options) {}
+
+caft::CampaignOptions Session::campaign_options(
+    const CampaignSpec& spec, double schedule_horizon) const {
+  caft::CampaignOptions campaign;
+  campaign.replays = spec.replays;
+  campaign.seed = spec.seed;
+  campaign.quantiles = spec.quantiles;
+  campaign.threads = options_.threads;
+  campaign.block = options_.block;
+  campaign.engine = options_.engine;
+  campaign.memo = options_.memo;
+  campaign.memo_capacity = options_.memo_capacity;
+  campaign.memo_shards = options_.memo_shards;
+  campaign.adaptive_snapshots = options_.adaptive_snapshots;
+  campaign.exact = spec.exact;
+  campaign.theta_bucket_width =
+      spec.theta_buckets > 0
+          ? schedule_horizon / static_cast<double>(spec.theta_buckets)
+          : 0.0;
+  return campaign;
+}
+
+CampaignRun Session::evaluate_schedule(const Instance& instance,
+                                       ScheduleResult result,
+                                       const CampaignSpec& spec) const {
+  CAFT_CHECK_MSG(spec.replays > 0, "campaign replays must be positive");
+  // θ-quantization only exists on the incremental engine's shared memo;
+  // reject the inert combinations rather than silently running an exact
+  // campaign the caller believes is bucketed (spec.exact is the intentional
+  // opt-out and stays allowed).
+  if (spec.theta_buckets > 0 && !spec.exact) {
+    CAFT_CHECK_MSG(options_.engine == caft::CampaignEngine::kIncremental,
+                   "theta buckets require the incremental engine");
+    CAFT_CHECK_MSG(options_.memo == caft::CampaignMemo::kShared,
+                   "theta buckets require the shared memo");
+  }
+
+  const auto sampler = spec.sampler.build(instance.proc_count());
+  CampaignRun run{.algorithm = result.algorithm,
+                  .result = std::move(result),
+                  .summary = {},
+                  .telemetry = {},
+                  .theta_bucket_width = 0.0};
+  const caft::CampaignOptions campaign =
+      campaign_options(spec, run.result.schedule.horizon());
+  run.theta_bucket_width = spec.exact ? 0.0 : campaign.theta_bucket_width;
+  run.summary = run_campaign(run.result.schedule, instance.costs(), *sampler,
+                             campaign, &run.telemetry);
+  return run;
+}
+
+CampaignReport Session::evaluate(const Instance& instance,
+                                 const CampaignSpec& spec) const {
+  CAFT_CHECK_MSG(!spec.algorithms.empty(),
+                 "campaign spec names no algorithms");
+  const SchedulerRegistry& registry = SchedulerRegistry::global();
+  CampaignReport report;
+  report.runs.reserve(spec.algorithms.size());
+  for (const std::string& algorithm : spec.algorithms) {
+    const auto scheduler = registry.make(algorithm);
+    report.runs.push_back(evaluate_schedule(
+        instance, scheduler->schedule(instance, spec.request), spec));
+  }
+  return report;
+}
+
+std::vector<CampaignReport> Session::evaluate_batch(
+    std::span<const Instance> instances, const CampaignSpec& spec) const {
+  // Sequential for now — each campaign already saturates the Session's
+  // thread budget internally. When campaigns scale out across processes
+  // (ROADMAP), this loop becomes the dispatch point; the per-instance
+  // results are independent by construction.
+  std::vector<CampaignReport> reports;
+  reports.reserve(instances.size());
+  for (const Instance& instance : instances)
+    reports.push_back(evaluate(instance, spec));
+  return reports;
+}
+
+}  // namespace ftsched

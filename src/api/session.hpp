@@ -1,0 +1,181 @@
+/// \file api/session.hpp
+/// `ftsched::Session` — the batch/campaign service facade of the library.
+///
+/// A Session owns the execution policy of fault-injection campaigns: the
+/// worker-thread budget, the replay engine choice, the shared-replay-memo
+/// configuration (placement, capacity, shards) and the snapshot strategy.
+/// Consumers describe *what* to evaluate declaratively — a `CampaignSpec`
+/// names registered algorithms, a sampler distribution (`SamplerSpec`, plain
+/// data so specs can cross process boundaries when campaigns scale out) and
+/// the replay/seed budget — and the Session turns it into scheduled
+/// instances and folded `CampaignReport`s.
+///
+/// Determinism contract (inherited from campaign/run_campaign): a report is
+/// a pure function of (instance, spec) — thread count, engine, memo
+/// placement and block size never change a summary. `evaluate` is therefore
+/// bit-identical to hand-rolling registry->schedule + run_campaign with the
+/// same seeds, and tests/test_api.cpp holds it to that.
+///
+/// `evaluate_batch` is the multi-instance entry point — deliberately the
+/// single choke point where the ROADMAP's process-level campaign scale-out
+/// will split work across machines (the deterministic split-stream contract
+/// already makes results placement-independent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/instance.hpp"
+#include "api/scheduler.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/scenario_sampler.hpp"
+#include "campaign/stats.hpp"
+
+namespace ftsched {
+
+/// Declarative crash-distribution configuration — the data form of the
+/// campaign/scenario_sampler class family. Build with the factories.
+struct SamplerSpec {
+  enum class Kind {
+    kUniformK,     ///< k distinct processors dead from t=0 (paper model)
+    kExponential,  ///< per-processor exponential lifetimes
+    kWeibull,      ///< per-processor Weibull lifetimes
+    kWindow,       ///< k processors crash at θ ~ U[theta_lo, theta_hi]
+    kGroups,       ///< contiguous groups fail together at a shared θ
+  };
+  Kind kind = Kind::kUniformK;
+  std::size_t failures = 1;  ///< k (uniform-k, window)
+  double rate = 0.001;       ///< exponential
+  double shape = 1.5;        ///< weibull
+  double scale = 1000.0;     ///< weibull
+  /// Lifetimes beyond the horizon are censored to "never fails".
+  double horizon = std::numeric_limits<double>::infinity();
+  double theta_lo = 0.0;  ///< window/groups crash-time window
+  double theta_hi = 0.0;
+  std::size_t group_size = 2;  ///< groups
+  double group_prob = 0.1;     ///< groups
+
+  [[nodiscard]] static SamplerSpec uniform_k(std::size_t k);
+  [[nodiscard]] static SamplerSpec exponential(
+      double rate,
+      double horizon = std::numeric_limits<double>::infinity());
+  [[nodiscard]] static SamplerSpec weibull(
+      double shape, double scale,
+      double horizon = std::numeric_limits<double>::infinity());
+  [[nodiscard]] static SamplerSpec window(std::size_t k, double theta_lo,
+                                          double theta_hi);
+  [[nodiscard]] static SamplerSpec groups(std::size_t group_size,
+                                          double group_prob, double theta_lo,
+                                          double theta_hi);
+
+  /// Materializes the sampler for a platform of `procs` processors.
+  [[nodiscard]] std::unique_ptr<caft::ScenarioSampler> build(
+      std::size_t procs) const;
+
+  /// The report/display name of the materialized sampler (delegates to the
+  /// sampler class, the single source of that string).
+  [[nodiscard]] std::string name(std::size_t procs) const {
+    return build(procs)->name();
+  }
+};
+
+/// What one campaign evaluates: which registered algorithms, under which
+/// crash distribution, with which replay/seed budget.
+struct CampaignSpec {
+  /// Registry names, campaigned in this order. Every name is resolved via
+  /// SchedulerRegistry::make — unknown names fail with the canonical
+  /// "unknown algo 'x'; known: ..." error before any work starts.
+  std::vector<std::string> algorithms = {"caft", "ftsa", "ftbar"};
+  SamplerSpec sampler;
+  std::size_t replays = 1000;
+  std::uint64_t seed = 20080201;
+  /// Latency quantiles to estimate, each in (0, 1).
+  std::vector<double> quantiles = {0.5, 0.9, 0.99};
+  /// θ-quantization: split each schedule's horizon into this many memo
+  /// buckets (0 = off, bit-exact replays). Requires the Session to run the
+  /// incremental engine with the shared memo.
+  std::size_t theta_buckets = 0;
+  /// Exactness escape hatch: bit-exact replays even with buckets set.
+  bool exact = false;
+  /// Forwarded to every scheduler (ε/model overrides, algorithm knobs).
+  ScheduleRequest request;
+};
+
+/// Execution policy a Session owns — how campaigns run, never what they
+/// compute (no field here can change a summary).
+struct SessionOptions {
+  /// Worker threads; 0 = default_thread_count() (CAFT_THREADS env).
+  std::size_t threads = 0;
+  caft::CampaignEngine engine = caft::CampaignEngine::kIncremental;
+  caft::CampaignMemo memo = caft::CampaignMemo::kShared;
+  std::size_t memo_capacity = 1 << 15;
+  std::size_t memo_shards = 16;
+  bool adaptive_snapshots = true;
+  /// Replays simulated per parallel wave; bounds peak memory.
+  std::size_t block = 1024;
+};
+
+/// Outcome of campaigning one algorithm on one instance.
+struct CampaignRun {
+  std::string algorithm;  ///< registry name
+  ScheduleResult result;  ///< the schedule the campaign replayed
+  caft::CampaignSummary summary;
+  caft::CampaignTelemetry telemetry;
+  double theta_bucket_width = 0.0;  ///< width actually used (0 = exact)
+};
+
+/// One instance's campaign outcomes, in spec.algorithms order.
+struct CampaignReport {
+  std::vector<CampaignRun> runs;
+
+  [[nodiscard]] const CampaignRun* find(const std::string& algorithm) const;
+  /// (display label, summary) rows for campaign_table — label is the
+  /// uppercased registry name ("caft" -> "CAFT").
+  [[nodiscard]] std::vector<std::pair<std::string, caft::CampaignSummary>>
+  summary_rows() const;
+};
+
+/// The campaign service facade. Sessions are cheap; hold one per execution
+/// policy (e.g. one per thread budget in a sweep).
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  [[nodiscard]] const SessionOptions& options() const { return options_; }
+
+  /// Schedules every spec.algorithms entry via the registry, campaigns each
+  /// schedule under spec.sampler, returns the runs in spec order.
+  /// The report's schedules reference `instance` — same lifetime rule as
+  /// ScheduleResult.
+  [[nodiscard]] CampaignReport evaluate(const Instance& instance,
+                                        const CampaignSpec& spec) const;
+
+  /// Campaigns one pre-built schedule (no re-scheduling) — the building
+  /// block evaluate() loops over, exposed for benches that schedule once
+  /// and sweep campaign configurations. Takes the result by value (it is
+  /// carried into the returned run); pass a copy to keep the original.
+  [[nodiscard]] CampaignRun evaluate_schedule(const Instance& instance,
+                                              ScheduleResult result,
+                                              const CampaignSpec& spec) const;
+
+  /// Multi-instance entry point; reports in instance order. This is the
+  /// intended choke point for distributing campaign waves across processes
+  /// (ROADMAP "campaign scale-out") — callers should prefer it over looping
+  /// evaluate() so future sharding is transparent to them.
+  [[nodiscard]] std::vector<CampaignReport> evaluate_batch(
+      std::span<const Instance> instances, const CampaignSpec& spec) const;
+
+ private:
+  [[nodiscard]] caft::CampaignOptions campaign_options(
+      const CampaignSpec& spec, double schedule_horizon) const;
+
+  SessionOptions options_;
+};
+
+}  // namespace ftsched

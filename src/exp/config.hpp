@@ -24,6 +24,10 @@ struct ExperimentConfig {
   std::size_t eps = 1;               ///< ε, replicas per task = ε+1
   std::size_t crashes = 1;           ///< processors killed in the crash runs
   std::size_t graphs_per_point = 60; ///< repetitions averaged per point
+  /// Fault-tolerant algorithms to compare, by SchedulerRegistry name, in
+  /// report-column order (the paper compares these three). The fault-free
+  /// baselines (HEFT ≡ CAFT*, FTBAR at ε=0) always run in addition.
+  std::vector<std::string> algorithms = {"ftsa", "ftbar", "caft"};
   RandomDagParams dag;               ///< paper defaults already set
   CostSynthesisParams costs;         ///< granularity is overridden per point
   std::uint64_t seed = 20080201;     ///< RR-6606 is dated February 2008

@@ -2,64 +2,123 @@
 
 #include <ostream>
 
+#include "api/scheduler.hpp"  // ftsched::display_name
+#include "common/check.hpp"
+
 namespace caft {
 
 namespace {
 
-std::string crash_label(const ExperimentConfig& config, const char* alg) {
-  return std::string(alg) + " " + std::to_string(config.crashes) + "-crash";
+/// Display label of a registry algorithm name ("ftsa" -> "FTSA").
+std::string label_of(const std::string& algorithm) {
+  return ftsched::display_name(algorithm);
+}
+
+std::string crash_label(const ExperimentConfig& config,
+                        const std::string& algorithm) {
+  return label_of(algorithm) + " " + std::to_string(config.crashes) +
+         "-crash";
+}
+
+/// The point's averages for `name`; throws when the runner did not produce
+/// them (config/points mismatch).
+const AlgoAverages& averages_of(const PointAverages& point,
+                                const std::string& name) {
+  const AlgoAverages* averages = point.algo(name);
+  CAFT_CHECK_MSG(averages != nullptr,
+                 "no averages for algorithm '" + name +
+                     "' — points were produced by a different config");
+  return *averages;
 }
 
 }  // namespace
 
 Table panel_a(const ExperimentConfig& config,
               const std::vector<PointAverages>& points) {
+  std::vector<std::string> header = {"granularity"};
+  for (const std::string& algo : config.algorithms) {
+    header.push_back(label_of(algo) + " 0-crash");
+    header.push_back(label_of(algo) + " UB");
+  }
+  header.push_back("FaultFree-CAFT");
+  header.push_back("FaultFree-FTBAR");
   Table table(config.name + "(a): average normalized latency (eps=" +
                   std::to_string(config.eps) +
                   ", m=" + std::to_string(config.proc_count) + ")",
-              {"granularity", "FTSA 0-crash", "FTSA UB", "FTBAR 0-crash",
-               "FTBAR UB", "CAFT 0-crash", "CAFT UB", "FaultFree-CAFT",
-               "FaultFree-FTBAR"});
-  for (const PointAverages& p : points)
-    table.add_row({p.granularity, p.ftsa0, p.ftsa_ub, p.ftbar0, p.ftbar_ub,
-                   p.caft0, p.caft_ub, p.ff_caft, p.ff_ftbar});
+              header);
+  for (const PointAverages& p : points) {
+    std::vector<Cell> row = {p.granularity};
+    for (const std::string& algo : config.algorithms) {
+      const AlgoAverages& a = averages_of(p, algo);
+      row.emplace_back(a.latency0);
+      row.emplace_back(a.latency_ub);
+    }
+    row.emplace_back(p.ff_caft);
+    row.emplace_back(p.ff_ftbar);
+    table.add_row(row);
+  }
   return table;
 }
 
 Table panel_b(const ExperimentConfig& config,
               const std::vector<PointAverages>& points) {
+  std::vector<std::string> header = {"granularity"};
+  for (const std::string& algo : config.algorithms) {
+    header.push_back(label_of(algo) + " 0-crash");
+    header.push_back(crash_label(config, algo));
+  }
   Table table(config.name + "(b): normalized latency, 0 crash vs " +
                   std::to_string(config.crashes) + " crash",
-              {"granularity", "FTSA 0-crash", crash_label(config, "FTSA"),
-               "FTBAR 0-crash", crash_label(config, "FTBAR"), "CAFT 0-crash",
-               crash_label(config, "CAFT")});
-  for (const PointAverages& p : points)
-    table.add_row({p.granularity, p.ftsa0, p.ftsa_c, p.ftbar0, p.ftbar_c,
-                   p.caft0, p.caft_c});
+              header);
+  for (const PointAverages& p : points) {
+    std::vector<Cell> row = {p.granularity};
+    for (const std::string& algo : config.algorithms) {
+      const AlgoAverages& a = averages_of(p, algo);
+      row.emplace_back(a.latency0);
+      row.emplace_back(a.latency_crash);
+    }
+    table.add_row(row);
+  }
   return table;
 }
 
 Table panel_c(const ExperimentConfig& config,
               const std::vector<PointAverages>& points) {
+  std::vector<std::string> header = {"granularity"};
+  for (const std::string& algo : config.algorithms) {
+    header.push_back(label_of(algo) + " 0-crash");
+    header.push_back(crash_label(config, algo));
+  }
   Table table(config.name + "(c): average overhead (%) vs fault-free CAFT",
-              {"granularity", "FTSA 0-crash", crash_label(config, "FTSA"),
-               "FTBAR 0-crash", crash_label(config, "FTBAR"), "CAFT 0-crash",
-               crash_label(config, "CAFT")});
-  for (const PointAverages& p : points)
-    table.add_row({p.granularity, p.ovh_ftsa0, p.ovh_ftsa_c, p.ovh_ftbar0,
-                   p.ovh_ftbar_c, p.ovh_caft0, p.ovh_caft_c});
+              header);
+  for (const PointAverages& p : points) {
+    std::vector<Cell> row = {p.granularity};
+    for (const std::string& algo : config.algorithms) {
+      const AlgoAverages& a = averages_of(p, algo);
+      row.emplace_back(a.overhead0);
+      row.emplace_back(a.overhead_crash);
+    }
+    table.add_row(row);
+  }
   return table;
 }
 
 Table panel_messages(const ExperimentConfig& config,
                      const std::vector<PointAverages>& points) {
-  Table table(config.name + ": average inter-processor messages",
-              {"granularity", "FTSA msgs", "FTBAR msgs", "CAFT msgs",
-               "FTSA msgs/edge", "FTBAR msgs/edge", "CAFT msgs/edge"});
-  for (const PointAverages& p : points)
-    table.add_row({p.granularity, p.msgs_ftsa, p.msgs_ftbar, p.msgs_caft,
-                   p.msgs_per_edge_ftsa, p.msgs_per_edge_ftbar,
-                   p.msgs_per_edge_caft});
+  std::vector<std::string> header = {"granularity"};
+  for (const std::string& algo : config.algorithms)
+    header.push_back(label_of(algo) + " msgs");
+  for (const std::string& algo : config.algorithms)
+    header.push_back(label_of(algo) + " msgs/edge");
+  Table table(config.name + ": average inter-processor messages", header);
+  for (const PointAverages& p : points) {
+    std::vector<Cell> row = {p.granularity};
+    for (const std::string& algo : config.algorithms)
+      row.emplace_back(averages_of(p, algo).messages);
+    for (const std::string& algo : config.algorithms)
+      row.emplace_back(averages_of(p, algo).messages_per_edge);
+    table.add_row(row);
+  }
   return table;
 }
 

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <thread>
 
-#include "algo/caft.hpp"
-#include "algo/ftbar.hpp"
-#include "algo/ftsa.hpp"
-#include "algo/heft.hpp"
+#include "api/api.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "metrics/metrics.hpp"
-#include "sched/bounds.hpp"
-#include "sim/resilience.hpp"
+#include "sim/crash_sim.hpp"
 
 namespace caft {
 
@@ -36,57 +34,78 @@ class Mean {
 
 constexpr double kSkip = std::numeric_limits<double>::quiet_NaN();
 
-/// All metrics of one repetition (one random graph). NaN = missing (a crash
+/// One algorithm's metrics in one repetition. NaN = missing (a crash
 /// re-execution that lost results — counted, not averaged).
+struct AlgoRep {
+  double latency0 = 0.0, latency_ub = 0.0, latency_crash = kSkip;
+  double overhead0 = 0.0, overhead_crash = kSkip;
+  double messages = 0.0, messages_per_edge = kSkip;
+};
+
+/// All metrics of one repetition (one random graph), algorithms indexed as
+/// in config.algorithms.
 struct RepMetrics {
   double ff_caft = 0.0, ff_ftbar = 0.0;
-  double ftsa0 = 0.0, ftsa_ub = 0.0, ftsa_c = kSkip;
-  double ftbar0 = 0.0, ftbar_ub = 0.0, ftbar_c = kSkip;
-  double caft0 = 0.0, caft_ub = 0.0, caft_c = kSkip;
-  double ovh_ftsa0 = 0.0, ovh_ftsa_c = kSkip;
-  double ovh_ftbar0 = 0.0, ovh_ftbar_c = kSkip;
-  double ovh_caft0 = 0.0, ovh_caft_c = kSkip;
-  double msgs_ftsa = 0.0, msgs_ftbar = 0.0, msgs_caft = 0.0;
-  double mpe_ftsa = kSkip, mpe_ftbar = kSkip, mpe_caft = kSkip;
+  std::vector<AlgoRep> algos;
   bool crash_failure = false;
+};
+
+/// Streaming per-algorithm means, same indexing as config.algorithms.
+struct AlgoMeans {
+  Mean latency0, latency_ub, latency_crash;
+  Mean overhead0, overhead_crash;
+  Mean messages, messages_per_edge;
 };
 
 void fold(Mean& mean, double value) {
   if (!std::isnan(value)) mean.add(value);
 }
 
+/// Every scheduler an experiment uses, resolved from the registry once up
+/// front (an unknown config name fails before any work starts, and the hot
+/// per-repetition loop does no registry lookups).
+struct ResolvedSchedulers {
+  std::shared_ptr<const ftsched::Scheduler> heft;   ///< CAFT* baseline
+  std::shared_ptr<const ftsched::Scheduler> ftbar;  ///< ε=0 baseline
+  std::vector<std::shared_ptr<const ftsched::Scheduler>> algos;
+};
+
 /// Runs one repetition end to end. Pure function of (config, granularity,
-/// rng seed material), so repetitions can run on any thread.
-RepMetrics run_repetition(const ExperimentConfig& config, double granularity,
-                          Rng rng) {
-  const TaskGraph graph = random_dag(config.dag, rng);
-  const Platform platform(config.proc_count);
+/// rng seed material) — schedulers are stateless — so repetitions can run
+/// on any thread.
+RepMetrics run_repetition(const ExperimentConfig& config,
+                          const ResolvedSchedulers& schedulers,
+                          double granularity, Rng rng) {
+  TaskGraph graph = random_dag(config.dag, rng);
   CostSynthesisParams cost_params = config.costs;
   cost_params.granularity = granularity;
-  const CostModel costs = synthesize_costs(graph, platform, cost_params, rng);
+  const ftsched::Instance instance(
+      std::move(graph), Platform(config.proc_count), cost_params, rng,
+      ftsched::RunOptions{config.eps, CommModelKind::kOnePort});
 
-  const SchedulerOptions ft_options{config.eps, CommModelKind::kOnePort};
+  // Scheduling is validated by the algorithm test suites; the runner skips
+  // the per-repetition validator pass (it would dominate small sweeps).
+  ftsched::ScheduleRequest request;
+  request.validate = false;
 
-  // Fault-free baselines (CAFT* for the overhead formula).
-  const Schedule ff_caft_sched =
-      heft_schedule(graph, platform, costs, CommModelKind::kOnePort);
-  const double caft_star = ff_caft_sched.zero_crash_latency();
-  FtbarOptions ff_ftbar_options;
-  ff_ftbar_options.base = SchedulerOptions{0, CommModelKind::kOnePort};
-  const Schedule ff_ftbar_sched =
-      ftbar_schedule(graph, platform, costs, ff_ftbar_options);
+  // Fault-free baselines (CAFT* ≡ HEFT for the overhead formula; FTBAR at
+  // ε = 0 for panel (a)).
+  const ftsched::ScheduleResult ff_caft =
+      schedulers.heft->schedule(instance, request);
+  const double caft_star = ff_caft.makespan;
+  ftsched::ScheduleRequest ff_request = request;
+  ff_request.eps = 0;
+  const ftsched::ScheduleResult ff_ftbar =
+      schedulers.ftbar->schedule(instance, ff_request);
 
-  // Fault-tolerant schedules.
-  const Schedule ftsa = ftsa_schedule(graph, platform, costs, ft_options);
-  FtbarOptions ftbar_options;
-  ftbar_options.base = ft_options;
-  const Schedule ftbar = ftbar_schedule(graph, platform, costs, ftbar_options);
-  CaftOptions caft_options;
-  caft_options.base = ft_options;
-  const Schedule caft = caft_schedule(graph, platform, costs, caft_options);
+  // Fault-tolerant schedules, one per configured algorithm.
+  std::vector<ftsched::ScheduleResult> results;
+  results.reserve(schedulers.algos.size());
+  for (const auto& scheduler : schedulers.algos)
+    results.push_back(scheduler->schedule(instance, request));
 
   // Crash re-execution: one uniformly drawn crash set per repetition,
-  // shared across the three algorithms (paired comparison).
+  // shared across all algorithms (paired comparison).
   const auto indices =
       rng.sample_without_replacement(config.proc_count, config.crashes);
   std::vector<ProcId> failed(indices.size());
@@ -94,58 +113,63 @@ RepMetrics run_repetition(const ExperimentConfig& config, double granularity,
     failed[i] = ProcId(static_cast<ProcId::value_type>(indices[i]));
   const CrashScenario scenario =
       CrashScenario::at_zero(config.proc_count, failed);
-  const CrashResult ftsa_crash = simulate_crashes(ftsa, costs, scenario);
-  const CrashResult ftbar_crash = simulate_crashes(ftbar, costs, scenario);
-  const CrashResult caft_crash = simulate_crashes(caft, costs, scenario);
 
   const auto norm = [&](double latency) {
-    return normalized_latency(latency, graph, costs);
+    return normalized_latency(latency, instance.graph(), instance.costs());
   };
 
   RepMetrics rep;
-  rep.crash_failure =
-      !ftsa_crash.success || !ftbar_crash.success || !caft_crash.success;
   rep.ff_caft = norm(caft_star);
-  rep.ff_ftbar = norm(ff_ftbar_sched.zero_crash_latency());
-  rep.ftsa0 = norm(ftsa.zero_crash_latency());
-  rep.ftsa_ub = norm(ftsa.upper_bound_latency());
-  rep.ftbar0 = norm(ftbar.zero_crash_latency());
-  rep.ftbar_ub = norm(ftbar.upper_bound_latency());
-  rep.caft0 = norm(caft.zero_crash_latency());
-  rep.caft_ub = norm(caft.upper_bound_latency());
-  if (ftsa_crash.success) rep.ftsa_c = norm(ftsa_crash.latency);
-  if (ftbar_crash.success) rep.ftbar_c = norm(ftbar_crash.latency);
-  if (caft_crash.success) rep.caft_c = norm(caft_crash.latency);
-
-  rep.ovh_ftsa0 = overhead_percent(ftsa.zero_crash_latency(), caft_star);
-  rep.ovh_ftbar0 = overhead_percent(ftbar.zero_crash_latency(), caft_star);
-  rep.ovh_caft0 = overhead_percent(caft.zero_crash_latency(), caft_star);
-  if (ftsa_crash.success)
-    rep.ovh_ftsa_c = overhead_percent(ftsa_crash.latency, caft_star);
-  if (ftbar_crash.success)
-    rep.ovh_ftbar_c = overhead_percent(ftbar_crash.latency, caft_star);
-  if (caft_crash.success)
-    rep.ovh_caft_c = overhead_percent(caft_crash.latency, caft_star);
-
-  rep.msgs_ftsa = static_cast<double>(ftsa.message_count());
-  rep.msgs_ftbar = static_cast<double>(ftbar.message_count());
-  rep.msgs_caft = static_cast<double>(caft.message_count());
-  const double edges = static_cast<double>(graph.edge_count());
-  if (edges > 0) {
-    rep.mpe_ftsa = rep.msgs_ftsa / edges;
-    rep.mpe_ftbar = rep.msgs_ftbar / edges;
-    rep.mpe_caft = rep.msgs_caft / edges;
+  rep.ff_ftbar = norm(ff_ftbar.makespan);
+  rep.algos.resize(results.size());
+  const double edges = static_cast<double>(instance.graph().edge_count());
+  for (std::size_t a = 0; a < results.size(); ++a) {
+    const ftsched::ScheduleResult& result = results[a];
+    const CrashResult crash =
+        simulate_crashes(result.schedule, instance.costs(), scenario);
+    AlgoRep& algo = rep.algos[a];
+    algo.latency0 = norm(result.makespan);
+    algo.latency_ub = norm(result.upper_bound);
+    algo.overhead0 = overhead_percent(result.makespan, caft_star);
+    algo.messages = static_cast<double>(result.messages);
+    if (edges > 0) algo.messages_per_edge = algo.messages / edges;
+    if (crash.success) {
+      algo.latency_crash = norm(crash.latency);
+      algo.overhead_crash = overhead_percent(crash.latency, caft_star);
+    } else {
+      rep.crash_failure = true;
+    }
   }
   return rep;
 }
 
 }  // namespace
 
+const AlgoAverages* PointAverages::algo(const std::string& name) const {
+  for (const auto& [key, averages] : algos)
+    if (key == name) return &averages;
+  return nullptr;
+}
+
 std::size_t experiment_thread_count() { return default_thread_count(); }
 
 std::vector<PointAverages> run_experiment(const ExperimentConfig& config) {
   CAFT_CHECK_MSG(config.crashes <= config.eps,
                  "crash count above eps would break the guarantee");
+  CAFT_CHECK_MSG(!config.algorithms.empty(),
+                 "experiment config names no algorithms");
+  // Resolve every algorithm (baselines included) up front — an unknown name
+  // fails here with the registry's "unknown algo ...; known: ..." message,
+  // not mid-sweep — and the repetition loop does no registry lookups.
+  const ftsched::SchedulerRegistry& registry =
+      ftsched::SchedulerRegistry::global();
+  ResolvedSchedulers schedulers;
+  schedulers.heft = registry.make("heft");
+  schedulers.ftbar = registry.make("ftbar");
+  schedulers.algos.reserve(config.algorithms.size());
+  for (const std::string& name : config.algorithms)
+    schedulers.algos.push_back(registry.make(name));
+
   std::vector<PointAverages> points;
   points.reserve(config.granularities.size());
   Rng master(config.seed);
@@ -163,7 +187,8 @@ std::vector<PointAverages> run_experiment(const ExperimentConfig& config) {
     std::vector<RepMetrics> reps(config.graphs_per_point);
     const auto worker = [&](std::size_t first, std::size_t stride) {
       for (std::size_t rep = first; rep < reps.size(); rep += stride)
-        reps[rep] = run_repetition(config, granularity, streams[rep]);
+        reps[rep] =
+            run_repetition(config, schedulers, granularity, streams[rep]);
     };
     if (threads <= 1) {
       worker(0, 1);
@@ -177,63 +202,41 @@ std::vector<PointAverages> run_experiment(const ExperimentConfig& config) {
 
     // Fold in repetition order: bit-for-bit deterministic regardless of the
     // thread interleaving above.
-    Mean ff_caft, ff_ftbar, ftsa0, ftsa_ub, ftbar0, ftbar_ub, caft0, caft_ub;
-    Mean ftsa_c, ftbar_c, caft_c;
-    Mean ovh_ftsa0, ovh_ftsa_c, ovh_ftbar0, ovh_ftbar_c, ovh_caft0, ovh_caft_c;
-    Mean msgs_ftsa, msgs_ftbar, msgs_caft, mpe_ftsa, mpe_ftbar, mpe_caft;
+    Mean ff_caft, ff_ftbar;
+    std::vector<AlgoMeans> means(config.algorithms.size());
     std::size_t crash_failures = 0;
     for (const RepMetrics& rep : reps) {
       if (rep.crash_failure) ++crash_failures;
       fold(ff_caft, rep.ff_caft);
       fold(ff_ftbar, rep.ff_ftbar);
-      fold(ftsa0, rep.ftsa0);
-      fold(ftsa_ub, rep.ftsa_ub);
-      fold(ftsa_c, rep.ftsa_c);
-      fold(ftbar0, rep.ftbar0);
-      fold(ftbar_ub, rep.ftbar_ub);
-      fold(ftbar_c, rep.ftbar_c);
-      fold(caft0, rep.caft0);
-      fold(caft_ub, rep.caft_ub);
-      fold(caft_c, rep.caft_c);
-      fold(ovh_ftsa0, rep.ovh_ftsa0);
-      fold(ovh_ftsa_c, rep.ovh_ftsa_c);
-      fold(ovh_ftbar0, rep.ovh_ftbar0);
-      fold(ovh_ftbar_c, rep.ovh_ftbar_c);
-      fold(ovh_caft0, rep.ovh_caft0);
-      fold(ovh_caft_c, rep.ovh_caft_c);
-      fold(msgs_ftsa, rep.msgs_ftsa);
-      fold(msgs_ftbar, rep.msgs_ftbar);
-      fold(msgs_caft, rep.msgs_caft);
-      fold(mpe_ftsa, rep.mpe_ftsa);
-      fold(mpe_ftbar, rep.mpe_ftbar);
-      fold(mpe_caft, rep.mpe_caft);
+      for (std::size_t a = 0; a < means.size(); ++a) {
+        const AlgoRep& algo = rep.algos[a];
+        fold(means[a].latency0, algo.latency0);
+        fold(means[a].latency_ub, algo.latency_ub);
+        fold(means[a].latency_crash, algo.latency_crash);
+        fold(means[a].overhead0, algo.overhead0);
+        fold(means[a].overhead_crash, algo.overhead_crash);
+        fold(means[a].messages, algo.messages);
+        fold(means[a].messages_per_edge, algo.messages_per_edge);
+      }
     }
 
     PointAverages point;
     point.granularity = granularity;
     point.ff_caft = ff_caft.value();
     point.ff_ftbar = ff_ftbar.value();
-    point.ftsa0 = ftsa0.value();
-    point.ftsa_ub = ftsa_ub.value();
-    point.ftbar0 = ftbar0.value();
-    point.ftbar_ub = ftbar_ub.value();
-    point.caft0 = caft0.value();
-    point.caft_ub = caft_ub.value();
-    point.ftsa_c = ftsa_c.value();
-    point.ftbar_c = ftbar_c.value();
-    point.caft_c = caft_c.value();
-    point.ovh_ftsa0 = ovh_ftsa0.value();
-    point.ovh_ftsa_c = ovh_ftsa_c.value();
-    point.ovh_ftbar0 = ovh_ftbar0.value();
-    point.ovh_ftbar_c = ovh_ftbar_c.value();
-    point.ovh_caft0 = ovh_caft0.value();
-    point.ovh_caft_c = ovh_caft_c.value();
-    point.msgs_ftsa = msgs_ftsa.value();
-    point.msgs_ftbar = msgs_ftbar.value();
-    point.msgs_caft = msgs_caft.value();
-    point.msgs_per_edge_ftsa = mpe_ftsa.value();
-    point.msgs_per_edge_ftbar = mpe_ftbar.value();
-    point.msgs_per_edge_caft = mpe_caft.value();
+    point.algos.reserve(config.algorithms.size());
+    for (std::size_t a = 0; a < means.size(); ++a) {
+      AlgoAverages averages;
+      averages.latency0 = means[a].latency0.value();
+      averages.latency_ub = means[a].latency_ub.value();
+      averages.latency_crash = means[a].latency_crash.value();
+      averages.overhead0 = means[a].overhead0.value();
+      averages.overhead_crash = means[a].overhead_crash.value();
+      averages.messages = means[a].messages.value();
+      averages.messages_per_edge = means[a].messages_per_edge.value();
+      point.algos.emplace_back(config.algorithms[a], averages);
+    }
     point.crash_failures = crash_failures;
     points.push_back(point);
   }

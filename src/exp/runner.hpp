@@ -1,44 +1,59 @@
 /// \file runner.hpp
 /// Executes one ExperimentConfig: for every granularity point it generates
 /// `graphs_per_point` random (graph, costs) instances, runs the fault-free
-/// baselines plus FTSA, FTBAR and CAFT under the one-port model, re-executes
-/// each fault-tolerant schedule under a uniformly drawn crash set, and
-/// averages the paper's metrics.
+/// baselines plus every algorithm in config.algorithms (resolved through the
+/// SchedulerRegistry) under the one-port model, re-executes each
+/// fault-tolerant schedule under a uniformly drawn crash set, and averages
+/// the paper's metrics.
+///
+/// Results are keyed by registry algorithm name, not by per-algorithm
+/// scalar fields: adding a sixth algorithm to a figure is one string in
+/// ExperimentConfig::algorithms — neither this struct nor exp/report needs
+/// touching.
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/config.hpp"
 
 namespace caft {
 
+/// Averages of one algorithm at one granularity point.
+struct AlgoAverages {
+  /// Panel (a): normalized 0-crash latency and upper bound.
+  double latency0 = 0.0;
+  double latency_ub = 0.0;
+  /// Panel (b): normalized re-executed latency under `crashes` failures.
+  double latency_crash = 0.0;
+  /// Panel (c): overhead % versus the fault-free CAFT latency.
+  double overhead0 = 0.0;
+  double overhead_crash = 0.0;
+  /// Message accounting (Section 6's communication analysis).
+  double messages = 0.0;
+  double messages_per_edge = 0.0;
+};
+
 /// Averages for one granularity point — one x position of the figures.
 struct PointAverages {
   double granularity = 0.0;
 
-  // Panel (a): normalized latencies, fault-free + 0-crash + upper bounds.
-  double ff_caft = 0.0;   ///< fault-free CAFT ≡ HEFT (the paper's CAFT*)
-  double ff_ftbar = 0.0;  ///< fault-free FTBAR
-  double ftsa0 = 0.0, ftsa_ub = 0.0;
-  double ftbar0 = 0.0, ftbar_ub = 0.0;
-  double caft0 = 0.0, caft_ub = 0.0;
+  /// Fault-free baselines: HEFT (the paper's CAFT*) and FTBAR at ε=0.
+  double ff_caft = 0.0;
+  double ff_ftbar = 0.0;
 
-  // Panel (b): re-executed latency under `crashes` failures.
-  double ftsa_c = 0.0, ftbar_c = 0.0, caft_c = 0.0;
+  /// Per-algorithm averages, keyed by registry name, in
+  /// ExperimentConfig::algorithms order.
+  std::vector<std::pair<std::string, AlgoAverages>> algos;
 
-  // Panel (c): overhead % versus the fault-free CAFT latency.
-  double ovh_ftsa0 = 0.0, ovh_ftsa_c = 0.0;
-  double ovh_ftbar0 = 0.0, ovh_ftbar_c = 0.0;
-  double ovh_caft0 = 0.0, ovh_caft_c = 0.0;
-
-  // Message accounting (Section 6's communication analysis).
-  double msgs_ftsa = 0.0, msgs_ftbar = 0.0, msgs_caft = 0.0;
-  double msgs_per_edge_ftsa = 0.0, msgs_per_edge_ftbar = 0.0,
-         msgs_per_edge_caft = 0.0;
+  /// Averages of `name`; null when the config did not run it.
+  [[nodiscard]] const AlgoAverages* algo(const std::string& name) const;
 
   /// Crash re-executions in which some task delivered no result (should be
-  /// 0: all three algorithms tolerate up to ε failures and crashes ≤ ε).
+  /// 0: every algorithm in the default set tolerates up to ε failures and
+  /// crashes ≤ ε).
   std::size_t crash_failures = 0;
 };
 

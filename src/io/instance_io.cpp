@@ -124,19 +124,19 @@ InstanceBundle load_instance(std::istream& is) {
   expect(is, "graph");
   const auto task_count = number<std::size_t>(is);
   const auto edge_count = number<std::size_t>(is);
-  bundle.graph = TaskGraph(task_count);
+  bundle.graph = std::make_unique<TaskGraph>(task_count);
   for (std::size_t i = 0; i < task_count; ++i) {
     expect(is, "task");
     const auto id = number<std::uint32_t>(is);
     CAFT_CHECK_MSG(id == i, "task ids must be dense and ordered");
-    bundle.graph.add_task(rest_of_line(is));
+    bundle.graph->add_task(rest_of_line(is));
   }
   for (std::size_t i = 0; i < edge_count; ++i) {
     expect(is, "edge");
     const auto src = number<std::uint32_t>(is);
     const auto dst = number<std::uint32_t>(is);
     const auto volume = number<double>(is);
-    bundle.graph.add_edge(TaskId(src), TaskId(dst), volume);
+    bundle.graph->add_edge(TaskId(src), TaskId(dst), volume);
   }
 
   expect(is, "platform");
@@ -178,7 +178,7 @@ InstanceBundle load_instance(std::istream& is) {
                                     ? CommModelKind::kOnePort
                                     : CommModelKind::kMacroDataflow;
     const auto duplicate_count = number<std::size_t>(is);
-    bundle.schedule = std::make_unique<Schedule>(bundle.graph,
+    bundle.schedule = std::make_unique<Schedule>(*bundle.graph,
                                                  *bundle.platform, eps, model);
     for (std::size_t i = 0; i < task_count * (eps + 1); ++i) {
       expect(is, "replica");
@@ -202,7 +202,7 @@ InstanceBundle load_instance(std::istream& is) {
     while ((word = keyword(is)) == "comm") {
       CommAssignment c;
       c.edge = number<EdgeIndex>(is);
-      const Edge& e = bundle.graph.edge(c.edge);
+      const Edge& e = bundle.graph->edge(c.edge);
       c.from.task = e.src;
       c.to.task = e.dst;
       c.from.replica = number<ReplicaIndex>(is);

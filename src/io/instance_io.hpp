@@ -33,10 +33,12 @@
 
 namespace caft {
 
-/// A loaded instance. Platform/costs/schedule sit behind unique_ptr so the
-/// internal cross-references stay valid when the bundle moves.
+/// A loaded instance. Every part sits behind unique_ptr so the internal
+/// cross-references (costs -> platform, schedule -> graph + platform) stay
+/// valid when the bundle moves — including the move out of load_instance
+/// itself when the compiler does not elide it.
 struct InstanceBundle {
-  TaskGraph graph;
+  std::unique_ptr<TaskGraph> graph;
   std::unique_ptr<Platform> platform;
   std::unique_ptr<CostModel> costs;
   std::unique_ptr<Schedule> schedule;  ///< null when none was serialized

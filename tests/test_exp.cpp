@@ -74,26 +74,38 @@ TEST(ExpRunner, ProducesOnePointPerGranularity) {
 }
 
 TEST(ExpRunner, MetricsWellFormed) {
-  const auto points = run_experiment(tiny_config());
+  const ExperimentConfig config = tiny_config();
+  const auto points = run_experiment(config);
   for (const PointAverages& p : points) {
+    // One keyed entry per configured algorithm, in config order.
+    ASSERT_EQ(p.algos.size(), config.algorithms.size());
+    for (std::size_t a = 0; a < config.algorithms.size(); ++a)
+      EXPECT_EQ(p.algos[a].first, config.algorithms[a]);
+    const AlgoAverages* ftsa = p.algo("ftsa");
+    const AlgoAverages* ftbar = p.algo("ftbar");
+    const AlgoAverages* caft = p.algo("caft");
+    ASSERT_NE(ftsa, nullptr);
+    ASSERT_NE(ftbar, nullptr);
+    ASSERT_NE(caft, nullptr);
+    EXPECT_EQ(p.algo("no-such-algo"), nullptr);
     // Latencies positive. Note: a replicated schedule may slightly beat the
     // fault-free baseline on the 0-crash latency — the earliest replica of
     // each task races, so extra copies add placement options.
     EXPECT_GT(p.ff_caft, 0.0);
-    EXPECT_GT(p.ftsa0, 0.0);
-    EXPECT_GT(p.caft0, 0.0);
+    EXPECT_GT(ftsa->latency0, 0.0);
+    EXPECT_GT(caft->latency0, 0.0);
     // Upper bounds dominate 0-crash latencies.
-    EXPECT_GE(p.ftsa_ub, p.ftsa0 - 1e-9);
-    EXPECT_GE(p.ftbar_ub, p.ftbar0 - 1e-9);
-    EXPECT_GE(p.caft_ub, p.caft0 - 1e-9);
+    EXPECT_GE(ftsa->latency_ub, ftsa->latency0 - 1e-9);
+    EXPECT_GE(ftbar->latency_ub, ftbar->latency0 - 1e-9);
+    EXPECT_GE(caft->latency_ub, caft->latency0 - 1e-9);
     // No crash run may lose results (c <= eps).
     EXPECT_EQ(p.crash_failures, 0u);
     // CAFT sends no more messages than FTSA.
-    EXPECT_LE(p.msgs_caft, p.msgs_ftsa + 1e-9);
+    EXPECT_LE(caft->messages, ftsa->messages + 1e-9);
     // Overheads are bounded below (mild negative values possible: see the
     // racing note above).
-    EXPECT_GE(p.ovh_ftsa0, -50.0);
-    EXPECT_GE(p.ovh_caft0, -50.0);
+    EXPECT_GE(ftsa->overhead0, -50.0);
+    EXPECT_GE(caft->overhead0, -50.0);
   }
 }
 
@@ -102,9 +114,11 @@ TEST(ExpRunner, DeterministicForFixedSeed) {
   const auto b = run_experiment(tiny_config());
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].ftsa0, b[i].ftsa0);
-    EXPECT_DOUBLE_EQ(a[i].caft_c, b[i].caft_c);
-    EXPECT_DOUBLE_EQ(a[i].msgs_ftbar, b[i].msgs_ftbar);
+    EXPECT_DOUBLE_EQ(a[i].algo("ftsa")->latency0, b[i].algo("ftsa")->latency0);
+    EXPECT_DOUBLE_EQ(a[i].algo("caft")->latency_crash,
+                     b[i].algo("caft")->latency_crash);
+    EXPECT_DOUBLE_EQ(a[i].algo("ftbar")->messages,
+                     b[i].algo("ftbar")->messages);
   }
 }
 
@@ -115,7 +129,7 @@ TEST(ExpRunner, SeedChangesResults) {
   const auto b = run_experiment(config);
   bool differs = false;
   for (std::size_t i = 0; i < a.size() && !differs; ++i)
-    differs = a[i].ftsa0 != b[i].ftsa0;
+    differs = a[i].algo("ftsa")->latency0 != b[i].algo("ftsa")->latency0;
   EXPECT_TRUE(differs);
 }
 
@@ -123,6 +137,32 @@ TEST(ExpRunner, RejectsCrashesAboveEps) {
   ExperimentConfig config = tiny_config();
   config.crashes = config.eps + 1;
   EXPECT_THROW(run_experiment(config), CheckError);
+}
+
+TEST(ExpRunner, RejectsUnknownAlgorithm) {
+  ExperimentConfig config = tiny_config();
+  config.algorithms.push_back("no-such-algo");
+  EXPECT_THROW(run_experiment(config), CheckError);
+}
+
+// Adding an algorithm to a figure is one registry name in the config —
+// results and report panels pick it up without any struct change.
+TEST(ExpRunner, FifthAlgorithmNeedsNoStructChange) {
+  ExperimentConfig config = tiny_config();
+  config.algorithms = {"ftsa", "ftbar", "caft", "caft-batch"};
+  const auto points = run_experiment(config);
+  for (const PointAverages& p : points) {
+    ASSERT_EQ(p.algos.size(), 4u);
+    const AlgoAverages* batch = p.algo("caft-batch");
+    ASSERT_NE(batch, nullptr);
+    EXPECT_GT(batch->latency0, 0.0);
+    EXPECT_GE(batch->latency_ub, batch->latency0 - 1e-9);
+  }
+  const Table a = panel_a(config, points);
+  EXPECT_EQ(a.header().size(), 11u);  // 1 + 4x2 + 2 baselines
+  const Table b = panel_b(config, points);
+  EXPECT_EQ(b.header().size(), 9u);
+  EXPECT_EQ(b.header()[7], "CAFT-BATCH 0-crash");
 }
 
 TEST(ExpReport, PanelsHaveExpectedShape) {

@@ -109,21 +109,21 @@ TEST(InstanceIo, GraphPlatformCostsRoundTrip) {
   save_instance(buffer, s.graph, *s.platform, *s.costs);
   const InstanceBundle loaded = load_instance(buffer);
 
-  ASSERT_EQ(loaded.graph.task_count(), s.graph.task_count());
-  ASSERT_EQ(loaded.graph.edge_count(), s.graph.edge_count());
+  ASSERT_EQ(loaded.graph->task_count(), s.graph.task_count());
+  ASSERT_EQ(loaded.graph->edge_count(), s.graph.edge_count());
   for (const TaskId t : s.graph.all_tasks())
-    EXPECT_EQ(loaded.graph.name(t), s.graph.name(t));
+    EXPECT_EQ(loaded.graph->name(t), s.graph.name(t));
   for (std::size_t e = 0; e < s.graph.edge_count(); ++e) {
-    EXPECT_EQ(loaded.graph.edge(static_cast<EdgeIndex>(e)).src,
+    EXPECT_EQ(loaded.graph->edge(static_cast<EdgeIndex>(e)).src,
               s.graph.edge(static_cast<EdgeIndex>(e)).src);
-    EXPECT_DOUBLE_EQ(loaded.graph.edge(static_cast<EdgeIndex>(e)).volume,
+    EXPECT_DOUBLE_EQ(loaded.graph->edge(static_cast<EdgeIndex>(e)).volume,
                      s.graph.edge(static_cast<EdgeIndex>(e)).volume);
   }
   ASSERT_EQ(loaded.platform->proc_count(), 5u);
   for (const TaskId t : s.graph.all_tasks())
     for (const ProcId p : s.platform->all_procs())
       EXPECT_DOUBLE_EQ(loaded.costs->exec(t, p), s.costs->exec(t, p));
-  EXPECT_DOUBLE_EQ(loaded.costs->granularity(loaded.graph),
+  EXPECT_DOUBLE_EQ(loaded.costs->granularity(*loaded.graph),
                    s.costs->granularity(s.graph));
   EXPECT_EQ(loaded.schedule, nullptr);
 }
@@ -205,7 +205,7 @@ TEST(InstanceIo, FileRoundTrip) {
   const std::string path = "/tmp/caft_test_instance.txt";
   save_instance_file(path, s.graph, *s.platform, *s.costs);
   const InstanceBundle loaded = load_instance_file(path);
-  EXPECT_EQ(loaded.graph.task_count(), 3u);
+  EXPECT_EQ(loaded.graph->task_count(), 3u);
   EXPECT_THROW(load_instance_file("/nonexistent/instance.txt"), CheckError);
 }
 
@@ -219,8 +219,8 @@ TEST(InstanceIo, TaskNamesWithSpacesSurvive) {
   std::stringstream buffer;
   save_instance(buffer, g, platform, costs);
   const InstanceBundle loaded = load_instance(buffer);
-  EXPECT_EQ(loaded.graph.name(a), "stage one");
-  EXPECT_EQ(loaded.graph.name(b), "stage two");
+  EXPECT_EQ(loaded.graph->name(a), "stage one");
+  EXPECT_EQ(loaded.graph->name(b), "stage two");
 }
 
 }  // namespace

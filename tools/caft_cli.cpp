@@ -1,17 +1,22 @@
-/// caft_cli — command-line front end to the library.
+/// caft_cli — command-line front end to the library, built entirely on the
+/// ftsched:: facade (api/api.hpp): algorithms are resolved by name through
+/// the SchedulerRegistry, so `--algo` accepts exactly the registered names
+/// and new algorithms appear here with zero CLI changes.
 ///
 /// Subcommands:
 ///   generate    build an instance (graph + platform + costs) and save it
-///   schedule    run a scheduler on an instance; save/export the schedule
+///   schedule    run a registered scheduler on an instance; save/export
 ///   replay      re-execute a scheduled instance under a crash set
 ///   resilience  exhaustive ε-subset survival check of a scheduled instance
 ///   figure      reproduce one of the paper's figures (1-6)
+///   algos       list the registered algorithms and their capabilities
 ///
 /// Examples:
 ///   caft_cli generate --family random --procs 10 --granularity 0.5
 ///       --seed 42 --out instance.txt                        (one line)
 ///   caft_cli schedule --in instance.txt --algo caft --eps 2
 ///       --out scheduled.txt --dot s.dot --trace t.json --gantt
+///   caft_cli schedule --in instance.txt --algo caft --support direct
 ///   caft_cli replay --in scheduled.txt --crash 0,3 --gantt
 ///   caft_cli resilience --in scheduled.txt
 ///   caft_cli figure 1 --reps 10
@@ -19,27 +24,20 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "algo/caft.hpp"
-#include "algo/caft_batch.hpp"
-#include "algo/ftbar.hpp"
-#include "algo/ftsa.hpp"
-#include "algo/heft.hpp"
+#include "api/api.hpp"
 #include "common/cli_args.hpp"
 #include "dag/generators.hpp"
 #include "exp/config.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "io/dot_export.hpp"
-#include "io/instance_io.hpp"
 #include "io/trace_export.hpp"
 #include "metrics/gantt.hpp"
 #include "metrics/metrics.hpp"
 #include "platform/cost_synthesis.hpp"
-#include "sched/validator.hpp"
 #include "sim/resilience.hpp"
 
 namespace {
@@ -50,8 +48,8 @@ using Args = CliArgs;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: caft_cli <generate|schedule|replay|resilience|figure> "
-               "[options]\n(see the header of tools/caft_cli.cpp for "
+               "usage: caft_cli <generate|schedule|replay|resilience|figure|"
+               "algos> [options]\n(see the header of tools/caft_cli.cpp for "
                "examples)\n");
   return 2;
 }
@@ -74,86 +72,73 @@ TaskGraph build_graph(const Args& args, Rng& rng) {
 
 int cmd_generate(const Args& args) {
   Rng rng(args.get_size("seed", 42));
-  const TaskGraph graph = build_graph(args, rng);
+  TaskGraph graph = build_graph(args, rng);
   const std::size_t m = args.get_size("procs", 10);
-  const std::string topo = args.get("topology", "clique");
+  const std::string topo =
+      args.get_choice("topology", "clique", {"clique", "ring", "star"});
   Platform platform(m);
   if (topo == "ring")
     platform = Platform(Topology::ring(m));
   else if (topo == "star")
     platform = Platform(Topology::star(m));
-  else if (topo != "clique")
-    throw CheckError("unknown topology '" + topo + "'");
 
   CostSynthesisParams params;
   params.granularity = args.get_double("granularity", 1.0);
-  const CostModel costs = synthesize_costs(graph, platform, params, rng);
+  const ftsched::Instance instance(std::move(graph), std::move(platform),
+                                   params, rng);
 
   const std::string out = args.get("out", "instance.txt");
-  save_instance_file(out, graph, platform, costs);
+  instance.save(out);
   std::printf("wrote %s: %zu tasks, %zu edges, m=%zu, g=%.2f\n", out.c_str(),
-              graph.task_count(), graph.edge_count(), m,
-              costs.granularity(graph));
+              instance.graph().task_count(), instance.graph().edge_count(), m,
+              instance.costs().granularity(instance.graph()));
   return 0;
 }
 
 int cmd_schedule(const Args& args) {
-  const InstanceBundle in = load_instance_file(args.get("in", "instance.txt"));
+  ftsched::Instance instance = ftsched::Instance::load(
+      args.get("in", "instance.txt"));
   const std::string algo = args.get("algo", "caft");
-  const std::size_t eps = args.get_size("eps", 1);
-  const CommModelKind model = args.get("model", "oneport") == "macro"
-                                  ? CommModelKind::kMacroDataflow
-                                  : CommModelKind::kOnePort;
-  const SchedulerOptions options{eps, model};
+  instance.set_eps(args.get_size("eps", 1));
+  instance.options().model = args.get_choice("model", "oneport",
+                                             {"oneport", "macro"}) == "macro"
+                                 ? CommModelKind::kMacroDataflow
+                                 : CommModelKind::kOnePort;
 
-  Schedule sched(in.graph, *in.platform, 0, model);
-  if (algo == "heft") {
-    sched = heft_schedule(in.graph, *in.platform, *in.costs, model);
-  } else if (algo == "ftsa") {
-    sched = ftsa_schedule(in.graph, *in.platform, *in.costs, options);
-  } else if (algo == "ftbar") {
-    FtbarOptions ftbar_options;
-    ftbar_options.base = options;
-    sched = ftbar_schedule(in.graph, *in.platform, *in.costs, ftbar_options);
-  } else if (algo == "caft" || algo == "caft-direct") {
-    CaftOptions caft_options;
-    caft_options.base = options;
-    if (algo == "caft-direct")
-      caft_options.support_mode = CaftSupportMode::kDirect;
-    sched = caft_schedule(in.graph, *in.platform, *in.costs, caft_options);
-  } else if (algo == "caft-batch") {
-    CaftBatchOptions batch_options;
-    batch_options.caft.base = options;
-    batch_options.batch_size = args.get_size("batch", 10);
-    sched = caft_batch_schedule(in.graph, *in.platform, *in.costs,
-                                batch_options);
-  } else {
-    throw CheckError("unknown algorithm '" + algo + "'");
-  }
+  ftsched::ScheduleRequest request;
+  request.batch_size = args.get_size("batch", 10);
+  request.support_mode = args.get_choice("support", "transitive",
+                                         {"transitive", "direct"}) == "direct"
+                             ? CaftSupportMode::kDirect
+                             : CaftSupportMode::kTransitive;
 
-  const ValidationResult validation = validate_schedule(sched, *in.costs);
+  // The registry is the single dispatch point: unknown names fail with
+  // "unknown algo 'x'; known: <names>".
+  const ftsched::ScheduleResult result =
+      ftsched::SchedulerRegistry::global().make(algo)->schedule(instance,
+                                                                request);
+
   std::printf("%s: latency %.2f (normalized %.2f), upper bound %.2f, "
               "%zu messages, valid=%s\n",
-              algo.c_str(), sched.zero_crash_latency(),
-              normalized_latency(sched.zero_crash_latency(), in.graph,
-                                 *in.costs),
-              sched.upper_bound_latency(), sched.message_count(),
-              validation.ok() ? "yes" : "NO");
-  if (!validation.ok()) std::fprintf(stderr, "%s\n", validation.summary().c_str());
+              algo.c_str(), result.makespan,
+              normalized_latency(result.makespan, instance.graph(),
+                                 instance.costs()),
+              result.upper_bound, result.messages,
+              result.validation.ok() ? "yes" : "NO");
+  if (!result.validation.ok())
+    std::fprintf(stderr, "%s\n", result.validation.summary().c_str());
 
-  if (args.has("out"))
-    save_instance_file(args.get("out"), in.graph, *in.platform, *in.costs,
-                       &sched);
+  if (args.has("out")) instance.save(args.get("out"), &result.schedule);
   if (args.has("dot")) {
     std::ofstream dot(args.get("dot"));
-    dot << to_dot(sched);
+    dot << to_dot(result.schedule);
   }
   if (args.has("trace")) {
     std::ofstream trace(args.get("trace"));
-    trace << to_chrome_trace(sched);
+    trace << to_chrome_trace(result.schedule);
   }
-  if (args.has("gantt")) std::cout << render_gantt(sched);
-  return validation.ok() ? 0 : 1;
+  if (args.has("gantt")) std::cout << render_gantt(result.schedule);
+  return result.ok() ? 0 : 1;
 }
 
 std::vector<ProcId> parse_crash_list(const std::string& spec) {
@@ -173,33 +158,38 @@ std::vector<ProcId> parse_crash_list(const std::string& spec) {
 }
 
 int cmd_replay(const Args& args) {
-  const InstanceBundle in = load_instance_file(args.get("in", "scheduled.txt"));
-  CAFT_CHECK_MSG(in.schedule != nullptr, "instance has no schedule; run "
-                                         "'caft_cli schedule --out ...' first");
+  const ftsched::Instance instance = ftsched::Instance::load(
+      args.get("in", "scheduled.txt"));
+  const Schedule* schedule = instance.loaded_schedule();
+  CAFT_CHECK_MSG(schedule != nullptr, "instance has no schedule; run "
+                                      "'caft_cli schedule --out ...' first");
   const auto failed = parse_crash_list(args.get("crash", ""));
   const CrashScenario scenario =
-      CrashScenario::at_zero(in.platform->proc_count(), failed);
-  const CrashResult result = simulate_crashes(*in.schedule, *in.costs, scenario);
+      CrashScenario::at_zero(instance.proc_count(), failed);
+  const CrashResult result =
+      simulate_crashes(*schedule, instance.costs(), scenario);
   std::printf("crash set of %zu processor(s): %s, latency %.2f "
               "(0-crash estimate %.2f), %zu messages delivered\n",
               failed.size(), result.success ? "survived" : "FAILED",
-              result.latency, in.schedule->zero_crash_latency(),
+              result.latency, schedule->zero_crash_latency(),
               result.delivered_messages);
   if (args.has("gantt"))
-    std::cout << render_crash_gantt(*in.schedule, result, scenario);
+    std::cout << render_crash_gantt(*schedule, result, scenario);
   if (args.has("trace")) {
     std::ofstream trace(args.get("trace"));
-    trace << to_chrome_trace(*in.schedule, result, scenario);
+    trace << to_chrome_trace(*schedule, result, scenario);
   }
   return result.success ? 0 : 1;
 }
 
 int cmd_resilience(const Args& args) {
-  const InstanceBundle in = load_instance_file(args.get("in", "scheduled.txt"));
-  CAFT_CHECK_MSG(in.schedule != nullptr, "instance has no schedule");
-  const std::size_t failures = args.get_size("failures", in.schedule->eps());
+  const ftsched::Instance instance = ftsched::Instance::load(
+      args.get("in", "scheduled.txt"));
+  const Schedule* schedule = instance.loaded_schedule();
+  CAFT_CHECK_MSG(schedule != nullptr, "instance has no schedule");
+  const std::size_t failures = args.get_size("failures", schedule->eps());
   const ResilienceReport report =
-      check_resilience_exhaustive(*in.schedule, *in.costs, failures);
+      check_resilience_exhaustive(*schedule, instance.costs(), failures);
   std::printf("%zu crash subsets of size %zu: %zu failed -> %s\n",
               report.scenarios_tested, failures, report.failures,
               report.resistant ? "RESISTANT" : "NOT RESISTANT");
@@ -234,6 +224,19 @@ int cmd_figure(const Args& args) {
   return 0;
 }
 
+int cmd_algos() {
+  ftsched::SchedulerRegistry::global().for_each(
+      [](const ftsched::Scheduler& scheduler) {
+        const ftsched::SchedulerCapabilities caps = scheduler.capabilities();
+        std::printf("%-12s eps=%-3s contention-aware=%-3s duplicates=%s\n",
+                    scheduler.name().c_str(),
+                    caps.supports_eps ? "yes" : "no",
+                    caps.contention_aware ? "yes" : "no",
+                    caps.emits_duplicates ? "yes" : "no");
+      });
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +249,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(args);
     if (command == "resilience") return cmd_resilience(args);
     if (command == "figure") return cmd_figure(args);
+    if (command == "algos") return cmd_algos();
     return usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

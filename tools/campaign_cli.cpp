@@ -1,7 +1,14 @@
 /// campaign_cli — Monte-Carlo fault-injection campaigns from the command
-/// line: build (or load) an instance, schedule it with the fault-tolerant
-/// algorithms, replay each schedule under thousands of sampled crash
-/// scenarios, and print a side-by-side comparison table.
+/// line: build (or load) an instance, schedule it with any set of
+/// registered algorithms, replay each schedule under thousands of sampled
+/// crash scenarios, and print a side-by-side comparison table.
+///
+/// The CLI is a thin shell over the ftsched:: facade: `--algos` names are
+/// resolved through the SchedulerRegistry (unknown names list the known
+/// ones), the sampler flags populate an ftsched::SamplerSpec, and the
+/// campaigns themselves run through ftsched::Session — the same service
+/// layer library consumers use, so CLI results and API results are
+/// bit-for-bit identical.
 ///
 /// Examples:
 ///   campaign_cli --replays 2000 --procs 10 --eps 2 --granularity 1.0
@@ -9,6 +16,7 @@
 ///   campaign_cli --sampler window --k 2 --theta-lo 0 --theta-hi 200
 ///   campaign_cli --sampler groups --group-size 5 --group-prob 0.1
 ///   campaign_cli --in instance.txt --replays 1000 --csv camp --json camp
+///   campaign_cli --algos caft,caft-batch,ftsa,ftbar,heft --replays 500
 ///
 /// Samplers (--sampler):
 ///   uniform   k distinct processors dead from t=0 (paper model; default,
@@ -41,21 +49,17 @@
 /// --exact is the escape hatch: bit-exact replays even with buckets set.
 /// Numeric/choice flags are validated strictly; malformed values abort
 /// with a clear error instead of silently falling back to defaults.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "algo/caft.hpp"
-#include "algo/ftbar.hpp"
-#include "algo/ftsa.hpp"
-#include "campaign/campaign.hpp"
-#include "campaign/scenario_sampler.hpp"
+#include "api/api.hpp"
 #include "campaign/stats.hpp"
 #include "common/cli_args.hpp"
 #include "dag/generators.hpp"
-#include "io/instance_io.hpp"
 #include "platform/cost_synthesis.hpp"
 
 namespace {
@@ -64,9 +68,7 @@ using namespace caft;
 
 using Args = CliArgs;
 
-std::unique_ptr<ScenarioSampler> build_sampler(const Args& args,
-                                               std::size_t procs,
-                                               std::size_t eps) {
+ftsched::SamplerSpec build_sampler_spec(const Args& args, std::size_t eps) {
   const std::string kind = args.get_choice(
       "sampler", "uniform", {"uniform", "exp", "weibull", "window", "groups"});
   const std::size_t k = args.get_size("k", eps);
@@ -75,40 +77,47 @@ std::unique_ptr<ScenarioSampler> build_sampler(const Args& args,
   // lifetime campaigns are empty (failed_count counts any finite lifetime).
   const double horizon = args.get_double(
       "horizon", std::numeric_limits<double>::infinity());
-  if (kind == "uniform") return std::make_unique<UniformKSampler>(procs, k);
+  if (kind == "uniform") return ftsched::SamplerSpec::uniform_k(k);
   if (kind == "exp")
-    return std::make_unique<ExponentialLifetimeSampler>(
-        procs, args.get_double("rate", 0.001), horizon);
+    return ftsched::SamplerSpec::exponential(args.get_double("rate", 0.001),
+                                             horizon);
   if (kind == "weibull")
-    return std::make_unique<WeibullLifetimeSampler>(
-        procs, args.get_double("shape", 1.5), args.get_double("scale", 1000.0),
-        horizon);
+    return ftsched::SamplerSpec::weibull(args.get_double("shape", 1.5),
+                                         args.get_double("scale", 1000.0),
+                                         horizon);
   if (kind == "window")
-    return std::make_unique<CrashWindowSampler>(
-        procs, k, args.get_double("theta-lo", 0.0),
-        args.get_double("theta-hi", 1000.0));
+    return ftsched::SamplerSpec::window(k, args.get_double("theta-lo", 0.0),
+                                        args.get_double("theta-hi", 1000.0));
   // get_choice above guarantees kind == "groups" here.
-  return std::make_unique<CorrelatedGroupSampler>(
-      procs, args.get_size("group-size", 2),
-      args.get_double("group-prob", 0.1), args.get_double("theta-lo", 0.0),
-      args.get_double("theta-hi", 0.0));
+  return ftsched::SamplerSpec::groups(
+      args.get_size("group-size", 2), args.get_double("group-prob", 0.1),
+      args.get_double("theta-lo", 0.0), args.get_double("theta-hi", 0.0));
 }
 
-CampaignEngine parse_engine(const Args& args) {
-  return args.get_choice("engine", "incremental", {"incremental", "naive"}) ==
-                 "incremental"
-             ? CampaignEngine::kIncremental
-             : CampaignEngine::kNaive;
-}
-
-CampaignMemo parse_memo(const Args& args) {
-  return args.get_choice("memo", "shared", {"shared", "scratch"}) == "shared"
-             ? CampaignMemo::kShared
-             : CampaignMemo::kScratch;
-}
-
-bool wants_algo(const std::string& algos, const std::string& name) {
-  return algos.find(name) != std::string::npos;
+/// Splits --algos on commas and validates every name against the registry:
+/// an unknown entry aborts with "unknown algo 'x'; known: ...", and a
+/// repeated entry aborts too (it would double the run and the report row).
+std::vector<std::string> parse_algos(const std::string& list) {
+  const ftsched::SchedulerRegistry& registry =
+      ftsched::SchedulerRegistry::global();
+  std::vector<std::string> names;
+  std::string token;
+  for (const char c : list + ",") {
+    if (c != ',') {
+      token += c;
+      continue;
+    }
+    if (token.empty()) continue;
+    (void)registry.make(token);  // throws the canonical unknown-algo error
+    CAFT_CHECK_MSG(std::find(names.begin(), names.end(), token) ==
+                       names.end(),
+                   "--algos lists '" + token + "' twice");
+    names.push_back(token);
+    token.clear();
+  }
+  CAFT_CHECK_MSG(!names.empty(), "--algos names no algorithms; known: " +
+                                     registry.known_list());
+  return names;
 }
 
 }  // namespace
@@ -122,14 +131,10 @@ int main(int argc, char** argv) {
   }
   try {
     // --- instance: load from file or generate the paper's random protocol.
-    TaskGraph graph;
-    std::unique_ptr<Platform> platform;
-    std::unique_ptr<CostModel> costs;
+    std::unique_ptr<ftsched::Instance> instance;
     if (args.has("in")) {
-      InstanceBundle in = load_instance_file(args.get("in"));
-      graph = std::move(in.graph);
-      platform = std::move(in.platform);
-      costs = std::move(in.costs);
+      instance = std::make_unique<ftsched::Instance>(
+          ftsched::Instance::load(args.get("in")));
     } else {
       Rng rng(args.get_size("instance-seed", 42));
       RandomDagParams dag;
@@ -137,101 +142,92 @@ int main(int argc, char** argv) {
         dag.min_tasks = args.get_size("tasks", 100);
         dag.max_tasks = dag.min_tasks;
       }
-      graph = random_dag(dag, rng);
-      platform = std::make_unique<Platform>(args.get_size("procs", 10));
+      TaskGraph graph = random_dag(dag, rng);
       CostSynthesisParams params;
       params.granularity = args.get_double("granularity", 1.0);
-      costs = std::make_unique<CostModel>(
-          synthesize_costs(graph, *platform, params, rng));
+      instance = std::make_unique<ftsched::Instance>(
+          std::move(graph), Platform(args.get_size("procs", 10)), params, rng);
     }
-    const std::size_t m = platform->proc_count();
-    const std::size_t eps = args.get_size("eps", 1);
+    const std::size_t m = instance->proc_count();
+    instance->set_eps(args.get_size("eps", 1));
 
-    CampaignOptions options;
-    options.replays = args.get_size("replays", 1000);
-    CAFT_CHECK_MSG(options.replays > 0, "--replays must be positive");
-    options.seed = args.get_size("seed", 20080201);
-    options.threads = args.get_size("threads", 0);
-    options.engine = parse_engine(args);
-    options.memo = parse_memo(args);
-    options.exact = args.has("exact");
+    // --- session: execution policy (threads, engine, memo placement).
+    ftsched::SessionOptions session_options;
+    session_options.threads = args.get_size("threads", 0);
+    session_options.engine =
+        args.get_choice("engine", "incremental", {"incremental", "naive"}) ==
+                "incremental"
+            ? CampaignEngine::kIncremental
+            : CampaignEngine::kNaive;
+    session_options.memo =
+        args.get_choice("memo", "shared", {"shared", "scratch"}) == "shared"
+            ? CampaignMemo::kShared
+            : CampaignMemo::kScratch;
+    const ftsched::Session session(session_options);
+
+    // --- spec: algorithms, sampler distribution, replay/seed budget.
+    ftsched::CampaignSpec spec;
+    spec.algorithms = parse_algos(args.get("algos", "caft,ftsa,ftbar"));
+    spec.sampler = build_sampler_spec(args, instance->eps());
+    spec.replays = args.get_size("replays", 1000);
+    CAFT_CHECK_MSG(spec.replays > 0, "--replays must be positive");
+    spec.seed = args.get_size("seed", 20080201);
     // --theta-buckets N splits each schedule's horizon into N θ buckets for
-    // shared-memo quantization (width = horizon / N, set per schedule
-    // below); 0 keeps every replay bit-exact. Quantization only exists on
-    // the incremental engine's shared memo, so reject the inert
-    // combinations rather than silently running an exact campaign the user
-    // believes is bucketed (--exact is the intentional opt-out and stays
-    // allowed).
-    const std::size_t theta_buckets = args.get_size("theta-buckets", 0);
-    if (theta_buckets > 0 && !options.exact) {
-      CAFT_CHECK_MSG(options.engine == CampaignEngine::kIncremental,
-                     "--theta-buckets requires --engine incremental");
-      CAFT_CHECK_MSG(options.memo == CampaignMemo::kShared,
-                     "--theta-buckets requires --memo shared");
-    }
+    // shared-memo quantization; 0 keeps every replay bit-exact. The Session
+    // rejects inert combinations (quantization without the incremental
+    // engine's shared memo) rather than silently running an exact campaign
+    // the user believes is bucketed (--exact is the intentional opt-out).
+    spec.theta_buckets = args.get_size("theta-buckets", 0);
+    spec.exact = args.has("exact");
 
-    const auto sampler = build_sampler(args, m, eps);
+    const std::string sampler_name = spec.sampler.name(m);
     std::printf("instance: %zu tasks, %zu edges, m=%zu, eps=%zu\n",
-                graph.task_count(), graph.edge_count(), m, eps);
+                instance->graph().task_count(),
+                instance->graph().edge_count(), m, instance->eps());
     std::printf("campaign: %zu replays of %s, seed %llu, engine %s\n\n",
-                options.replays, sampler->name().c_str(),
-                static_cast<unsigned long long>(options.seed),
-                options.engine == CampaignEngine::kIncremental
+                spec.replays, sampler_name.c_str(),
+                static_cast<unsigned long long>(spec.seed),
+                session_options.engine == CampaignEngine::kIncremental
                     ? "incremental"
                     : "naive");
 
-    // --- schedule with each requested algorithm and run the campaign.
-    const std::string algos = args.get("algos", "caft,ftsa,ftbar");
-    const SchedulerOptions base{eps, CommModelKind::kOnePort};
-    std::vector<std::pair<std::string, Schedule>> schedules;
-    if (wants_algo(algos, "caft")) {
-      CaftOptions caft_options;
-      caft_options.base = base;
-      schedules.emplace_back(
-          "CAFT", caft_schedule(graph, *platform, *costs, caft_options));
-    }
-    if (wants_algo(algos, "ftsa"))
-      schedules.emplace_back("FTSA",
-                             ftsa_schedule(graph, *platform, *costs, base));
-    if (wants_algo(algos, "ftbar")) {
-      FtbarOptions ftbar_options;
-      ftbar_options.base = base;
-      schedules.emplace_back(
-          "FTBAR", ftbar_schedule(graph, *platform, *costs, ftbar_options));
-    }
-    if (schedules.empty()) throw CheckError("no known algorithm in --algos");
-
-    std::vector<std::pair<std::string, CampaignSummary>> rows;
-    for (const auto& [label, schedule] : schedules) {
+    // --- schedule each algorithm via the registry and run the campaigns.
+    // One evaluate_schedule call per algorithm (rather than one
+    // Session::evaluate for the whole spec) so the progress line prints
+    // *before* its campaign runs — long campaigns show live progress.
+    ftsched::CampaignReport report;
+    report.runs.reserve(spec.algorithms.size());
+    for (const std::string& algo : spec.algorithms) {
+      ftsched::ScheduleResult scheduled =
+          ftsched::SchedulerRegistry::global().make(algo)->schedule(
+              *instance, spec.request);
       std::printf("%s: 0-crash latency %.2f, upper bound %.2f, "
                   "%zu messages — running campaign...\n",
-                  label.c_str(), schedule.zero_crash_latency(),
-                  schedule.upper_bound_latency(), schedule.message_count());
-      options.theta_bucket_width =
-          theta_buckets > 0
-              ? schedule.horizon() / static_cast<double>(theta_buckets)
-              : 0.0;
-      CampaignTelemetry telemetry;
-      rows.emplace_back(
-          label, run_campaign(schedule, *costs, *sampler, options, &telemetry));
+                  ftsched::display_name(algo).c_str(), scheduled.makespan,
+                  scheduled.upper_bound, scheduled.messages);
+      std::fflush(stdout);
+      const ftsched::CampaignRun& run = report.runs.emplace_back(
+          session.evaluate_schedule(*instance, std::move(scheduled), spec));
       // Quantization is an opt-in approximation; surface its effect. (Not
       // printed otherwise — nor under --exact, where no bucketing happens —
       // so exact reports stay byte-stable.)
-      if (theta_buckets > 0 && !options.exact)
+      if (spec.theta_buckets > 0 && !spec.exact)
         std::printf("  theta buckets: %zu (width %.4f), memo hit rate "
                     "%.1f%% over %llu lookups\n",
-                    theta_buckets, options.theta_bucket_width,
-                    telemetry.memo_lookups == 0
+                    spec.theta_buckets, run.theta_bucket_width,
+                    run.telemetry.memo_lookups == 0
                         ? 0.0
-                        : 100.0 * static_cast<double>(telemetry.memo_hits) /
-                              static_cast<double>(telemetry.memo_lookups),
-                    static_cast<unsigned long long>(telemetry.memo_lookups));
+                        : 100.0 *
+                              static_cast<double>(run.telemetry.memo_hits) /
+                              static_cast<double>(run.telemetry.memo_lookups),
+                    static_cast<unsigned long long>(
+                        run.telemetry.memo_lookups));
     }
     std::printf("\n");
 
     const Table table = campaign_table("fault-injection campaign — " +
-                                           sampler->name(),
-                                       rows);
+                                           sampler_name,
+                                       report.summary_rows());
     table.print(std::cout, 4);
     if (args.has("csv")) {
       const std::string path = args.get("csv") + "_campaign.csv";
@@ -251,16 +247,20 @@ int main(int argc, char** argv) {
     }
 
     // Proposition 5.2 check: every within-eps replay must have survived.
-    for (const auto& [label, s] : rows)
+    // (HEFT, when campaigned, schedules at ε=0, so its within-eps replays
+    // are the 0-failure ones — the check still applies.)
+    for (const ftsched::CampaignRun& run : report.runs) {
+      const CampaignSummary& s = run.summary;
       if (s.successes_within_eps != s.replays_within_eps) {
         std::fprintf(stderr,
                      "WARNING: %s lost %zu of %zu replays with <= eps "
                      "failures — Proposition 5.2 violated\n",
-                     label.c_str(),
+                     ftsched::display_name(run.algorithm).c_str(),
                      s.replays_within_eps - s.successes_within_eps,
                      s.replays_within_eps);
         return 1;
       }
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

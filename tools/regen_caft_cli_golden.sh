@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Regenerates the committed golden output of `caft_cli schedule`
+# (tests/golden/caft_cli_schedule.txt) after an *intentional* change to
+# scheduling results or report formatting.
+#
+# Usage: tools/regen_caft_cli_golden.sh [build-dir]   (default: build)
+#
+# The arguments below must stay in sync with cmake/caft_cli_golden.cmake.
+set -eu
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+CLI=$REPO_ROOT/$BUILD_DIR/tools/caft_cli
+GOLDEN_DIR=$REPO_ROOT/tests/golden
+
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not found — build the project first" >&2
+  exit 1
+fi
+
+mkdir -p "$GOLDEN_DIR"
+WORK_DIR=$(mktemp -d)
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+(cd "$WORK_DIR" && "$CLI" generate --family random --procs 10 \
+  --granularity 1.0 --seed 11 --out instance.txt) > /dev/null
+
+: > "$GOLDEN_DIR/caft_cli_schedule.txt"
+for algo in caft caft-batch ftsa ftbar heft; do
+  (cd "$WORK_DIR" && "$CLI" schedule --in instance.txt --algo "$algo" \
+    --eps 2) >> "$GOLDEN_DIR/caft_cli_schedule.txt"
+done
+
+echo "regenerated $GOLDEN_DIR/caft_cli_schedule.txt:"
+cat "$GOLDEN_DIR/caft_cli_schedule.txt"
