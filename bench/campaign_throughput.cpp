@@ -33,8 +33,15 @@
 ///
 /// CAFT_BENCH_REPS scales the replay count (default 2000). Thread counts
 /// swept: 1, 2, 4, 8, and the hardware concurrency when larger.
+///
+/// --json-out FILE additionally writes every swept cell as one machine-
+/// readable JSON document (schema "caft-bench-campaign/v1", documented in
+/// README "Campaign bench artifact") — CI uploads it per commit so the
+/// performance trajectory accumulates.
 #include <chrono>
 #include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -87,6 +94,50 @@ double hit_rate(const CampaignTelemetry& telemetry) {
              ? 0.0
              : static_cast<double>(telemetry.memo_hits) /
                    static_cast<double>(telemetry.memo_lookups);
+}
+
+/// One swept (workload, engine, memo, threads) cell, for --json-out.
+struct BenchCell {
+  std::string workload;
+  std::string engine;
+  std::string memo;
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double replays_per_sec = 0.0;
+  double memo_hit_rate = 0.0;
+};
+
+/// Writes the BENCH_campaign.json artifact (schema caft-bench-campaign/v1;
+/// see README "Campaign bench artifact"). Hand-rolled JSON: flat schema,
+/// full double precision, no library dependency.
+bool write_bench_json(const std::string& path, std::size_t replays,
+                      const std::vector<BenchCell>& cells,
+                      bool deterministic, bool quantized_deterministic) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(17);
+  out << "{\n"
+      << "  \"schema\": \"caft-bench-campaign/v1\",\n"
+      << "  \"replays\": " << replays << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BenchCell& cell = cells[i];
+    out << "    {\"workload\": \"" << cell.workload << "\", \"engine\": \""
+        << cell.engine << "\", \"memo\": \"" << cell.memo
+        << "\", \"threads\": " << cell.threads << ", \"seconds\": "
+        << cell.seconds << ", \"replays_per_sec\": " << cell.replays_per_sec
+        << ", \"memo_hit_rate\": " << cell.memo_hit_rate << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"gates\": {\"deterministic\": "
+      << (deterministic ? "true" : "false")
+      << ", \"quantized_deterministic\": "
+      << (quantized_deterministic ? "true" : "false") << "}\n"
+      << "}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -160,6 +211,7 @@ int run_bench(int argc, char** argv) {
   bool deterministic = true;
   bool speedup_ok = true;
   bool shared_ok = true;
+  std::vector<BenchCell> cells;
   for (const Workload& workload : workloads) {
     Table table(std::string("replays/sec vs threads — ") + workload.label,
                 {"threads", "engine", "memo", "seconds", "replays_per_sec",
@@ -227,6 +279,8 @@ int run_bench(int argc, char** argv) {
                        std::string(variant.engine),
                        std::string(variant.memo), seconds, rate,
                        speedup_cell, hit_rate(run.telemetry)});
+        cells.push_back({workload.label, variant.engine, variant.memo,
+                         threads, seconds, rate, hit_rate(run.telemetry)});
       }
     }
     table.print(std::cout, 3);
@@ -281,6 +335,10 @@ int run_bench(int argc, char** argv) {
         }
         quantized_hit_rate =
             std::max(quantized_hit_rate, hit_rate(run.telemetry));
+        cells.push_back({"crash-window-quantized", "incremental", "shared",
+                         threads, seconds,
+                         static_cast<double>(replays) / seconds,
+                         hit_rate(run.telemetry)});
         table.add_row(
             {static_cast<double>(threads), seconds,
              static_cast<double>(replays) / seconds, hit_rate(run.telemetry),
@@ -307,5 +365,15 @@ int run_bench(int argc, char** argv) {
   if (engine_arg != "naive")
     std::cout << "shared memo >= scratch memo at 4+ threads (uniform-k): "
               << (shared_ok ? "yes" : "NO") << "\n";
+
+  if (args.has("json-out")) {
+    const std::string path = args.get("json-out");
+    if (!write_bench_json(path, replays, cells, deterministic,
+                          quantized_deterministic)) {
+      std::cerr << "error: could not write " << path << "\n";
+      return 1;
+    }
+    std::cout << "bench cells written to " << path << "\n";
+  }
   return deterministic && quantized_deterministic ? 0 : 1;
 }

@@ -1,0 +1,57 @@
+# Subprocess-backend identity gate, run as a ctest via
+#   cmake -DCLI=<campaign_cli> -DWORK_DIR=<scratch>
+#         -P cmake/campaign_subprocess.cmake
+#
+# The same campaign runs once in-process and once through the subprocess
+# backend at 1, 2 and 4 workers; all four JSON summaries must match byte
+# for byte (the scale-out determinism contract of api/session.hpp). Two
+# samplers are covered: the paper's uniform-k (discrete masks) and a crash
+# window (continuous θ, a non-trivial latency-quantile stream).
+if(NOT CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "campaign_subprocess.cmake needs -DCLI and -DWORK_DIR")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(sampler_args
+    "--sampler;uniform"
+    "--sampler;window;--k;2;--theta-lo;0;--theta-hi;800")
+  set(common_args
+      --replays 300 --procs 10 --eps 1 --tasks 40
+      --instance-seed 11 --seed 99 --algos caft,ftsa ${sampler_args})
+
+  execute_process(
+    COMMAND ${CLI} ${common_args} --json single
+    OUTPUT_QUIET
+    RESULT_VARIABLE single_rc
+    WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT single_rc EQUAL 0)
+    message(FATAL_ERROR "campaign_cli (single-process run) exited with ${single_rc}")
+  endif()
+
+  foreach(workers 1 2 4)
+    execute_process(
+      COMMAND ${CLI} ${common_args}
+              --exec subprocess --workers ${workers} --json sub${workers}
+      OUTPUT_QUIET
+      RESULT_VARIABLE sub_rc
+      WORKING_DIRECTORY ${WORK_DIR})
+    if(NOT sub_rc EQUAL 0)
+      message(FATAL_ERROR
+        "campaign_cli (--exec subprocess --workers ${workers}) exited with ${sub_rc}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/single_campaign.json
+              ${WORK_DIR}/sub${workers}_campaign.json
+      RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+      message(FATAL_ERROR
+        "subprocess campaign summary at ${workers} worker(s) differs from "
+        "the single-process summary (${sampler_args}) — the scale-out "
+        "determinism contract is broken")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "subprocess campaign summaries identical at 1, 2 and 4 workers")

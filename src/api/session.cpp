@@ -1,6 +1,16 @@
 #include "api/session.hpp"
 
+#include <atomic>
+#include <cmath>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
 #include "common/check.hpp"
+#include "common/subprocess.hpp"
+#include "io/campaign_wire.hpp"
 
 namespace ftsched {
 
@@ -101,10 +111,7 @@ caft::CampaignOptions Session::campaign_options(
   campaign.memo_shards = options_.memo_shards;
   campaign.adaptive_snapshots = options_.adaptive_snapshots;
   campaign.exact = spec.exact;
-  campaign.theta_bucket_width =
-      spec.theta_buckets > 0
-          ? schedule_horizon / static_cast<double>(spec.theta_buckets)
-          : 0.0;
+  campaign.theta_bucket_width = spec.theta_bucket_width(schedule_horizon);
   return campaign;
 }
 
@@ -123,12 +130,15 @@ CampaignRun Session::evaluate_schedule(const Instance& instance,
                    "theta buckets require the shared memo");
   }
 
-  const auto sampler = spec.sampler.build(instance.proc_count());
   CampaignRun run{.algorithm = result.algorithm,
                   .result = std::move(result),
                   .summary = {},
                   .telemetry = {},
                   .theta_bucket_width = 0.0};
+  if (options_.exec.mode == ExecutionPolicy::Mode::kSubprocess)
+    return evaluate_schedule_subprocess(instance, std::move(run), spec);
+
+  const auto sampler = spec.sampler.build(instance.proc_count());
   const caft::CampaignOptions campaign =
       campaign_options(spec, run.result.schedule.horizon());
   run.theta_bucket_width = spec.exact ? 0.0 : campaign.theta_bucket_width;
@@ -154,15 +164,222 @@ CampaignReport Session::evaluate(const Instance& instance,
 
 std::vector<CampaignReport> Session::evaluate_batch(
     std::span<const Instance> instances, const CampaignSpec& spec) const {
-  // Sequential for now — each campaign already saturates the Session's
-  // thread budget internally. When campaigns scale out across processes
-  // (ROADMAP), this loop becomes the dispatch point; the per-instance
-  // results are independent by construction.
+  return evaluate_batch(instances, spec, options_.exec);
+}
+
+std::vector<CampaignReport> Session::evaluate_batch(
+    std::span<const Instance> instances, const CampaignSpec& spec,
+    const ExecutionPolicy& exec) const {
+  // The per-instance campaigns are independent by construction and each one
+  // already saturates its execution backend (the in-process thread budget,
+  // or the subprocess worker pool), so instances run sequentially and the
+  // parallelism lives inside evaluate().
+  SessionOptions dispatch_options = options_;
+  dispatch_options.exec = exec;
+  const Session dispatch(dispatch_options);
   std::vector<CampaignReport> reports;
   reports.reserve(instances.size());
   for (const Instance& instance : instances)
-    reports.push_back(evaluate(instance, spec));
+    reports.push_back(dispatch.evaluate(instance, spec));
   return reports;
+}
+
+CampaignRun Session::evaluate_schedule_subprocess(
+    const Instance& instance, CampaignRun run,
+    const CampaignSpec& spec) const {
+  const ExecutionPolicy& exec = options_.exec;
+  CAFT_CHECK_MSG(!exec.worker_command.empty(),
+                 "subprocess execution needs ExecutionPolicy::worker_command "
+                 "(a campaign_cli-compatible binary)");
+  CAFT_CHECK_MSG(exec.n_workers > 0,
+                 "subprocess execution needs at least one worker");
+
+  // Hand the instance to workers through the archival text format (exact
+  // double round-trip); scheduling is deterministic, so every worker
+  // rebuilds the coordinator's schedule bit-for-bit — and proves it against
+  // the `expect` pins below.
+  const caft::ScratchDir scratch("ftsched-campaign");
+  const std::string instance_path = scratch.file("instance.txt");
+  instance.save(instance_path);
+
+  const double horizon = run.result.schedule.horizon();
+  const caft::CampaignOptions campaign = campaign_options(spec, horizon);
+  run.theta_bucket_width = spec.exact ? 0.0 : campaign.theta_bucket_width;
+
+  // Work-order template shared by every block.
+  CampaignWorkOrder order;
+  order.instance_path = instance_path;
+  order.algorithm = run.algorithm;
+  order.spec = spec;
+  // Pin the resolved ε and model: the worker re-schedules from the raw
+  // instance file, which carries neither RunOptions field.
+  order.spec.request.eps = run.result.eps;
+  order.spec.request.model = run.result.schedule.model();
+  order.threads = exec.worker_threads;
+  order.engine = options_.engine;
+  order.memo = options_.memo;
+  order.block = options_.block;
+  order.memo_capacity = options_.memo_capacity;
+  order.memo_shards = options_.memo_shards;
+  order.adaptive_snapshots = options_.adaptive_snapshots;
+  order.expect_makespan = run.result.makespan;
+  order.expect_horizon = horizon;
+
+  // Contiguous blocks of the canonical scenario stream. The partition is
+  // invisible in the summary (any partition folds to the same stream); it
+  // only sets the retry/straggler granularity.
+  std::size_t chunk = exec.block_replays;
+  if (chunk == 0)
+    chunk = std::max<std::size_t>(
+        1, (spec.replays + exec.n_workers * 4 - 1) / (exec.n_workers * 4));
+  struct Block {
+    std::size_t first;
+    std::size_t count;
+  };
+  std::vector<Block> blocks;
+  for (std::size_t first = 0; first < spec.replays; first += chunk)
+    blocks.push_back({first, std::min(chunk, spec.replays - first)});
+
+  std::vector<CampaignPartialResult> partials(blocks.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::string error;
+
+  // One dispatcher thread per worker slot: claim a block, spawn a worker
+  // process for it, retry on any failure (crash, nonzero exit, garbage or
+  // truncated output, wrong block echoed back), give up after the retry
+  // budget and fail the whole campaign loudly.
+  const auto dispatch = [&] {
+    for (std::size_t b = next.fetch_add(1);
+         b < blocks.size() && !failed.load(); b = next.fetch_add(1)) {
+      CampaignWorkOrder block_order = order;
+      block_order.first = blocks[b].first;
+      block_order.count = blocks[b].count;
+      std::ostringstream doc;
+      write_campaign_work_order(doc, block_order);
+
+      std::string last_failure;
+      bool done = false;
+      // `!failed` also here: once any block exhausts its budget the
+      // campaign is doomed — don't keep spawning retries for it.
+      for (std::size_t attempt = 0;
+           attempt <= exec.max_retries && !done && !failed.load();
+           ++attempt) {
+        const caft::SubprocessResult child = caft::run_subprocess(
+            {exec.worker_command, "--worker"}, doc.str());
+        if (!child.ok()) {
+          last_failure = child.describe_failure();
+          continue;
+        }
+        try {
+          std::istringstream out(child.out);
+          CampaignPartialResult partial = read_campaign_partial(out);
+          CAFT_CHECK_MSG(partial.algorithm == block_order.algorithm,
+                         "worker answered for algorithm '" +
+                             partial.algorithm + "'");
+          CAFT_CHECK_MSG(partial.first == block_order.first &&
+                             partial.count == block_order.count,
+                         "worker answered the wrong scenario block");
+          partials[b] = std::move(partial);
+          done = true;
+        } catch (const std::exception& parse_error) {
+          last_failure = parse_error.what();
+        }
+      }
+      if (!done) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (error.empty())
+          error = "campaign worker failed on scenario block [" +
+                  std::to_string(blocks[b].first) + ", " +
+                  std::to_string(blocks[b].first + blocks[b].count) +
+                  ") after " + std::to_string(exec.max_retries + 1) +
+                  " attempts: " + last_failure;
+        failed.store(true);
+      }
+    }
+  };
+  const std::size_t dispatchers = std::min(exec.n_workers, blocks.size());
+  if (dispatchers <= 1) {
+    dispatch();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(dispatchers);
+    for (std::size_t t = 0; t < dispatchers; ++t) pool.emplace_back(dispatch);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (failed.load()) throw caft::CheckError(error);
+
+  // Fold every block's records in canonical scenario order — the exact
+  // fold run_campaign performs in process, so the summary is byte-identical
+  // by construction. Telemetry is summed across worker processes (snapshots
+  // are per-engine, so take the max — each worker builds the same engine).
+  const auto sampler = spec.sampler.build(instance.proc_count());
+  caft::CampaignAccumulator accumulator(run.result.schedule.eps(),
+                                        spec.quantiles);
+  accumulator.set_sampler_name(sampler->name());
+  run.telemetry = {};
+  for (const CampaignPartialResult& partial : partials) {
+    for (const caft::ReplayRecord& record : partial.records)
+      caft::fold_replay_record(accumulator, record);
+    run.telemetry.memo_lookups += partial.telemetry.memo_lookups;
+    run.telemetry.memo_hits += partial.telemetry.memo_hits;
+    run.telemetry.memo_evictions += partial.telemetry.memo_evictions;
+    run.telemetry.memo_entries += partial.telemetry.memo_entries;
+    run.telemetry.snapshots =
+        std::max(run.telemetry.snapshots, partial.telemetry.snapshots);
+  }
+  run.summary = accumulator.summary();
+  return run;
+}
+
+void run_campaign_worker(std::istream& in, std::ostream& out) {
+  const CampaignWorkOrder order = read_campaign_work_order(in);
+  const Instance instance = Instance::load(order.instance_path);
+  const auto scheduler = SchedulerRegistry::global().make(order.algorithm);
+  const ScheduleResult scheduled =
+      scheduler->schedule(instance, order.spec.request);
+  // Determinism pins: the schedule this worker replays must be bit-for-bit
+  // the coordinator's. A mismatch means environment drift (mixed binaries,
+  // different code) that would silently corrupt the campaign — refuse.
+  if (!std::isnan(order.expect_makespan))
+    CAFT_CHECK_MSG(scheduled.makespan == order.expect_makespan,
+                   "worker schedule diverged from the coordinator's "
+                   "(makespan mismatch — mixed worker binaries?)");
+  const double horizon = scheduled.schedule.horizon();
+  if (!std::isnan(order.expect_horizon))
+    CAFT_CHECK_MSG(horizon == order.expect_horizon,
+                   "worker schedule diverged from the coordinator's "
+                   "(horizon mismatch — mixed worker binaries?)");
+
+  const auto sampler = order.spec.sampler.build(instance.proc_count());
+  caft::CampaignOptions campaign;
+  campaign.replays = order.spec.replays;
+  campaign.seed = order.spec.seed;
+  campaign.quantiles = order.spec.quantiles;
+  campaign.threads = order.threads;
+  campaign.block = order.block;
+  campaign.engine = order.engine;
+  campaign.memo = order.memo;
+  campaign.memo_capacity = order.memo_capacity;
+  campaign.memo_shards = order.memo_shards;
+  campaign.adaptive_snapshots = order.adaptive_snapshots;
+  campaign.exact = order.spec.exact;
+  // The shared derivation (CampaignSpec::theta_bucket_width) — horizon is
+  // pinned above, so the width matches the coordinator's bit-for-bit.
+  campaign.theta_bucket_width = order.spec.theta_bucket_width(horizon);
+
+  CampaignPartialResult partial;
+  partial.algorithm = order.algorithm;
+  partial.first = order.first;
+  partial.count = order.count;
+  partial.records =
+      run_campaign_block(scheduled.schedule, instance.costs(), *sampler,
+                         campaign, order.first, order.count,
+                         &partial.telemetry);
+  for (const caft::ReplayRecord& record : partial.records)
+    if (record.success) ++partial.successes;
+  write_campaign_partial(out, partial);
 }
 
 }  // namespace ftsched

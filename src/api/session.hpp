@@ -16,14 +16,17 @@
 /// bit-identical to hand-rolling registry->schedule + run_campaign with the
 /// same seeds, and tests/test_api.cpp holds it to that.
 ///
-/// `evaluate_batch` is the multi-instance entry point — deliberately the
-/// single choke point where the ROADMAP's process-level campaign scale-out
-/// will split work across machines (the deterministic split-stream contract
-/// already makes results placement-independent).
+/// `evaluate_batch` is the multi-instance entry point and the single choke
+/// point of process-level campaign scale-out: an `ExecutionPolicy` can fan
+/// each campaign's scenario stream out to worker processes (see
+/// io/campaign_wire.hpp for the protocol) — the deterministic split-stream
+/// contract makes the results placement-independent, and the coordinator's
+/// canonical-order fold makes them *byte-identical* to in-process runs.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <memory>
 #include <span>
@@ -105,6 +108,58 @@ struct CampaignSpec {
   bool exact = false;
   /// Forwarded to every scheduler (ε/model overrides, algorithm knobs).
   ScheduleRequest request;
+
+  /// The memo bucket width theta_buckets implies for a schedule of this
+  /// horizon (0 = exact). The *single* derivation both the in-process path
+  /// and the subprocess worker use — the width changes replay results, so
+  /// the two sides must agree bit-for-bit.
+  [[nodiscard]] double theta_bucket_width(double schedule_horizon) const {
+    return theta_buckets > 0
+               ? schedule_horizon / static_cast<double>(theta_buckets)
+               : 0.0;
+  }
+};
+
+/// How a Session physically executes campaigns: in this process (the
+/// default) or fanned out across worker *processes*. Like every other
+/// execution knob, the mode can never change a summary: the subprocess
+/// backend assigns contiguous scenario blocks of the same deterministic
+/// split-stream to workers (campaign_cli --worker speaking the
+/// io/campaign_wire protocol) and folds their per-replay records back in
+/// canonical scenario order, so subprocess summaries are byte-identical to
+/// in-process ones for any worker count (the per-process replay memo is
+/// unobservable by design).
+struct ExecutionPolicy {
+  enum class Mode {
+    kInProcess,   ///< run campaigns inside this process (thread pool)
+    kSubprocess,  ///< spawn worker processes, one scenario block at a time
+  };
+  Mode mode = Mode::kInProcess;
+  /// Concurrent worker processes (subprocess mode).
+  std::size_t n_workers = 2;
+  /// Threads *each worker process* uses; keep n_workers × worker_threads
+  /// near the machine's core count.
+  std::size_t worker_threads = 1;
+  /// Replays per worker block; 0 = auto (aims at ~4 blocks per worker, so
+  /// a straggler or retried block costs a fraction of the campaign).
+  std::size_t block_replays = 0;
+  /// Extra attempts per block after a worker failure (crash, nonzero exit,
+  /// unparseable output) before the campaign gives up.
+  std::size_t max_retries = 2;
+  /// Worker program: anything accepting `--worker` and speaking the
+  /// campaign wire protocol on stdin/stdout — normally the campaign_cli
+  /// binary. Required in subprocess mode.
+  std::string worker_command;
+
+  [[nodiscard]] static ExecutionPolicy in_process() { return {}; }
+  [[nodiscard]] static ExecutionPolicy subprocess(std::string worker_command,
+                                                  std::size_t n_workers = 2) {
+    ExecutionPolicy policy;
+    policy.mode = Mode::kSubprocess;
+    policy.n_workers = n_workers;
+    policy.worker_command = std::move(worker_command);
+    return policy;
+  }
 };
 
 /// Execution policy a Session owns — how campaigns run, never what they
@@ -119,6 +174,8 @@ struct SessionOptions {
   bool adaptive_snapshots = true;
   /// Replays simulated per parallel wave; bounds peak memory.
   std::size_t block = 1024;
+  /// Where campaigns run: this process or a pool of worker processes.
+  ExecutionPolicy exec;
 };
 
 /// Outcome of campaigning one algorithm on one instance.
@@ -165,17 +222,41 @@ class Session {
                                               const CampaignSpec& spec) const;
 
   /// Multi-instance entry point; reports in instance order. This is the
-  /// intended choke point for distributing campaign waves across processes
-  /// (ROADMAP "campaign scale-out") — callers should prefer it over looping
-  /// evaluate() so future sharding is transparent to them.
+  /// choke point where campaigns scale out across processes: with a
+  /// subprocess ExecutionPolicy (the session's, or the override below) each
+  /// campaign's scenario stream is split into contiguous blocks, dispatched
+  /// to worker processes, retried on failure, and folded back in canonical
+  /// scenario order — byte-identical to the in-process result. Callers
+  /// should prefer it over looping evaluate() so sharding stays transparent
+  /// to them.
   [[nodiscard]] std::vector<CampaignReport> evaluate_batch(
       std::span<const Instance> instances, const CampaignSpec& spec) const;
+
+  /// Same, with an explicit execution policy overriding the session's.
+  [[nodiscard]] std::vector<CampaignReport> evaluate_batch(
+      std::span<const Instance> instances, const CampaignSpec& spec,
+      const ExecutionPolicy& exec) const;
 
  private:
   [[nodiscard]] caft::CampaignOptions campaign_options(
       const CampaignSpec& spec, double schedule_horizon) const;
 
+  /// The subprocess coordinator behind evaluate_schedule: blocks, workers,
+  /// retries, canonical-order fold (api/session.cpp has the details).
+  [[nodiscard]] CampaignRun evaluate_schedule_subprocess(
+      const Instance& instance, CampaignRun run,
+      const CampaignSpec& spec) const;
+
   SessionOptions options_;
 };
+
+/// Executes one serialized campaign work order: reads the order from `in`,
+/// loads the referenced instance, re-schedules the named algorithm
+/// (bit-identical by determinism — the order's `expect` pins are verified),
+/// replays the scenario block with run_campaign_block, and writes the
+/// partial-result document to `out`. `campaign_cli --worker` is a thin
+/// shell over this; it is exposed so tests can drive the worker protocol
+/// without spawning processes.
+void run_campaign_worker(std::istream& in, std::ostream& out);
 
 }  // namespace ftsched

@@ -14,18 +14,6 @@ namespace caft {
 
 namespace {
 
-/// Compact per-replay outcome: everything the accumulator folds, nothing
-/// else — the full CrashResult (per-replica matrices) never outlives its
-/// worker.
-struct ReplayRecord {
-  bool success = false;
-  bool order_deadlock = false;
-  double latency = 0.0;
-  std::size_t delivered_messages = 0;
-  std::size_t order_relaxations = 0;
-  std::size_t failed_count = 0;
-};
-
 ReplayRecord to_record(const CrashResult& result, std::size_t failed_count) {
   ReplayRecord record;
   record.success = result.success;
@@ -37,12 +25,19 @@ ReplayRecord to_record(const CrashResult& result, std::size_t failed_count) {
   return record;
 }
 
-}  // namespace
-
-CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
-                             const ScenarioSampler& sampler,
-                             const CampaignOptions& options,
-                             CampaignTelemetry* telemetry) {
+/// Shared core of run_campaign and run_campaign_block: executes the
+/// contiguous replays [first, first + count) of the canonical scenario
+/// stream in bounded waves and hands each wave's records — in canonical
+/// replay order — to `sink(records, wave_size)`. The stream position is a
+/// function of (seed, first) alone: the master Rng is advanced one split
+/// per replay, so any block of any partition draws exactly the scenarios
+/// the full campaign would have drawn at those indices.
+template <typename Sink>
+void run_replay_range(const Schedule& schedule, const CostModel& costs,
+                      const ScenarioSampler& sampler,
+                      const CampaignOptions& options, std::size_t first,
+                      std::size_t count, CampaignTelemetry* telemetry,
+                      Sink&& sink) {
   CAFT_CHECK_MSG(sampler.proc_count() == schedule.platform().proc_count(),
                  "sampler platform size does not match the schedule");
   CAFT_CHECK_MSG(schedule.complete(), "schedule is incomplete");
@@ -78,8 +73,9 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
   }
 
   Rng master(options.seed);
-  CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
-  accumulator.set_sampler_name(sampler.name());
+  // Fast-forward to replay `first`: exactly one split per earlier replay —
+  // the sampler draws from the split stream, never from the master.
+  for (std::size_t i = 0; i < first; ++i) (void)master.split();
 
   std::vector<CrashScenario> scenarios;
   std::vector<std::size_t> order;
@@ -87,8 +83,8 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
   // One scratch per worker slot, persistent across waves: buffers and the
   // dead-set memo survive, so steady-state waves allocate nothing.
   std::vector<ReplayEngine::Scratch> scratches(threads);
-  for (std::size_t done = 0; done < options.replays;) {
-    const std::size_t wave = std::min(options.block, options.replays - done);
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t wave = std::min(options.block, count - done);
 
     // Scenarios are drawn sequentially in global replay order, each from
     // its own split stream: neither the thread schedule, the block size nor
@@ -103,7 +99,7 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
     // Execute the wave sorted by earliest crash time: neighbouring replays
     // then branch from the same (or adjacent) fault-free snapshots, so the
     // incremental engine's prefix cache gets maximal reuse. Results land in
-    // replay order regardless, so the fold below never sees this order.
+    // replay order regardless, so the sink below never sees this order.
     order.resize(wave);
     for (std::size_t i = 0; i < wave; ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -115,9 +111,9 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
 
     records.assign(wave, ReplayRecord{});
     const std::size_t workers = std::min(threads, wave);
-    const auto worker = [&](std::size_t first) {
-      ReplayEngine::Scratch& scratch = scratches[first];
-      for (std::size_t j = first; j < wave; j += workers) {
+    const auto worker = [&](std::size_t first_slot) {
+      ReplayEngine::Scratch& scratch = scratches[first_slot];
+      for (std::size_t j = first_slot; j < wave; j += workers) {
         const std::size_t i = order[j];
         // Branch instead of a ternary: the engine path returns a reference
         // (a ternary mixing it with the naive prvalue would force a copy).
@@ -140,16 +136,7 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
       for (std::thread& thread : pool) thread.join();
     }
 
-    // Fold in replay order.
-    for (const ReplayRecord& record : records) {
-      CrashResult result;
-      result.success = record.success;
-      result.order_deadlock = record.order_deadlock;
-      result.latency = record.latency;
-      result.delivered_messages = record.delivered_messages;
-      result.order_relaxations = record.order_relaxations;
-      accumulator.add(record.failed_count, result);
-    }
+    sink(records, wave);
     done += wave;
   }
 
@@ -171,6 +158,54 @@ CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
     }
     if (engine != nullptr) telemetry->snapshots = engine->snapshot_count();
   }
+}
+
+}  // namespace
+
+void fold_replay_record(CampaignAccumulator& accumulator,
+                        const ReplayRecord& record) {
+  CrashResult result;
+  result.success = record.success;
+  result.order_deadlock = record.order_deadlock;
+  result.latency = record.latency;
+  result.delivered_messages = record.delivered_messages;
+  result.order_relaxations = record.order_relaxations;
+  accumulator.add(record.failed_count, result);
+}
+
+std::vector<ReplayRecord> run_campaign_block(const Schedule& schedule,
+                                             const CostModel& costs,
+                                             const ScenarioSampler& sampler,
+                                             const CampaignOptions& options,
+                                             std::size_t first,
+                                             std::size_t count,
+                                             CampaignTelemetry* telemetry) {
+  std::vector<ReplayRecord> all;
+  all.reserve(count);
+  run_replay_range(schedule, costs, sampler, options, first, count, telemetry,
+                   [&](const std::vector<ReplayRecord>& records,
+                       std::size_t wave) {
+                     all.insert(all.end(), records.begin(),
+                                records.begin() +
+                                    static_cast<std::ptrdiff_t>(wave));
+                   });
+  return all;
+}
+
+CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
+                             const ScenarioSampler& sampler,
+                             const CampaignOptions& options,
+                             CampaignTelemetry* telemetry) {
+  CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
+  accumulator.set_sampler_name(sampler.name());
+  // Fold in replay order, one wave at a time — memory stays O(block).
+  run_replay_range(schedule, costs, sampler, options, 0, options.replays,
+                   telemetry,
+                   [&](const std::vector<ReplayRecord>& records,
+                       std::size_t wave) {
+                     for (std::size_t i = 0; i < wave; ++i)
+                       fold_replay_record(accumulator, records[i]);
+                   });
   return accumulator.summary();
 }
 

@@ -103,6 +103,39 @@ struct CampaignTelemetry {
   std::size_t snapshots = 0;     ///< prefix snapshots the engine stored
 };
 
+/// Compact outcome of one replay: exactly what the accumulator folds,
+/// nothing else (the full CrashResult with its per-replica matrices never
+/// outlives its worker). Records are a pure function of (schedule, costs,
+/// scenario, θ-quantization config) — never of threads, block size, engine
+/// or memo placement — which is what lets campaign blocks be computed in
+/// other processes and folded back bit-identically.
+struct ReplayRecord {
+  bool success = false;
+  bool order_deadlock = false;
+  double latency = 0.0;
+  std::size_t delivered_messages = 0;
+  std::size_t order_relaxations = 0;
+  std::size_t failed_count = 0;  ///< processors the scenario crashed
+};
+
+/// Folds one record into `accumulator` — the single fold step shared by
+/// run_campaign and the process-scale-out coordinator, so both produce the
+/// same summary from the same record stream.
+void fold_replay_record(CampaignAccumulator& accumulator,
+                        const ReplayRecord& record);
+
+/// Runs the contiguous replays [first, first + count) of the campaign's
+/// canonical scenario stream (the stream run_campaign draws for the same
+/// seed — `options.replays` is ignored here) and returns their records in
+/// canonical replay order. Concatenating the blocks of any partition of
+/// [0, N) reproduces run_campaign's record stream exactly; this is the
+/// worker half of the subprocess campaign backend (api/session.hpp).
+[[nodiscard]] std::vector<ReplayRecord> run_campaign_block(
+    const Schedule& schedule, const CostModel& costs,
+    const ScenarioSampler& sampler, const CampaignOptions& options,
+    std::size_t first, std::size_t count,
+    CampaignTelemetry* telemetry = nullptr);
+
 /// Runs `options.replays` crash replays of `schedule` under scenarios drawn
 /// from `sampler` and returns the folded summary. `telemetry`, when
 /// non-null, receives memo/snapshot counters.

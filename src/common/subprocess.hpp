@@ -1,0 +1,70 @@
+/// \file subprocess.hpp
+/// Minimal blocking subprocess runner: spawn a child process, feed it a
+/// byte string on stdin, capture stdout and stderr, and report how it
+/// exited. This is the process-spawning half of the subprocess campaign
+/// backend (api/session.hpp): the coordinator pipes one serialized work
+/// order into each worker and reads one partial result back.
+///
+/// POSIX-only (fork/exec/poll); the one CheckError path is a platform
+/// without it. The runner is thread-compatible — the campaign coordinator
+/// spawns from several dispatcher threads at once — and never throws on
+/// child failure: a crashed, killed or garbage-emitting child is an
+/// *expected* outcome the caller retries, so it is reported in the result,
+/// not as an exception.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace caft {
+
+/// RAII scratch directory (mkdtemp under the system temp dir) — used for
+/// the coordinator → worker instance handoff and by tests for wrapper
+/// scripts. Throws CheckError when the directory cannot be created (or on
+/// a platform without mkdtemp); removal at destruction is best-effort.
+class ScratchDir {
+ public:
+  /// `prefix` seeds the directory name: <tmp>/<prefix>-XXXXXX.
+  explicit ScratchDir(const std::string& prefix);
+  ~ScratchDir();
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  /// Convenience: absolute path of `name` inside the directory.
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Everything one finished child process reports.
+struct SubprocessResult {
+  /// True when the child was spawned and reaped at all (false = fork or
+  /// pipe creation failed; `error` says why).
+  bool spawned = false;
+  /// True when the child exited normally (as opposed to dying on a signal).
+  bool exited = false;
+  int exit_code = -1;    ///< exit status when `exited`
+  int term_signal = 0;   ///< terminating signal when !exited (e.g. SIGKILL)
+  std::string out;       ///< captured stdout
+  std::string err;       ///< captured stderr
+  std::string error;     ///< spawn-infrastructure error, empty when spawned
+
+  /// The one success predicate callers need: spawned, exited, status 0.
+  [[nodiscard]] bool ok() const { return spawned && exited && exit_code == 0; }
+  /// One-line description of how the child failed, for retry logs.
+  [[nodiscard]] std::string describe_failure() const;
+};
+
+/// Runs `argv` (argv[0] is the program, resolved via PATH like execvp),
+/// writes `input` to its stdin, and blocks until it exits. Stdout/stderr
+/// are captured concurrently with the stdin feed (poll loop), so neither
+/// side can deadlock on a full pipe regardless of sizes.
+[[nodiscard]] SubprocessResult run_subprocess(
+    const std::vector<std::string>& argv, const std::string& input);
+
+}  // namespace caft

@@ -1,0 +1,410 @@
+#include "io/campaign_wire.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Doubles cross the wire as C hexadecimal float literals: bit-exact
+/// round-trip, locale-independent, and strtod parses them back natively.
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+double parse_double(const std::string& token, const char* what) {
+  const char* text = token.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  CAFT_CHECK_MSG(end != text && *end == '\0',
+                 std::string("campaign wire: malformed ") + what + " '" +
+                     token + "'");
+  return value;
+}
+
+std::size_t parse_size(const std::string& token, const char* what) {
+  CAFT_CHECK_MSG(!token.empty() &&
+                     token.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 std::string("campaign wire: malformed ") + what + " '" +
+                     token + "'");
+  return static_cast<std::size_t>(std::stoull(token));
+}
+
+bool parse_bool(const std::string& token, const char* what) {
+  CAFT_CHECK_MSG(token == "0" || token == "1",
+                 std::string("campaign wire: malformed ") + what + " '" +
+                     token + "' (expected 0|1)");
+  return token == "1";
+}
+
+const char* sampler_kind_name(SamplerSpec::Kind kind) {
+  switch (kind) {
+    case SamplerSpec::Kind::kUniformK:
+      return "uniform-k";
+    case SamplerSpec::Kind::kExponential:
+      return "exponential";
+    case SamplerSpec::Kind::kWeibull:
+      return "weibull";
+    case SamplerSpec::Kind::kWindow:
+      return "window";
+    case SamplerSpec::Kind::kGroups:
+      return "groups";
+  }
+  throw caft::CheckError("campaign wire: unhandled sampler kind");
+}
+
+SamplerSpec::Kind sampler_kind_from(const std::string& name) {
+  if (name == "uniform-k") return SamplerSpec::Kind::kUniformK;
+  if (name == "exponential") return SamplerSpec::Kind::kExponential;
+  if (name == "weibull") return SamplerSpec::Kind::kWeibull;
+  if (name == "window") return SamplerSpec::Kind::kWindow;
+  if (name == "groups") return SamplerSpec::Kind::kGroups;
+  throw caft::CheckError("campaign wire: unknown sampler kind '" + name +
+                         "'");
+}
+
+/// Pulls the next whitespace token off `line`; throws when the line is
+/// exhausted (every field of a keyed line is mandatory).
+std::string next_token(std::istringstream& line, const char* what) {
+  std::string token;
+  CAFT_CHECK_MSG(static_cast<bool>(line >> token),
+                 std::string("campaign wire: missing ") + what);
+  return token;
+}
+
+/// Reads the magic line `<magic> v1` and positions the stream after it.
+void expect_magic(std::istream& is, const char* magic) {
+  std::string line;
+  CAFT_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                 "campaign wire: empty document");
+  CAFT_CHECK_MSG(line == std::string(magic) + " v1",
+                 "campaign wire: bad magic line '" + line + "' (expected '" +
+                     magic + " v1')");
+}
+
+}  // namespace
+
+void write_campaign_work_order(std::ostream& os,
+                               const CampaignWorkOrder& order) {
+  os << "caft-campaign-work v1\n";
+  os << "instance " << order.instance_path << "\n";
+  os << "algorithm " << order.algorithm << "\n";
+  os << "block " << order.first << " " << order.count << "\n";
+  os << "replays " << order.spec.replays << "\n";
+  os << "seed " << order.spec.seed << "\n";
+  os << "quantiles " << order.spec.quantiles.size();
+  for (const double q : order.spec.quantiles) os << " " << format_double(q);
+  os << "\n";
+  os << "theta-buckets " << order.spec.theta_buckets << "\n";
+  os << "exact " << (order.spec.exact ? 1 : 0) << "\n";
+  const SamplerSpec& sampler = order.spec.sampler;
+  os << "sampler " << sampler_kind_name(sampler.kind) << " "
+     << sampler.failures << " " << format_double(sampler.rate) << " "
+     << format_double(sampler.shape) << " " << format_double(sampler.scale)
+     << " " << format_double(sampler.horizon) << " "
+     << format_double(sampler.theta_lo) << " "
+     << format_double(sampler.theta_hi) << " " << sampler.group_size << " "
+     << format_double(sampler.group_prob) << "\n";
+  const ScheduleRequest& request = order.spec.request;
+  os << "request ";
+  if (request.eps.has_value())
+    os << *request.eps;
+  else
+    os << "-";
+  os << " ";
+  if (request.model.has_value())
+    os << (*request.model == caft::CommModelKind::kOnePort ? "oneport"
+                                                           : "macro");
+  else
+    os << "-";
+  os << " " << (request.validate ? 1 : 0) << " "
+     << (request.support_mode == caft::CaftSupportMode::kDirect
+             ? "direct"
+             : "transitive")
+     << " " << (request.one_to_one ? 1 : 0) << " " << request.batch_size
+     << " " << (request.minimize_start_time ? 1 : 0) << "\n";
+  os << "exec " << order.threads << " "
+     << (order.engine == caft::CampaignEngine::kNaive ? "naive"
+                                                      : "incremental")
+     << " "
+     << (order.memo == caft::CampaignMemo::kScratch ? "scratch" : "shared")
+     << " " << order.block << " " << order.memo_capacity << " "
+     << order.memo_shards << " " << (order.adaptive_snapshots ? 1 : 0)
+     << "\n";
+  os << "expect " << format_double(order.expect_makespan) << " "
+     << format_double(order.expect_horizon) << "\n";
+  os << "end\n";
+}
+
+CampaignWorkOrder read_campaign_work_order(std::istream& is) {
+  expect_magic(is, "caft-campaign-work");
+  CampaignWorkOrder order;
+  order.spec.algorithms.clear();  // the order names exactly one algorithm
+  bool saw_end = false;
+  bool saw_instance = false, saw_algorithm = false, saw_block = false;
+  std::string line;
+  while (!saw_end && std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      saw_end = true;
+    } else if (key == "instance") {
+      std::string rest;
+      std::getline(fields, rest);
+      const std::size_t start = rest.find_first_not_of(' ');
+      CAFT_CHECK_MSG(start != std::string::npos,
+                     "campaign wire: empty instance path");
+      order.instance_path = rest.substr(start);
+      saw_instance = true;
+    } else if (key == "algorithm") {
+      order.algorithm = next_token(fields, "algorithm name");
+      order.spec.algorithms = {order.algorithm};
+      saw_algorithm = true;
+    } else if (key == "block") {
+      order.first = parse_size(next_token(fields, "block first"), "block first");
+      order.count = parse_size(next_token(fields, "block count"), "block count");
+      saw_block = true;
+    } else if (key == "replays") {
+      order.spec.replays =
+          parse_size(next_token(fields, "replays"), "replays");
+    } else if (key == "seed") {
+      const std::string token = next_token(fields, "seed");
+      CAFT_CHECK_MSG(!token.empty() &&
+                         token.find_first_not_of("0123456789") ==
+                             std::string::npos,
+                     "campaign wire: malformed seed '" + token + "'");
+      order.spec.seed = std::stoull(token);
+    } else if (key == "quantiles") {
+      const std::size_t n =
+          parse_size(next_token(fields, "quantile count"), "quantile count");
+      order.spec.quantiles.clear();
+      order.spec.quantiles.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        order.spec.quantiles.push_back(
+            parse_double(next_token(fields, "quantile"), "quantile"));
+    } else if (key == "theta-buckets") {
+      order.spec.theta_buckets =
+          parse_size(next_token(fields, "theta-buckets"), "theta-buckets");
+    } else if (key == "exact") {
+      order.spec.exact = parse_bool(next_token(fields, "exact"), "exact");
+    } else if (key == "sampler") {
+      SamplerSpec& sampler = order.spec.sampler;
+      sampler.kind = sampler_kind_from(next_token(fields, "sampler kind"));
+      sampler.failures =
+          parse_size(next_token(fields, "sampler failures"), "failures");
+      sampler.rate = parse_double(next_token(fields, "sampler rate"), "rate");
+      sampler.shape =
+          parse_double(next_token(fields, "sampler shape"), "shape");
+      sampler.scale =
+          parse_double(next_token(fields, "sampler scale"), "scale");
+      sampler.horizon =
+          parse_double(next_token(fields, "sampler horizon"), "horizon");
+      sampler.theta_lo =
+          parse_double(next_token(fields, "sampler theta-lo"), "theta-lo");
+      sampler.theta_hi =
+          parse_double(next_token(fields, "sampler theta-hi"), "theta-hi");
+      sampler.group_size =
+          parse_size(next_token(fields, "sampler group-size"), "group-size");
+      sampler.group_prob =
+          parse_double(next_token(fields, "sampler group-prob"), "group-prob");
+    } else if (key == "request") {
+      ScheduleRequest& request = order.spec.request;
+      const std::string eps = next_token(fields, "request eps");
+      if (eps == "-")
+        request.eps.reset();
+      else
+        request.eps = parse_size(eps, "request eps");
+      const std::string model = next_token(fields, "request model");
+      if (model == "-") {
+        request.model.reset();
+      } else if (model == "oneport") {
+        request.model = caft::CommModelKind::kOnePort;
+      } else if (model == "macro") {
+        request.model = caft::CommModelKind::kMacroDataflow;
+      } else {
+        throw caft::CheckError("campaign wire: unknown model '" + model +
+                               "'");
+      }
+      request.validate =
+          parse_bool(next_token(fields, "request validate"), "validate");
+      const std::string support = next_token(fields, "request support");
+      CAFT_CHECK_MSG(support == "direct" || support == "transitive",
+                     "campaign wire: unknown support mode '" + support + "'");
+      request.support_mode = support == "direct"
+                                 ? caft::CaftSupportMode::kDirect
+                                 : caft::CaftSupportMode::kTransitive;
+      request.one_to_one =
+          parse_bool(next_token(fields, "request one-to-one"), "one-to-one");
+      request.batch_size =
+          parse_size(next_token(fields, "request batch-size"), "batch-size");
+      request.minimize_start_time =
+          parse_bool(next_token(fields, "request mst"), "mst");
+    } else if (key == "exec") {
+      order.threads = parse_size(next_token(fields, "exec threads"), "threads");
+      const std::string engine = next_token(fields, "exec engine");
+      CAFT_CHECK_MSG(engine == "naive" || engine == "incremental",
+                     "campaign wire: unknown engine '" + engine + "'");
+      order.engine = engine == "naive" ? caft::CampaignEngine::kNaive
+                                       : caft::CampaignEngine::kIncremental;
+      const std::string memo = next_token(fields, "exec memo");
+      CAFT_CHECK_MSG(memo == "scratch" || memo == "shared",
+                     "campaign wire: unknown memo '" + memo + "'");
+      order.memo = memo == "scratch" ? caft::CampaignMemo::kScratch
+                                     : caft::CampaignMemo::kShared;
+      order.block = parse_size(next_token(fields, "exec block"), "block");
+      order.memo_capacity = parse_size(
+          next_token(fields, "exec memo-capacity"), "memo-capacity");
+      order.memo_shards =
+          parse_size(next_token(fields, "exec memo-shards"), "memo-shards");
+      order.adaptive_snapshots =
+          parse_bool(next_token(fields, "exec adaptive"), "adaptive");
+    } else if (key == "expect") {
+      order.expect_makespan =
+          parse_double(next_token(fields, "expect makespan"), "makespan");
+      order.expect_horizon =
+          parse_double(next_token(fields, "expect horizon"), "horizon");
+    } else {
+      throw caft::CheckError("campaign wire: unknown work-order key '" + key +
+                             "'");
+    }
+  }
+  CAFT_CHECK_MSG(saw_end, "campaign wire: truncated work order (no 'end')");
+  CAFT_CHECK_MSG(saw_instance, "campaign wire: work order names no instance");
+  CAFT_CHECK_MSG(saw_algorithm,
+                 "campaign wire: work order names no algorithm");
+  CAFT_CHECK_MSG(saw_block, "campaign wire: work order has no block range");
+  CAFT_CHECK_MSG(order.count > 0,
+                 "campaign wire: work-order block is empty");
+  return order;
+}
+
+void write_campaign_partial(std::ostream& os,
+                            const CampaignPartialResult& partial) {
+  os << "caft-campaign-partial v1\n";
+  os << "algorithm " << partial.algorithm << "\n";
+  os << "block " << partial.first << " " << partial.count << "\n";
+  os << "counts " << partial.records.size() << " " << partial.successes
+     << "\n";
+  os << "telemetry " << partial.telemetry.memo_lookups << " "
+     << partial.telemetry.memo_hits << " "
+     << partial.telemetry.memo_evictions << " "
+     << partial.telemetry.memo_entries << " " << partial.telemetry.snapshots
+     << "\n";
+  os << "records " << partial.records.size() << "\n";
+  for (const caft::ReplayRecord& record : partial.records) {
+    os << "r " << (record.success ? 1 : 0) << " "
+       << (record.order_deadlock ? 1 : 0) << " "
+       << format_double(record.latency) << " " << record.delivered_messages
+       << " " << record.order_relaxations << " " << record.failed_count
+       << "\n";
+  }
+  os << "end\n";
+}
+
+CampaignPartialResult read_campaign_partial(std::istream& is) {
+  expect_magic(is, "caft-campaign-partial");
+  CampaignPartialResult partial;
+  bool saw_end = false, saw_block = false, saw_counts = false;
+  std::size_t declared_records = 0;
+  std::size_t declared_successes = 0;
+  std::string line;
+  while (!saw_end && std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      saw_end = true;
+    } else if (key == "algorithm") {
+      partial.algorithm = next_token(fields, "algorithm name");
+    } else if (key == "block") {
+      partial.first =
+          parse_size(next_token(fields, "block first"), "block first");
+      partial.count =
+          parse_size(next_token(fields, "block count"), "block count");
+      saw_block = true;
+    } else if (key == "counts") {
+      declared_records =
+          parse_size(next_token(fields, "counts replays"), "counts replays");
+      declared_successes = parse_size(next_token(fields, "counts successes"),
+                                      "counts successes");
+      saw_counts = true;
+    } else if (key == "telemetry") {
+      partial.telemetry.memo_lookups = parse_size(
+          next_token(fields, "telemetry lookups"), "telemetry lookups");
+      partial.telemetry.memo_hits =
+          parse_size(next_token(fields, "telemetry hits"), "telemetry hits");
+      partial.telemetry.memo_evictions = parse_size(
+          next_token(fields, "telemetry evictions"), "telemetry evictions");
+      partial.telemetry.memo_entries = parse_size(
+          next_token(fields, "telemetry entries"), "telemetry entries");
+      partial.telemetry.snapshots = parse_size(
+          next_token(fields, "telemetry snapshots"), "telemetry snapshots");
+    } else if (key == "records") {
+      const std::size_t n =
+          parse_size(next_token(fields, "record count"), "record count");
+      partial.records.clear();
+      partial.records.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string record_line;
+        CAFT_CHECK_MSG(static_cast<bool>(std::getline(is, record_line)),
+                       "campaign wire: truncated record list");
+        std::istringstream record_fields(record_line);
+        const std::string tag = next_token(record_fields, "record tag");
+        CAFT_CHECK_MSG(tag == "r", "campaign wire: bad record line '" +
+                                       record_line + "'");
+        caft::ReplayRecord record;
+        record.success =
+            parse_bool(next_token(record_fields, "record success"), "success");
+        record.order_deadlock = parse_bool(
+            next_token(record_fields, "record deadlock"), "deadlock");
+        record.latency = parse_double(
+            next_token(record_fields, "record latency"), "latency");
+        record.delivered_messages = parse_size(
+            next_token(record_fields, "record delivered"), "delivered");
+        record.order_relaxations = parse_size(
+            next_token(record_fields, "record relaxations"), "relaxations");
+        record.failed_count = parse_size(
+            next_token(record_fields, "record failed"), "failed");
+        partial.records.push_back(record);
+      }
+    } else {
+      throw caft::CheckError("campaign wire: unknown partial key '" + key +
+                             "'");
+    }
+  }
+  CAFT_CHECK_MSG(saw_end, "campaign wire: truncated partial (no 'end')");
+  CAFT_CHECK_MSG(saw_block, "campaign wire: partial has no block range");
+  CAFT_CHECK_MSG(saw_counts, "campaign wire: partial has no counts line");
+  CAFT_CHECK_MSG(partial.records.size() == partial.count,
+                 "campaign wire: partial carries " +
+                     std::to_string(partial.records.size()) +
+                     " records for a block of " +
+                     std::to_string(partial.count));
+  CAFT_CHECK_MSG(declared_records == partial.records.size(),
+                 "campaign wire: counts line disagrees with the record list");
+  std::size_t successes = 0;
+  for (const caft::ReplayRecord& record : partial.records)
+    if (record.success) ++successes;
+  CAFT_CHECK_MSG(successes == declared_successes,
+                 "campaign wire: counts line declares " +
+                     std::to_string(declared_successes) +
+                     " successes but the records fold to " +
+                     std::to_string(successes));
+  partial.successes = successes;
+  return partial;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,120 @@
+/// \file campaign_wire.hpp
+/// Text wire format of the process-parallel campaign backend: the work
+/// order a coordinator sends to one worker process and the partial result
+/// the worker sends back (see api/session.hpp for the coordinator and
+/// worker entry points).
+///
+/// Both documents are line-oriented, keyed by the first token of each line
+/// — the same family as io/instance_io — and every double crosses the wire
+/// as a C hexadecimal float literal ("0x1.8p+3", plus "inf"/"nan"), so
+/// values round-trip *bit-exactly*: the coordinator's canonical-order fold
+/// of worker records must be indistinguishable from an in-process fold.
+///
+/// Work order (one block of one campaign):
+///   caft-campaign-work v1
+///   instance <path>                      # instance reference (io format)
+///   algorithm <registry-name>
+///   block <first> <count>                # contiguous canonical replays
+///   replays <n>  /  seed <u64>
+///   quantiles <k> <q...>                 # hexfloat
+///   theta-buckets <n>  /  exact <0|1>
+///   sampler <kind> <failures> <rate> <shape> <scale> <horizon>
+///           <theta-lo> <theta-hi> <group-size> <group-prob>
+///   request <eps|-> <model|-> <validate> <support> <one-to-one>
+///           <batch-size> <mst>           # "-" = no override
+///   exec <threads> <engine> <memo> <block> <memo-capacity> <memo-shards>
+///        <adaptive>                      # summary-neutral worker knobs
+///   expect <makespan> <horizon>          # coordinator's schedule, hexfloat;
+///                                        # the worker re-schedules and must
+///                                        # reproduce both bit-for-bit
+///   end
+///
+/// Partial result (the worker's answer):
+///   caft-campaign-partial v1
+///   algorithm <name>
+///   block <first> <count>
+///   counts <replays> <successes>         # the block's Wilson inputs —
+///                                        # integrity check on the records
+///   telemetry <lookups> <hits> <evictions> <entries> <snapshots>
+///   records <count>
+///   r <success> <deadlock> <latency> <delivered> <relaxations> <failed>
+///   ...                                  # one line per replay, in
+///                                        # canonical replay order
+///   end
+///
+/// Why per-replay records and not merged fold states: the summary's P²
+/// quantile estimators and Welford moments are order-sensitive streaming
+/// folds — merging two partial estimator states is not bit-identical to
+/// streaming the observations in order. Shipping the fold *inputs* (one
+/// compact record per replay) and re-folding them in canonical scenario
+/// order at the coordinator is what makes subprocess summaries
+/// byte-identical to single-process ones, for any worker count and any
+/// block partition. The `counts` line carries the block-level fold state
+/// that *is* mergeable (trial/success counts, i.e. the Wilson interval
+/// inputs) and doubles as a corruption check: a reader rejects a document
+/// whose records do not reproduce it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "campaign/campaign.hpp"
+
+namespace ftsched {
+
+/// One unit of subprocess campaign work: replay the contiguous canonical
+/// scenario block [first, first + count) of `spec`'s campaign against the
+/// schedule `algorithm` produces on the referenced instance.
+struct CampaignWorkOrder {
+  std::string instance_path;  ///< io/instance_io file the worker loads
+  std::string algorithm;      ///< registry name the worker re-schedules
+  std::size_t first = 0;
+  std::size_t count = 0;
+  /// The declarative campaign (sampler, seed, quantiles, θ-quantization,
+  /// request). The coordinator pins request.eps / request.model to the
+  /// values its own scheduling run resolved, so the worker cannot drift.
+  CampaignSpec spec;
+  /// Summary-neutral execution knobs the worker honours (its private
+  /// thread/engine/memo policy — same fields as SessionOptions).
+  std::size_t threads = 1;
+  caft::CampaignEngine engine = caft::CampaignEngine::kIncremental;
+  caft::CampaignMemo memo = caft::CampaignMemo::kShared;
+  std::size_t block = 1024;
+  std::size_t memo_capacity = 1 << 15;
+  std::size_t memo_shards = 16;
+  bool adaptive_snapshots = true;
+  /// Determinism pins: the coordinator's 0-crash makespan and horizon. A
+  /// worker whose re-scheduled values differ bit-for-bit refuses to run
+  /// (environment drift would silently corrupt the campaign). NaN = don't
+  /// check (hand-written orders).
+  double expect_makespan = std::numeric_limits<double>::quiet_NaN();
+  double expect_horizon = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// One block's fold inputs plus its mergeable fold state and telemetry.
+struct CampaignPartialResult {
+  std::string algorithm;
+  std::size_t first = 0;
+  std::size_t count = 0;
+  std::size_t successes = 0;  ///< Wilson inputs: (count, successes)
+  std::vector<caft::ReplayRecord> records;  ///< canonical replay order
+  caft::CampaignTelemetry telemetry;
+};
+
+void write_campaign_work_order(std::ostream& os,
+                               const CampaignWorkOrder& order);
+/// Parses a work order; throws caft::CheckError on malformed input.
+[[nodiscard]] CampaignWorkOrder read_campaign_work_order(std::istream& is);
+
+void write_campaign_partial(std::ostream& os,
+                            const CampaignPartialResult& partial);
+/// Parses a partial result; throws caft::CheckError on malformed input —
+/// including a record list that disagrees with the `counts` line or the
+/// `block` range.
+[[nodiscard]] CampaignPartialResult read_campaign_partial(std::istream& is);
+
+}  // namespace ftsched

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "algo/caft.hpp"
@@ -325,6 +327,76 @@ TEST(Campaign, SummaryIdenticalAcrossBlockSizes) {
   EXPECT_EQ(a.successes, b.successes);
   EXPECT_EQ(a.latency.mean(), b.latency.mean());
   EXPECT_EQ(a.latency_quantiles[0].value, b.latency_quantiles[0].value);
+}
+
+// Process scale-out contract (api/session.hpp): any partition of the
+// canonical scenario stream into contiguous blocks — computed in any order,
+// with any per-block thread count — yields record streams whose
+// concatenation is bit-identical to the whole-campaign stream, and whose
+// canonical-order fold reproduces run_campaign's summary exactly.
+TEST(Campaign, BlockPartitionReproducesRecordStream) {
+  Scenario s = random_setup(105, 10, 1.0);
+  const Schedule schedule = caft_for(s, 1);
+  const ExponentialLifetimeSampler sampler(
+      10, 0.05 / schedule.zero_crash_latency());
+
+  CampaignOptions options;
+  options.replays = 211;
+  options.threads = 2;
+  const std::vector<ReplayRecord> whole =
+      run_campaign_block(schedule, *s.costs, sampler, options, 0, 211);
+  ASSERT_EQ(whole.size(), 211u);
+
+  // Uneven partition, blocks computed out of order, varying thread counts
+  // and block sizes — none of it may show in the stitched stream.
+  std::vector<ReplayRecord> stitched(whole.size());
+  const std::vector<std::pair<std::size_t, std::size_t>> blocks = {
+      {128, 83}, {1, 127}, {0, 1}};
+  for (const auto& [first, count] : blocks) {
+    CampaignOptions block_options = options;
+    block_options.threads = 1 + first % 3;
+    block_options.block = 64;
+    const std::vector<ReplayRecord> records = run_campaign_block(
+        schedule, *s.costs, sampler, block_options, first, count);
+    ASSERT_EQ(records.size(), count);
+    std::copy(records.begin(), records.end(),
+              stitched.begin() + static_cast<std::ptrdiff_t>(first));
+  }
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(whole[i].success, stitched[i].success) << i;
+    EXPECT_EQ(whole[i].order_deadlock, stitched[i].order_deadlock) << i;
+    EXPECT_EQ(whole[i].latency, stitched[i].latency) << i;  // bit-for-bit
+    EXPECT_EQ(whole[i].delivered_messages, stitched[i].delivered_messages)
+        << i;
+    EXPECT_EQ(whole[i].order_relaxations, stitched[i].order_relaxations)
+        << i;
+    EXPECT_EQ(whole[i].failed_count, stitched[i].failed_count) << i;
+  }
+
+  // Folding the stitched stream in canonical order is the coordinator's
+  // half; it must land on run_campaign's summary bit-for-bit.
+  const CampaignSummary reference =
+      run_campaign(schedule, *s.costs, sampler, options);
+  CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
+  accumulator.set_sampler_name(sampler.name());
+  for (const ReplayRecord& record : stitched)
+    fold_replay_record(accumulator, record);
+  const CampaignSummary folded = accumulator.summary();
+  EXPECT_EQ(reference.replays, folded.replays);
+  EXPECT_EQ(reference.successes, folded.successes);
+  EXPECT_EQ(reference.success_ci.low, folded.success_ci.low);
+  EXPECT_EQ(reference.success_ci.high, folded.success_ci.high);
+  EXPECT_EQ(reference.latency.mean(), folded.latency.mean());
+  EXPECT_EQ(reference.latency.stddev(), folded.latency.stddev());
+  ASSERT_EQ(reference.latency_quantiles.size(),
+            folded.latency_quantiles.size());
+  for (std::size_t i = 0; i < reference.latency_quantiles.size(); ++i)
+    EXPECT_EQ(reference.latency_quantiles[i].value,
+              folded.latency_quantiles[i].value);
+  EXPECT_EQ(reference.delivered_messages.mean(),
+            folded.delivered_messages.mean());
+  EXPECT_EQ(reference.max_failed, folded.max_failed);
+  EXPECT_EQ(reference.sampler, folded.sampler);
 }
 
 // Proposition 5.2: a schedule built for ε failures survives *every* crash

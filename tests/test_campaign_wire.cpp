@@ -1,0 +1,259 @@
+// Tests for the campaign wire format (io/campaign_wire.hpp): bit-exact
+// round-trip of work orders and partial results (hexfloat doubles, inf/nan,
+// optional request overrides), and strict rejection of malformed or
+// internally inconsistent documents — a poisoned worker must be *detected*,
+// never folded.
+#include "io/campaign_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ftsched {
+namespace {
+
+using caft::CheckError;
+using caft::ReplayRecord;
+
+CampaignWorkOrder sample_order() {
+  CampaignWorkOrder order;
+  order.instance_path = "/tmp/some dir/instance.txt";  // spaces survive
+  order.algorithm = "caft-batch";
+  order.first = 1024;
+  order.count = 311;
+  order.spec.algorithms = {"caft-batch"};
+  order.spec.replays = 100000;
+  order.spec.seed = 0xDEADBEEFCAFEF00DULL;
+  order.spec.quantiles = {0.1, 0.5, 0.999};  // 0.1/0.999 are inexact in binary
+  order.spec.theta_buckets = 64;
+  order.spec.exact = false;
+  order.spec.sampler = SamplerSpec::weibull(1.7, 940.25, 1e6);
+  order.spec.request.eps = 3;
+  order.spec.request.model = caft::CommModelKind::kMacroDataflow;
+  order.spec.request.validate = false;
+  order.spec.request.support_mode = caft::CaftSupportMode::kDirect;
+  order.spec.request.one_to_one = false;
+  order.spec.request.batch_size = 17;
+  order.spec.request.minimize_start_time = false;
+  order.threads = 3;
+  order.engine = caft::CampaignEngine::kNaive;
+  order.memo = caft::CampaignMemo::kScratch;
+  order.block = 512;
+  order.memo_capacity = 1 << 10;
+  order.memo_shards = 4;
+  order.adaptive_snapshots = false;
+  order.expect_makespan = 123.4567891011;
+  order.expect_horizon = 200.000000000001;
+  return order;
+}
+
+std::string to_text(const CampaignWorkOrder& order) {
+  std::ostringstream os;
+  write_campaign_work_order(os, order);
+  return os.str();
+}
+
+TEST(CampaignWire, WorkOrderRoundTripsBitExactly) {
+  const CampaignWorkOrder order = sample_order();
+  std::istringstream is(to_text(order));
+  const CampaignWorkOrder back = read_campaign_work_order(is);
+
+  EXPECT_EQ(back.instance_path, order.instance_path);
+  EXPECT_EQ(back.algorithm, order.algorithm);
+  EXPECT_EQ(back.first, order.first);
+  EXPECT_EQ(back.count, order.count);
+  EXPECT_EQ(back.spec.replays, order.spec.replays);
+  EXPECT_EQ(back.spec.seed, order.spec.seed);
+  ASSERT_EQ(back.spec.quantiles.size(), order.spec.quantiles.size());
+  for (std::size_t i = 0; i < order.spec.quantiles.size(); ++i)
+    EXPECT_EQ(back.spec.quantiles[i], order.spec.quantiles[i]);  // bit-exact
+  EXPECT_EQ(back.spec.theta_buckets, order.spec.theta_buckets);
+  EXPECT_EQ(back.spec.exact, order.spec.exact);
+  EXPECT_EQ(back.spec.sampler.kind, order.spec.sampler.kind);
+  EXPECT_EQ(back.spec.sampler.failures, order.spec.sampler.failures);
+  EXPECT_EQ(back.spec.sampler.rate, order.spec.sampler.rate);
+  EXPECT_EQ(back.spec.sampler.shape, order.spec.sampler.shape);
+  EXPECT_EQ(back.spec.sampler.scale, order.spec.sampler.scale);
+  EXPECT_EQ(back.spec.sampler.horizon, order.spec.sampler.horizon);
+  EXPECT_EQ(back.spec.sampler.theta_lo, order.spec.sampler.theta_lo);
+  EXPECT_EQ(back.spec.sampler.theta_hi, order.spec.sampler.theta_hi);
+  EXPECT_EQ(back.spec.sampler.group_size, order.spec.sampler.group_size);
+  EXPECT_EQ(back.spec.sampler.group_prob, order.spec.sampler.group_prob);
+  ASSERT_TRUE(back.spec.request.eps.has_value());
+  EXPECT_EQ(*back.spec.request.eps, 3u);
+  ASSERT_TRUE(back.spec.request.model.has_value());
+  EXPECT_EQ(*back.spec.request.model, caft::CommModelKind::kMacroDataflow);
+  EXPECT_EQ(back.spec.request.validate, false);
+  EXPECT_EQ(back.spec.request.support_mode, caft::CaftSupportMode::kDirect);
+  EXPECT_EQ(back.spec.request.one_to_one, false);
+  EXPECT_EQ(back.spec.request.batch_size, 17u);
+  EXPECT_EQ(back.spec.request.minimize_start_time, false);
+  EXPECT_EQ(back.threads, order.threads);
+  EXPECT_EQ(back.engine, order.engine);
+  EXPECT_EQ(back.memo, order.memo);
+  EXPECT_EQ(back.block, order.block);
+  EXPECT_EQ(back.memo_capacity, order.memo_capacity);
+  EXPECT_EQ(back.memo_shards, order.memo_shards);
+  EXPECT_EQ(back.adaptive_snapshots, order.adaptive_snapshots);
+  EXPECT_EQ(back.expect_makespan, order.expect_makespan);  // bit-exact
+  EXPECT_EQ(back.expect_horizon, order.expect_horizon);
+}
+
+TEST(CampaignWire, WorkOrderRoundTripsInfinityAndUnsetOverrides) {
+  CampaignWorkOrder order = sample_order();
+  order.spec.sampler =
+      SamplerSpec::exponential(0.001);  // horizon defaults to +inf
+  order.spec.request.eps.reset();
+  order.spec.request.model.reset();
+  order.expect_makespan = std::numeric_limits<double>::quiet_NaN();
+  order.expect_horizon = std::numeric_limits<double>::quiet_NaN();
+
+  std::istringstream is(to_text(order));
+  const CampaignWorkOrder back = read_campaign_work_order(is);
+  EXPECT_TRUE(std::isinf(back.spec.sampler.horizon));
+  EXPECT_GT(back.spec.sampler.horizon, 0.0);
+  EXPECT_FALSE(back.spec.request.eps.has_value());
+  EXPECT_FALSE(back.spec.request.model.has_value());
+  EXPECT_TRUE(std::isnan(back.expect_makespan));
+  EXPECT_TRUE(std::isnan(back.expect_horizon));
+}
+
+TEST(CampaignWire, WorkOrderRejectsMalformedDocuments) {
+  const std::string good = to_text(sample_order());
+
+  {  // wrong magic
+    std::istringstream is("caft-campaign-partial v1\nend\n");
+    EXPECT_THROW((void)read_campaign_work_order(is), CheckError);
+  }
+  {  // truncated (no end)
+    std::istringstream is(good.substr(0, good.size() - 4));
+    EXPECT_THROW((void)read_campaign_work_order(is), CheckError);
+  }
+  {  // unknown key
+    std::string doc = good;
+    doc.insert(doc.find("end\n"), "mystery 42\n");
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_work_order(is), CheckError);
+  }
+  {  // an essential line missing: no block
+    CampaignWorkOrder order = sample_order();
+    std::string doc = to_text(order);
+    const std::size_t at = doc.find("block ");
+    doc.erase(at, doc.find('\n', at) - at + 1);
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_work_order(is), CheckError);
+  }
+  {  // empty block
+    CampaignWorkOrder order = sample_order();
+    order.count = 0;
+    std::istringstream is(to_text(order));
+    EXPECT_THROW((void)read_campaign_work_order(is), CheckError);
+  }
+}
+
+CampaignPartialResult sample_partial() {
+  CampaignPartialResult partial;
+  partial.algorithm = "ftsa";
+  partial.first = 12;
+  partial.count = 3;
+  ReplayRecord success;
+  success.success = true;
+  success.latency = 417.123456789;
+  success.delivered_messages = 90;
+  success.order_relaxations = 2;
+  success.failed_count = 1;
+  ReplayRecord failure;
+  failure.success = false;
+  failure.order_deadlock = true;
+  failure.latency = std::numeric_limits<double>::infinity();
+  failure.delivered_messages = 4;
+  failure.failed_count = 9;
+  partial.records = {success, failure, success};
+  partial.successes = 2;
+  partial.telemetry.memo_lookups = 100;
+  partial.telemetry.memo_hits = 61;
+  partial.telemetry.memo_evictions = 3;
+  partial.telemetry.memo_entries = 39;
+  partial.telemetry.snapshots = 17;
+  return partial;
+}
+
+std::string to_text(const CampaignPartialResult& partial) {
+  std::ostringstream os;
+  write_campaign_partial(os, partial);
+  return os.str();
+}
+
+TEST(CampaignWire, PartialResultRoundTripsBitExactly) {
+  const CampaignPartialResult partial = sample_partial();
+  std::istringstream is(to_text(partial));
+  const CampaignPartialResult back = read_campaign_partial(is);
+
+  EXPECT_EQ(back.algorithm, partial.algorithm);
+  EXPECT_EQ(back.first, partial.first);
+  EXPECT_EQ(back.count, partial.count);
+  EXPECT_EQ(back.successes, partial.successes);
+  ASSERT_EQ(back.records.size(), partial.records.size());
+  for (std::size_t i = 0; i < partial.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].success, partial.records[i].success);
+    EXPECT_EQ(back.records[i].order_deadlock,
+              partial.records[i].order_deadlock);
+    EXPECT_EQ(back.records[i].latency, partial.records[i].latency);
+    EXPECT_EQ(back.records[i].delivered_messages,
+              partial.records[i].delivered_messages);
+    EXPECT_EQ(back.records[i].order_relaxations,
+              partial.records[i].order_relaxations);
+    EXPECT_EQ(back.records[i].failed_count, partial.records[i].failed_count);
+  }
+  EXPECT_EQ(back.telemetry.memo_lookups, partial.telemetry.memo_lookups);
+  EXPECT_EQ(back.telemetry.memo_hits, partial.telemetry.memo_hits);
+  EXPECT_EQ(back.telemetry.memo_evictions,
+            partial.telemetry.memo_evictions);
+  EXPECT_EQ(back.telemetry.memo_entries, partial.telemetry.memo_entries);
+  EXPECT_EQ(back.telemetry.snapshots, partial.telemetry.snapshots);
+}
+
+TEST(CampaignWire, PartialRejectsInconsistentDocuments) {
+  {  // record list shorter than the block
+    CampaignPartialResult partial = sample_partial();
+    partial.count = 5;
+    std::istringstream is(to_text(partial));
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+  {  // counts line lies about successes
+    std::string doc = to_text(sample_partial());
+    const std::size_t at = doc.find("counts 3 2");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 10, "counts 3 1");
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+  {  // truncated record list
+    std::string doc = to_text(sample_partial());
+    const std::size_t at = doc.rfind("r ");
+    doc.erase(at);
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+  {  // garbage where a worker answer should be
+    std::istringstream is("Segmentation fault (core dumped)\n");
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+  {  // malformed latency
+    std::string doc = to_text(sample_partial());
+    const std::size_t at = doc.find("0x");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 2, "zz");
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,342 @@
+// Tests for the process-parallel campaign backend (api/session.hpp):
+//   - the worker protocol round-trips through run_campaign_worker without
+//     any process machinery (work order in, partial result out, records
+//     bit-identical to run_campaign_block);
+//   - Session summaries under ExecutionPolicy::subprocess are *byte-
+//     identical* to in-process ones at 1, 2 and 4 workers (the acceptance
+//     gate of the scale-out contract);
+//   - worker-failure recovery: a worker that crashes mid-campaign, or one
+//     that emits garbage, is retried and the final summary is still
+//     bit-identical; a persistently failing worker fails the campaign
+//     loudly after the retry budget.
+//
+// The subprocess tests drive the real campaign_cli binary; ctest exports
+// its path as CAFT_CAMPAIGN_CLI (see CMakeLists.txt). When the variable is
+// absent (running the test binary by hand), those tests skip.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "campaign/campaign.hpp"
+#include "common/check.hpp"
+#include "common/subprocess.hpp"
+#include "helpers.hpp"
+#include "io/campaign_wire.hpp"
+
+namespace ftsched {
+namespace {
+
+using caft::CampaignSummary;
+
+std::string cli_path() {
+  const char* path = std::getenv("CAFT_CAMPAIGN_CLI");
+  return path == nullptr ? std::string() : std::string(path);
+}
+
+/// A randomized paper-protocol instance (stable platform/costs addresses).
+Instance random_instance(std::uint64_t seed, std::size_t procs, double g,
+                         std::size_t eps) {
+  caft::test::Scenario s = caft::test::random_setup(seed, procs, g);
+  return Instance(std::move(s.graph), std::move(s.platform),
+                  std::move(s.costs), RunOptions{eps});
+}
+
+/// Exact equality that also treats NaN == NaN as identical (a campaign
+/// with zero successes reports NaN latency quantiles on both sides).
+void expect_double_identical(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b);
+}
+
+/// Byte-identity predicate of the scale-out contract: every field a
+/// campaign summary reports, compared with exact (bit-for-bit) equality.
+void expect_summaries_identical(const CampaignSummary& a,
+                                const CampaignSummary& b) {
+  EXPECT_EQ(a.sampler, b.sampler);
+  EXPECT_EQ(a.replays, b.replays);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.success_ci.low, b.success_ci.low);
+  EXPECT_EQ(a.success_ci.high, b.success_ci.high);
+  EXPECT_EQ(a.replays_within_eps, b.replays_within_eps);
+  EXPECT_EQ(a.successes_within_eps, b.successes_within_eps);
+  EXPECT_EQ(a.max_failed, b.max_failed);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.mean(), b.latency.mean());
+  EXPECT_EQ(a.latency.min(), b.latency.min());
+  EXPECT_EQ(a.latency.max(), b.latency.max());
+  EXPECT_EQ(a.latency.stddev(), b.latency.stddev());
+  ASSERT_EQ(a.latency_quantiles.size(), b.latency_quantiles.size());
+  for (std::size_t i = 0; i < a.latency_quantiles.size(); ++i) {
+    EXPECT_EQ(a.latency_quantiles[i].q, b.latency_quantiles[i].q);
+    expect_double_identical(a.latency_quantiles[i].value,
+                            b.latency_quantiles[i].value);
+  }
+  EXPECT_EQ(a.delivered_messages.count(), b.delivered_messages.count());
+  EXPECT_EQ(a.delivered_messages.mean(), b.delivered_messages.mean());
+  EXPECT_EQ(a.order_relaxations, b.order_relaxations);
+  EXPECT_EQ(a.order_deadlocks, b.order_deadlocks);
+}
+
+/// Writes an executable wrapper script the coordinator spawns in place of
+/// campaign_cli — the fault-injection hook of the recovery tests.
+std::string write_script(const caft::ScratchDir& dir, const std::string& name,
+                         const std::string& body) {
+  const std::string script = dir.file(name);
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\n" << body;
+  }
+  ::chmod(script.c_str(), 0755);
+  return script;
+}
+
+/// A lifetime campaign spec with successes *and* failures, so the latency
+/// stream (mean, quantiles — the order-sensitive folds) is non-trivial.
+CampaignSpec lifetime_spec(std::size_t replays) {
+  CampaignSpec spec;
+  spec.algorithms = {"caft"};
+  spec.sampler = SamplerSpec::exponential(0.0001);
+  spec.replays = replays;
+  spec.seed = 4242;
+  return spec;
+}
+
+TEST(CampaignWorker, ProtocolRoundTripMatchesDirectBlock) {
+  const Instance instance = random_instance(301, 8, 1.0, 1);
+  const auto scheduler = SchedulerRegistry::global().make("caft");
+  const ScheduleResult scheduled = scheduler->schedule(instance);
+
+  const caft::ScratchDir dir("ftsched-subproc");
+  const std::string instance_path = dir.file("instance.txt");
+  instance.save(instance_path);
+
+  CampaignWorkOrder order;
+  order.instance_path = instance_path;
+  order.algorithm = "caft";
+  order.first = 37;
+  order.count = 113;
+  order.spec = lifetime_spec(1000);
+  order.spec.request.eps = scheduled.eps;
+  order.spec.request.model = scheduled.schedule.model();
+  order.expect_makespan = scheduled.makespan;
+  order.expect_horizon = scheduled.schedule.horizon();
+
+  std::ostringstream order_doc;
+  write_campaign_work_order(order_doc, order);
+  std::istringstream in(order_doc.str());
+  std::ostringstream out;
+  run_campaign_worker(in, out);
+
+  std::istringstream partial_doc(out.str());
+  const CampaignPartialResult partial = read_campaign_partial(partial_doc);
+  EXPECT_EQ(partial.algorithm, "caft");
+  EXPECT_EQ(partial.first, 37u);
+  EXPECT_EQ(partial.count, 113u);
+
+  // The worker's records, after one serialize/parse round-trip, must be
+  // bit-identical to computing the block directly in this process.
+  const auto sampler = order.spec.sampler.build(instance.proc_count());
+  caft::CampaignOptions options;
+  options.seed = order.spec.seed;
+  options.threads = 1;
+  const std::vector<caft::ReplayRecord> direct = caft::run_campaign_block(
+      scheduled.schedule, instance.costs(), *sampler, options, 37, 113);
+  ASSERT_EQ(partial.records.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(partial.records[i].success, direct[i].success);
+    EXPECT_EQ(partial.records[i].latency, direct[i].latency);
+    EXPECT_EQ(partial.records[i].delivered_messages,
+              direct[i].delivered_messages);
+    EXPECT_EQ(partial.records[i].failed_count, direct[i].failed_count);
+  }
+}
+
+TEST(CampaignWorker, RefusesDivergentSchedulePins) {
+  const Instance instance = random_instance(302, 8, 1.0, 1);
+  const caft::ScratchDir dir("ftsched-subproc");
+  const std::string instance_path = dir.file("instance.txt");
+  instance.save(instance_path);
+
+  CampaignWorkOrder order;
+  order.instance_path = instance_path;
+  order.algorithm = "caft";
+  order.first = 0;
+  order.count = 10;
+  order.spec = lifetime_spec(10);
+  order.spec.request.eps = 1;
+  order.expect_makespan = 1.0;  // no CAFT schedule of this instance has it
+
+  std::ostringstream order_doc;
+  write_campaign_work_order(order_doc, order);
+  std::istringstream in(order_doc.str());
+  std::ostringstream out;
+  EXPECT_THROW(run_campaign_worker(in, out), caft::CheckError);
+}
+
+TEST(SessionSubprocess, ByteIdenticalAcrossWorkerCounts) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(303, 10, 1.0, 1);
+  // Mean lifetime of two makespans: successes and failures are both common,
+  // so the order-sensitive latency folds (P², Welford) see a real stream.
+  const ScheduleResult scheduled =
+      SchedulerRegistry::global().make("caft")->schedule(instance);
+  CampaignSpec spec = lifetime_spec(400);
+  spec.sampler = SamplerSpec::exponential(0.5 / scheduled.makespan);
+
+  const Session in_process{};
+  const CampaignReport reference = in_process.evaluate(instance, spec);
+  ASSERT_EQ(reference.runs.size(), 1u);
+  // A latency stream with both outcomes, or the test proves too little.
+  ASSERT_GT(reference.runs[0].summary.successes, 0u);
+  ASSERT_LT(reference.runs[0].summary.successes, 400u);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    SessionOptions options;
+    options.exec = ExecutionPolicy::subprocess(cli, workers);
+    const Session session(options);
+    const CampaignReport report = session.evaluate(instance, spec);
+    ASSERT_EQ(report.runs.size(), 1u);
+    expect_summaries_identical(reference.runs[0].summary,
+                               report.runs[0].summary);
+  }
+}
+
+TEST(SessionSubprocess, EvaluateBatchMatchesInProcess) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  std::vector<Instance> instances;
+  instances.push_back(random_instance(304, 8, 1.0, 1));
+  instances.push_back(random_instance(305, 10, 0.7, 2));
+  CampaignSpec spec = lifetime_spec(200);
+  spec.algorithms = {"caft", "ftsa"};
+  spec.sampler = SamplerSpec::uniform_k(2);
+
+  const Session session{};  // in-process session; override per call below
+  const std::vector<CampaignReport> reference =
+      session.evaluate_batch(instances, spec);
+  const std::vector<CampaignReport> subprocess = session.evaluate_batch(
+      instances, spec, ExecutionPolicy::subprocess(cli, 2));
+
+  ASSERT_EQ(reference.size(), subprocess.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(reference[i].runs.size(), subprocess[i].runs.size());
+    for (std::size_t r = 0; r < reference[i].runs.size(); ++r) {
+      EXPECT_EQ(reference[i].runs[r].algorithm,
+                subprocess[i].runs[r].algorithm);
+      expect_summaries_identical(reference[i].runs[r].summary,
+                                 subprocess[i].runs[r].summary);
+    }
+  }
+}
+
+TEST(SessionSubprocess, RetriesCrashedWorkerAndStaysIdentical) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(306, 8, 1.0, 1);
+  const CampaignSpec spec = lifetime_spec(300);
+  const Session in_process{};
+  const CampaignSummary reference =
+      in_process.evaluate(instance, spec).runs[0].summary;
+
+  const caft::ScratchDir dir("ftsched-subproc");
+  // The first invocation to claim the poison marker dies mid-campaign with
+  // a nonzero status (a killed/crashed worker, as the coordinator sees it);
+  // every later invocation behaves normally.
+  const std::string poison = dir.file("poison");
+  const std::string script = write_script(
+      dir, "flaky_worker.sh",
+      "if rm \"" + poison + "\" 2>/dev/null; then\n"
+      "  echo 'injected worker crash' >&2\n"
+      "  exit 7\n"
+      "fi\n"
+      "exec \"" + cli + "\" \"$@\"\n");
+  { std::ofstream marker(poison); }
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(script, 2);
+  const Session session(options);
+  const CampaignReport report = session.evaluate(instance, spec);
+  expect_summaries_identical(reference, report.runs[0].summary);
+  EXPECT_FALSE(std::filesystem::exists(poison));  // the crash did happen
+}
+
+TEST(SessionSubprocess, RetriesPoisonedOutputAndStaysIdentical) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(307, 8, 1.0, 1);
+  const CampaignSpec spec = lifetime_spec(300);
+  const Session in_process{};
+  const CampaignSummary reference =
+      in_process.evaluate(instance, spec).runs[0].summary;
+
+  const caft::ScratchDir dir("ftsched-subproc");
+  // The poisoned invocation exits 0 but emits garbage instead of a partial
+  // result — the strict wire parser must reject it and the coordinator
+  // must retry, never fold it.
+  const std::string poison = dir.file("poison");
+  const std::string script = write_script(
+      dir, "poisoned_worker.sh",
+      "if rm \"" + poison + "\" 2>/dev/null; then\n"
+      "  echo 'caft-campaign-partial v1'\n"
+      "  echo 'this is not a record'\n"
+      "  exit 0\n"
+      "fi\n"
+      "exec \"" + cli + "\" \"$@\"\n");
+  { std::ofstream marker(poison); }
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(script, 2);
+  const Session session(options);
+  const CampaignReport report = session.evaluate(instance, spec);
+  expect_summaries_identical(reference, report.runs[0].summary);
+  EXPECT_FALSE(std::filesystem::exists(poison));
+}
+
+TEST(SessionSubprocess, FailsLoudlyAfterRetryBudget) {
+  const Instance instance = random_instance(308, 8, 1.0, 1);
+  const CampaignSpec spec = lifetime_spec(100);
+
+  const caft::ScratchDir dir("ftsched-subproc");
+  const std::string script =
+      write_script(dir, "dead_worker.sh", "exit 3\n");
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(script, 2);
+  options.exec.max_retries = 1;
+  const Session session(options);
+  try {
+    (void)session.evaluate(instance, spec);
+    FAIL() << "a persistently failing worker must fail the campaign";
+  } catch (const caft::CheckError& error) {
+    // The message names the block and the observed failure.
+    EXPECT_NE(std::string(error.what()).find("exited with status 3"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SessionSubprocess, RequiresWorkerCommand) {
+  const Instance instance = random_instance(309, 8, 1.0, 1);
+  SessionOptions options;
+  options.exec.mode = ExecutionPolicy::Mode::kSubprocess;  // no command
+  const Session session(options);
+  EXPECT_THROW((void)session.evaluate(instance, lifetime_spec(10)),
+               caft::CheckError);
+}
+
+}  // namespace
+}  // namespace ftsched

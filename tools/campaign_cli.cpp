@@ -49,6 +49,19 @@
 /// --exact is the escape hatch: bit-exact replays even with buckets set.
 /// Numeric/choice flags are validated strictly; malformed values abort
 /// with a clear error instead of silently falling back to defaults.
+///
+/// --exec in-process|subprocess (default in-process) picks where campaigns
+/// run. `subprocess` fans each campaign out to --workers worker processes
+/// (each running --worker-threads threads): the scenario stream is split
+/// into contiguous blocks, failed workers are retried, and the partial
+/// results are folded back in canonical scenario order — reports are
+/// byte-identical to in-process runs by construction. --worker-cmd names
+/// the worker binary (default: this binary).
+///
+/// --worker is the worker side of that protocol: read one serialized work
+/// order (io/campaign_wire.hpp) on stdin, replay the requested scenario
+/// block, emit the partial result on stdout. Spawned by the coordinator;
+/// not for interactive use.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -129,6 +142,18 @@ int main(int argc, char** argv) {
                          "and examples\n");
     return 2;
   }
+  // Worker mode: one wire-protocol exchange on stdin/stdout, nothing else
+  // on stdout (the coordinator parses it). Errors go to stderr + exit 1,
+  // which the coordinator treats as a retryable worker failure.
+  if (args.has("worker")) {
+    try {
+      ftsched::run_campaign_worker(std::cin, std::cout);
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "worker error: %s\n", error.what());
+      return 1;
+    }
+  }
   try {
     // --- instance: load from file or generate the paper's random protocol.
     std::unique_ptr<ftsched::Instance> instance;
@@ -163,6 +188,16 @@ int main(int argc, char** argv) {
         args.get_choice("memo", "shared", {"shared", "scratch"}) == "shared"
             ? CampaignMemo::kShared
             : CampaignMemo::kScratch;
+    // Process-parallel backend: fan blocks out to --workers copies of
+    // --worker-cmd (default: this very binary) instead of running the
+    // campaign in this process. Summaries are byte-identical either way.
+    if (args.get_choice("exec", "in-process",
+                        {"in-process", "subprocess"}) == "subprocess") {
+      session_options.exec = ftsched::ExecutionPolicy::subprocess(
+          args.get("worker-cmd", argv[0]), args.get_size("workers", 2));
+      session_options.exec.worker_threads =
+          args.get_size("worker-threads", 1);
+    }
     const ftsched::Session session(session_options);
 
     // --- spec: algorithms, sampler distribution, replay/seed budget.

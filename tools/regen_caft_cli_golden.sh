@@ -11,7 +11,9 @@ set -eu
 BUILD_DIR=${1:-build}
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 CLI=$REPO_ROOT/$BUILD_DIR/tools/caft_cli
-GOLDEN_DIR=$REPO_ROOT/tests/golden
+# GOLDEN_DIR may be overridden (CI golden-drift gate regenerates into
+# a scratch dir and diffs against the committed goldens).
+GOLDEN_DIR=${GOLDEN_DIR:-$REPO_ROOT/tests/golden}
 
 if [ ! -x "$CLI" ]; then
   echo "error: $CLI not found — build the project first" >&2
