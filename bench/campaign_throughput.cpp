@@ -50,6 +50,7 @@
 
 #include "api/api.hpp"
 #include "campaign/stats.hpp"
+#include "common/build_info.hpp"
 #include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "dag/generators.hpp"
@@ -116,8 +117,12 @@ bool write_bench_json(const std::string& path, std::size_t replays,
   std::ofstream out(path);
   if (!out) return false;
   out << std::setprecision(17);
+  const caft::BuildInfo& build = caft::build_info();
   out << "{\n"
       << "  \"schema\": \"caft-bench-campaign/v1\",\n"
+      << "  \"build\": {\"git_sha\": \"" << build.git_sha
+      << "\", \"compiler\": \"" << build.compiler << "\", \"build_type\": \""
+      << build.build_type << "\"},\n"
       << "  \"replays\": " << replays << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"

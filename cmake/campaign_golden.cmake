@@ -7,6 +7,10 @@
 # JSON artifacts. All three outputs must match the committed goldens byte
 # for byte. Regenerate with tools/regen_campaign_golden.sh after an
 # *intentional* statistics or formatting change.
+# With -DOBS=ON every invocation additionally writes a Chrome trace and a
+# caft-metrics/v1 snapshot — the reports must STILL match the goldens byte
+# for byte (the observability inertness contract), and the artifacts must
+# be produced and well-formed enough to carry their schema markers.
 if(NOT CLI OR NOT GOLDEN_DIR OR NOT WORK_DIR)
   message(FATAL_ERROR "campaign_golden.cmake needs -DCLI, -DGOLDEN_DIR and -DWORK_DIR")
 endif()
@@ -15,10 +19,15 @@ set(GOLDEN_ARGS
     --replays 200 --procs 8 --eps 1 --tasks 30
     --instance-seed 7 --seed 123 --algos caft,ftsa)
 
+set(OBS_ARGS "")
+if(OBS)
+  set(OBS_ARGS --trace-out trace.json --metrics-out metrics.json)
+endif()
+
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 execute_process(
-  COMMAND ${CLI} ${GOLDEN_ARGS}
+  COMMAND ${CLI} ${GOLDEN_ARGS} ${OBS_ARGS}
   OUTPUT_FILE ${WORK_DIR}/campaign_report.txt
   RESULT_VARIABLE text_rc
   WORKING_DIRECTORY ${WORK_DIR})
@@ -36,7 +45,7 @@ foreach(memo_variant "scratch" "shared")
     list(APPEND variant_args --exact)
   endif()
   execute_process(
-    COMMAND ${CLI} ${GOLDEN_ARGS} ${variant_args}
+    COMMAND ${CLI} ${GOLDEN_ARGS} ${variant_args} ${OBS_ARGS}
     OUTPUT_FILE ${WORK_DIR}/campaign_report_${memo_variant}.txt
     RESULT_VARIABLE memo_rc
     WORKING_DIRECTORY ${WORK_DIR})
@@ -57,7 +66,7 @@ foreach(memo_variant "scratch" "shared")
 endforeach()
 
 execute_process(
-  COMMAND ${CLI} ${GOLDEN_ARGS} --csv out --json out
+  COMMAND ${CLI} ${GOLDEN_ARGS} --csv out --json out ${OBS_ARGS}
   OUTPUT_QUIET
   RESULT_VARIABLE file_rc
   WORKING_DIRECTORY ${WORK_DIR})
@@ -83,4 +92,19 @@ foreach(pair
   endif()
 endforeach()
 
-message(STATUS "campaign_cli golden outputs match")
+if(OBS)
+  file(READ ${WORK_DIR}/trace.json trace_content)
+  if(NOT trace_content MATCHES "traceEvents")
+    message(FATAL_ERROR "--trace-out produced no Chrome trace document")
+  endif()
+  file(READ ${WORK_DIR}/metrics.json metrics_content)
+  if(NOT metrics_content MATCHES "caft-metrics/v1")
+    message(FATAL_ERROR "--metrics-out produced no caft-metrics/v1 document")
+  endif()
+  if(NOT metrics_content MATCHES "campaign.replays")
+    message(FATAL_ERROR "metrics snapshot carries no campaign counters")
+  endif()
+  message(STATUS "campaign_cli golden outputs match with observability on")
+else()
+  message(STATUS "campaign_cli golden outputs match")
+endif()

@@ -7,8 +7,17 @@
 # for byte (the scale-out determinism contract of api/session.hpp). Two
 # samplers are covered: the paper's uniform-k (discrete masks) and a crash
 # window (continuous θ, a non-trivial latency-quantile stream).
+# With -DOBS=ON the subprocess runs additionally carry
+# --trace-out/--metrics-out/--progress; the JSON summaries must STILL be
+# byte-identical to the uninstrumented single-process run (observability
+# inertness across the process boundary).
 if(NOT CLI OR NOT WORK_DIR)
   message(FATAL_ERROR "campaign_subprocess.cmake needs -DCLI and -DWORK_DIR")
+endif()
+
+set(OBS_ARGS "")
+if(OBS)
+  set(OBS_ARGS --trace-out trace.json --metrics-out metrics.json --progress)
 endif()
 
 file(MAKE_DIRECTORY ${WORK_DIR})
@@ -31,7 +40,7 @@ foreach(sampler_args
 
   foreach(workers 1 2 4)
     execute_process(
-      COMMAND ${CLI} ${common_args}
+      COMMAND ${CLI} ${common_args} ${OBS_ARGS}
               --exec subprocess --workers ${workers} --json sub${workers}
       OUTPUT_QUIET
       RESULT_VARIABLE sub_rc
@@ -54,4 +63,18 @@ foreach(sampler_args
   endforeach()
 endforeach()
 
-message(STATUS "subprocess campaign summaries identical at 1, 2 and 4 workers")
+if(OBS)
+  file(READ ${WORK_DIR}/trace.json trace_content)
+  if(NOT trace_content MATCHES "worker-slot-")
+    message(FATAL_ERROR "--trace-out carries no per-worker subprocess spans")
+  endif()
+  file(READ ${WORK_DIR}/metrics.json metrics_content)
+  if(NOT metrics_content MATCHES "caft-metrics/v1")
+    message(FATAL_ERROR "--metrics-out produced no caft-metrics/v1 document")
+  endif()
+  message(STATUS
+    "subprocess campaign summaries identical at 1, 2 and 4 workers "
+    "with observability on")
+else()
+  message(STATUS "subprocess campaign summaries identical at 1, 2 and 4 workers")
+endif()

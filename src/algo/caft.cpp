@@ -5,6 +5,7 @@
 
 #include "algo/caft_internal.hpp"
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace caft {
 
@@ -307,12 +308,34 @@ Schedule caft_schedule(const TaskGraph& graph, const Platform& platform,
   CAFT_CHECK_MSG(options.base.eps + 1 <= platform.proc_count(),
                  "CAFT needs at least eps+1 processors");
   if (stats != nullptr) *stats = CaftRunStats{};
+  obs::Registry& registry = obs::Registry::global();
+  // With metrics on, collect run stats even when the caller passed none —
+  // the replication counters below come from them. Collection is counter
+  // increments only; the schedule is identical either way.
+  CaftRunStats enabled_stats;
+  if (stats == nullptr && registry.enabled()) stats = &enabled_stats;
+  // Phase timings: the priority pass is the mapper's construction (the
+  // b-level tracker), placement + replication is the mapping loop.
+  obs::ScopedTimer priorities_timer(registry, "caft.priorities");
   internal::CaftMapper mapper(graph, platform, costs, options, stats);
+  priorities_timer.stop();
+  obs::ScopedTimer placement_timer(registry, "caft.placement");
   while (mapper.tracker().has_free_task()) {
     const TaskId t = mapper.tracker().pop_highest();
     internal::TaskStep step = mapper.begin_task(t);
     while (!mapper.done(step)) mapper.advance(step);
     mapper.finish_task(step);
+  }
+  placement_timer.stop();
+  if (stats != nullptr && registry.enabled()) {
+    registry.counter("caft.replication.one_to_one_commits")
+        .add(stats->one_to_one_commits);
+    registry.counter("caft.replication.fallback_commits")
+        .add(stats->fallback_commits);
+    registry.counter("caft.replication.per_edge_fallbacks")
+        .add(stats->per_edge_fallbacks);
+    registry.counter("caft.replication.lock_exhaustions")
+        .add(stats->lock_exhaustions);
   }
   return mapper.take_schedule();
 }

@@ -6,6 +6,7 @@
 #include "algo/priorities.hpp"
 #include "common/check.hpp"
 #include "dag/analysis.hpp"
+#include "obs/obs.hpp"
 
 namespace caft {
 
@@ -85,8 +86,11 @@ Schedule ftbar_schedule(const TaskGraph& graph, const Platform& platform,
 
   // s(t): the latest-start measure, a static bottom level over average
   // weights (Section 4.1's bottom-up term).
+  obs::Registry& registry = obs::Registry::global();
+  obs::ScopedTimer priorities_timer(registry, "ftbar.priorities");
   const DagWeights weights = costs.average_weights(graph);
   const std::vector<double> s = bottom_levels(graph, weights);
+  priorities_timer.stop();
 
   // Free-set management (FTBAR scans *all* free tasks each step).
   std::vector<std::size_t> pending(graph.task_count());
@@ -100,6 +104,7 @@ Schedule ftbar_schedule(const TaskGraph& graph, const Platform& platform,
   double schedule_length = 0.0;  // R^(n-1)
   std::size_t remaining = graph.task_count();
 
+  obs::ScopedTimer placement_timer(registry, "ftbar.placement");
   while (remaining > 0) {
     CAFT_CHECK_MSG(!free_tasks.empty(), "free list exhausted with tasks left");
 
@@ -147,6 +152,7 @@ Schedule ftbar_schedule(const TaskGraph& graph, const Platform& platform,
       if (--pending[succ.index()] == 0) free_tasks.push_back(succ);
     }
   }
+  placement_timer.stop();
 
   CAFT_CHECK(schedule.complete());
   return schedule;

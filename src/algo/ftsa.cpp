@@ -5,6 +5,7 @@
 
 #include "algo/priorities.hpp"
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace caft {
 
@@ -16,11 +17,15 @@ Schedule ftsa_schedule(const TaskGraph& graph, const Platform& platform,
   Schedule schedule(graph, platform, options.eps, options.model);
   const auto engine = make_engine(options.model, platform, costs);
   Placer placer(graph, costs, *engine, schedule);
+  obs::Registry& registry = obs::Registry::global();
+  obs::ScopedTimer priorities_timer(registry, "ftsa.priorities");
   PriorityTracker tracker(graph, costs);
+  priorities_timer.stop();
 
   const std::size_t m = platform.proc_count();
   const std::size_t replicas = options.eps + 1;
 
+  obs::ScopedTimer placement_timer(registry, "ftsa.placement");
   while (tracker.has_free_task()) {
     const TaskId t = tracker.pop_highest();
 
@@ -47,6 +52,7 @@ Schedule ftsa_schedule(const TaskGraph& graph, const Platform& platform,
     }
     tracker.mark_scheduled(t, first_finish);
   }
+  placement_timer.stop();
 
   CAFT_CHECK(schedule.complete());
   return schedule;

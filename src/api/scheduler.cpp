@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace ftsched {
 
@@ -26,8 +27,14 @@ ScheduleResult Scheduler::schedule(const Instance& instance,
   const caft::SchedulerOptions options{
       eps, request.model.value_or(instance.options().model)};
 
+  // Spans only — phase-level timings live inside the algorithms
+  // ("<algo>.priorities" / "<algo>.placement"); this wrapper just brackets
+  // the whole run and the optional validation pass on the trace.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Span run_span = registry.span("scheduler.run", name());
   std::any stats;
   ScheduleResult result(run(instance, options, request, &stats));
+  run_span.finish();
   result.algorithm = name();
   result.eps = eps;
   result.makespan = result.schedule.zero_crash_latency();
@@ -36,6 +43,7 @@ ScheduleResult Scheduler::schedule(const Instance& instance,
   result.message_volume = result.schedule.message_volume();
   result.stats = std::move(stats);
   if (request.validate) {
+    obs::Span validate_span = registry.span("scheduler.validate", name());
     result.validated = true;
     result.validation = validate_schedule(result.schedule, instance.costs());
   }

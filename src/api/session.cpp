@@ -1,6 +1,7 @@
 #include "api/session.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "common/check.hpp"
 #include "common/subprocess.hpp"
 #include "io/campaign_wire.hpp"
+#include "obs/obs.hpp"
 
 namespace ftsched {
 
@@ -112,6 +114,7 @@ caft::CampaignOptions Session::campaign_options(
   campaign.adaptive_snapshots = options_.adaptive_snapshots;
   campaign.exact = spec.exact;
   campaign.theta_bucket_width = spec.theta_bucket_width(schedule_horizon);
+  campaign.on_progress = options_.on_progress;
   return campaign;
 }
 
@@ -246,11 +249,34 @@ CampaignRun Session::evaluate_schedule_subprocess(
   std::mutex error_mutex;
   std::string error;
 
+  // Observability is strictly write-only: the registry is disabled unless a
+  // consumer turned it on, spans/counters never steer dispatch, and the
+  // progress callback fires under a mutex from dispatcher threads with
+  // monotonic completed-replay counts (completion order, not canonical
+  // order — the fold below is what stays canonical).
+  obs::Registry& registry = obs::Registry::global();
+  obs::Span coordinator_span = registry.span("campaign.subprocess", order.algorithm);
+  obs::Counter retries_counter = registry.counter("campaign.worker.retries");
+  obs::Histogram block_seconds =
+      registry.histogram("campaign.worker.block.seconds");
+  const std::chrono::steady_clock::time_point campaign_begin =
+      std::chrono::steady_clock::now();
+  std::atomic<std::size_t> retries_total{0};
+  std::mutex progress_mutex;
+  std::size_t progress_done = 0;
+  std::size_t progress_successes = 0;
+  std::uint64_t progress_lookups = 0;
+  std::uint64_t progress_hits = 0;
+
   // One dispatcher thread per worker slot: claim a block, spawn a worker
   // process for it, retry on any failure (crash, nonzero exit, garbage or
   // truncated output, wrong block echoed back), give up after the retry
   // budget and fail the whole campaign loudly.
-  const auto dispatch = [&] {
+  const auto dispatch = [&](std::size_t slot) {
+    // One trace track per worker slot: every spawn/retry span of this slot
+    // lands on it, so Perfetto shows the pool's occupancy directly.
+    const std::uint32_t track = 100 + static_cast<std::uint32_t>(slot);
+    registry.set_track_label(track, "worker-slot-" + std::to_string(slot));
     for (std::size_t b = next.fetch_add(1);
          b < blocks.size() && !failed.load(); b = next.fetch_add(1)) {
       CampaignWorkOrder block_order = order;
@@ -266,10 +292,23 @@ CampaignRun Session::evaluate_schedule_subprocess(
       for (std::size_t attempt = 0;
            attempt <= exec.max_retries && !done && !failed.load();
            ++attempt) {
+        if (attempt > 0) {
+          retries_counter.add(1);
+          retries_total.fetch_add(1, std::memory_order_relaxed);
+        }
+        const double attempt_begin_us = registry.now_us();
+        const std::chrono::steady_clock::time_point attempt_begin =
+            std::chrono::steady_clock::now();
         const caft::SubprocessResult child = caft::run_subprocess(
             {exec.worker_command, "--worker"}, doc.str());
         if (!child.ok()) {
           last_failure = child.describe_failure();
+          if (registry.tracing())
+            registry.complete_event(
+                "worker.spawn.failed[" + std::to_string(blocks[b].first) +
+                    "," + std::to_string(blocks[b].count) + ")",
+                attempt_begin_us, registry.now_us() - attempt_begin_us,
+                track);
           continue;
         }
         try {
@@ -286,6 +325,31 @@ CampaignRun Session::evaluate_schedule_subprocess(
         } catch (const std::exception& parse_error) {
           last_failure = parse_error.what();
         }
+        const std::chrono::duration<double> attempt_elapsed =
+            std::chrono::steady_clock::now() - attempt_begin;
+        if (registry.tracing())
+          registry.complete_event(
+              std::string(done ? "worker.block[" : "worker.retry[") +
+                  std::to_string(blocks[b].first) + "," +
+                  std::to_string(blocks[b].count) + ")",
+              attempt_begin_us, registry.now_us() - attempt_begin_us, track);
+        if (done) {
+          block_seconds.observe(attempt_elapsed.count());
+          if (options_.on_progress) {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            progress_done += partials[b].count;
+            progress_successes += partials[b].successes;
+            progress_lookups += partials[b].telemetry.memo_lookups;
+            progress_hits += partials[b].telemetry.memo_hits;
+            caft::CampaignProgress progress;
+            progress.replays_done = progress_done;
+            progress.replays_total = spec.replays;
+            progress.successes = progress_successes;
+            progress.memo_lookups = progress_lookups;
+            progress.memo_hits = progress_hits;
+            options_.on_progress(progress);
+          }
+        }
       }
       if (!done) {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -301,11 +365,12 @@ CampaignRun Session::evaluate_schedule_subprocess(
   };
   const std::size_t dispatchers = std::min(exec.n_workers, blocks.size());
   if (dispatchers <= 1) {
-    dispatch();
+    dispatch(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(dispatchers);
-    for (std::size_t t = 0; t < dispatchers; ++t) pool.emplace_back(dispatch);
+    for (std::size_t t = 0; t < dispatchers; ++t)
+      pool.emplace_back(dispatch, t);
     for (std::thread& thread : pool) thread.join();
   }
   if (failed.load()) throw caft::CheckError(error);
@@ -314,11 +379,13 @@ CampaignRun Session::evaluate_schedule_subprocess(
   // fold run_campaign performs in process, so the summary is byte-identical
   // by construction. Telemetry is summed across worker processes (snapshots
   // are per-engine, so take the max — each worker builds the same engine).
+  obs::Span fold_span = registry.span("campaign.fold");
   const auto sampler = spec.sampler.build(instance.proc_count());
   caft::CampaignAccumulator accumulator(run.result.schedule.eps(),
                                         spec.quantiles);
   accumulator.set_sampler_name(sampler->name());
   run.telemetry = {};
+  double worker_replay_seconds = 0.0;
   for (const CampaignPartialResult& partial : partials) {
     for (const caft::ReplayRecord& record : partial.records)
       caft::fold_replay_record(accumulator, record);
@@ -328,12 +395,54 @@ CampaignRun Session::evaluate_schedule_subprocess(
     run.telemetry.memo_entries += partial.telemetry.memo_entries;
     run.telemetry.snapshots =
         std::max(run.telemetry.snapshots, partial.telemetry.snapshots);
+    if (partial.timing.present)
+      worker_replay_seconds += partial.timing.replay_seconds;
   }
   run.summary = accumulator.summary();
+  fold_span.finish();
+
+  // Execution-shape telemetry: same fields the in-process backend reports,
+  // so a CampaignRun reads identically whichever backend produced it.
+  const std::chrono::duration<double> campaign_elapsed =
+      std::chrono::steady_clock::now() - campaign_begin;
+  run.telemetry.replays = spec.replays;
+  run.telemetry.blocks = blocks.size();
+  run.telemetry.workers = dispatchers;
+  run.telemetry.worker_retries = retries_total.load();
+  run.telemetry.wall_seconds = campaign_elapsed.count();
+  coordinator_span.finish();
+
+  // Worker processes run with *their* registries disabled, so the
+  // coordinator is the single place their counters reach this process's
+  // metrics — no double counting with the in-process path, which folds
+  // inside run_campaign instead.
+  if (registry.enabled()) {
+    registry.counter("campaign.replays").add(spec.replays);
+    registry.counter("campaign.blocks").add(blocks.size());
+    registry.counter("campaign.memo.lookups").add(run.telemetry.memo_lookups);
+    registry.counter("campaign.memo.hits").add(run.telemetry.memo_hits);
+    registry.counter("campaign.memo.evictions")
+        .add(run.telemetry.memo_evictions);
+    registry.gauge("campaign.memo.entries")
+        .set(static_cast<double>(run.telemetry.memo_entries));
+    registry.gauge("campaign.snapshots")
+        .set(static_cast<double>(run.telemetry.snapshots));
+    if (campaign_elapsed.count() > 0.0)
+      registry.gauge("campaign.replays_per_second")
+          .set(static_cast<double>(spec.replays) / campaign_elapsed.count());
+    if (worker_replay_seconds > 0.0)
+      registry.gauge("campaign.worker.replay_seconds_total")
+          .set(worker_replay_seconds);
+  }
   return run;
 }
 
 void run_campaign_worker(std::istream& in, std::ostream& out) {
+  // Worker-side timings ride back on the partial's optional `timing` line.
+  // steady_clock, measured unconditionally (the cost is three clock reads
+  // per block) — whether anyone *records* them is the coordinator's call.
+  const std::chrono::steady_clock::time_point worker_begin =
+      std::chrono::steady_clock::now();
   const CampaignWorkOrder order = read_campaign_work_order(in);
   const Instance instance = Instance::load(order.instance_path);
   const auto scheduler = SchedulerRegistry::global().make(order.algorithm);
@@ -373,12 +482,23 @@ void run_campaign_worker(std::istream& in, std::ostream& out) {
   partial.algorithm = order.algorithm;
   partial.first = order.first;
   partial.count = order.count;
+  const std::chrono::steady_clock::time_point replay_begin =
+      std::chrono::steady_clock::now();
   partial.records =
       run_campaign_block(scheduled.schedule, instance.costs(), *sampler,
                          campaign, order.first, order.count,
                          &partial.telemetry);
   for (const caft::ReplayRecord& record : partial.records)
     if (record.success) ++partial.successes;
+  const std::chrono::steady_clock::time_point worker_end =
+      std::chrono::steady_clock::now();
+  partial.timing.present = true;
+  partial.timing.schedule_seconds =
+      std::chrono::duration<double>(replay_begin - worker_begin).count();
+  partial.timing.replay_seconds =
+      std::chrono::duration<double>(worker_end - replay_begin).count();
+  partial.timing.wall_seconds =
+      std::chrono::duration<double>(worker_end - worker_begin).count();
   write_campaign_partial(out, partial);
 }
 

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <limits>
 #include <memory>
@@ -176,6 +177,11 @@ struct SessionOptions {
   std::size_t block = 1024;
   /// Where campaigns run: this process or a pool of worker processes.
   ExecutionPolicy exec;
+  /// Live progress callback, invoked from the coordinating thread after
+  /// each folded wave (in-process) or completed worker block (subprocess).
+  /// Purely observational: summaries are identical whether it is set or
+  /// not, and it must never be used to steer the campaign.
+  std::function<void(const caft::CampaignProgress&)> on_progress;
 };
 
 /// Outcome of campaigning one algorithm on one instance.

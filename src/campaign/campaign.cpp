@@ -1,12 +1,14 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "sim/crash_sim.hpp"
 #include "sim/replay_engine.hpp"
 
@@ -50,6 +52,17 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
       std::max<std::size_t>(1, options.threads == 0 ? default_thread_count()
                                                     : options.threads);
 
+  // Observability is strictly write-only from here on: when the global
+  // registry is disabled (the default) every call below is a relaxed load
+  // plus a branch, and nothing it records ever feeds back into a replay.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Span range_span = registry.span("campaign.range");
+  obs::Histogram wave_seconds = registry.histogram("campaign.wave.seconds");
+  obs::Counter replays_counter = registry.counter("campaign.replays");
+  obs::Counter waves_counter = registry.counter("campaign.blocks");
+  const std::chrono::steady_clock::time_point range_begin =
+      std::chrono::steady_clock::now();
+
   // The prefix-cached engine is built once per campaign and shared
   // read-only by every worker (each worker owns its Scratch). With a
   // shared memo, all workers also consult one sharded result cache.
@@ -83,8 +96,13 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
   // One scratch per worker slot, persistent across waves: buffers and the
   // dead-set memo survive, so steady-state waves allocate nothing.
   std::vector<ReplayEngine::Scratch> scratches(threads);
+  std::size_t successes = 0;
+  std::size_t waves = 0;
   for (std::size_t done = 0; done < count;) {
     const std::size_t wave = std::min(options.block, count - done);
+    obs::Span wave_span = registry.span("campaign.wave");
+    const std::chrono::steady_clock::time_point wave_begin =
+        std::chrono::steady_clock::now();
 
     // Scenarios are drawn sequentially in global replay order, each from
     // its own split stream: neither the thread schedule, the block size nor
@@ -138,26 +156,75 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
 
     sink(records, wave);
     done += wave;
+    ++waves;
+
+    wave_span.finish();
+    const std::chrono::duration<double> wave_elapsed =
+        std::chrono::steady_clock::now() - wave_begin;
+    wave_seconds.observe(wave_elapsed.count());
+    replays_counter.add(wave);
+    waves_counter.add(1);
+    // Success tally and the progress callback run on the campaign thread
+    // only — workers never touch them, and neither influences any replay.
+    if (options.on_progress) {
+      for (std::size_t i = 0; i < wave; ++i)
+        if (records[i].success) ++successes;
+      CampaignProgress progress;
+      progress.replays_done = done;
+      progress.replays_total = count;
+      progress.successes = successes;
+      if (shared_memo != nullptr) {
+        const SharedReplayMemo::Stats stats = shared_memo->stats();
+        progress.memo_lookups = stats.lookups;
+        progress.memo_hits = stats.hits;
+      }
+      options.on_progress(progress);
+    }
   }
 
-  if (telemetry != nullptr) {
-    *telemetry = CampaignTelemetry{};
-    if (shared_memo != nullptr) {
-      const SharedReplayMemo::Stats stats = shared_memo->stats();
-      telemetry->memo_lookups = stats.lookups;
-      telemetry->memo_hits = stats.hits;
-      telemetry->memo_evictions = stats.evictions;
-      telemetry->memo_entries = stats.entries;
-    } else {
-      for (const ReplayEngine::Scratch& scratch : scratches) {
-        telemetry->memo_lookups += scratch.memo_lookups();
-        telemetry->memo_hits += scratch.memo_hits();
-        telemetry->memo_evictions += scratch.memo_evictions();
-        telemetry->memo_entries += scratch.memo_entries();
-      }
+  const std::chrono::duration<double> range_elapsed =
+      std::chrono::steady_clock::now() - range_begin;
+  range_span.finish();
+
+  // Gather memo/snapshot counters once, for both the telemetry out-param
+  // and the registry fold (the registry fold happens only here for the
+  // in-process backend; the subprocess coordinator folds worker partials
+  // itself, so counts are never doubled).
+  CampaignTelemetry gathered;
+  if (shared_memo != nullptr) {
+    const SharedReplayMemo::Stats stats = shared_memo->stats();
+    gathered.memo_lookups = stats.lookups;
+    gathered.memo_hits = stats.hits;
+    gathered.memo_evictions = stats.evictions;
+    gathered.memo_entries = stats.entries;
+  } else {
+    for (const ReplayEngine::Scratch& scratch : scratches) {
+      gathered.memo_lookups += scratch.memo_lookups();
+      gathered.memo_hits += scratch.memo_hits();
+      gathered.memo_evictions += scratch.memo_evictions();
+      gathered.memo_entries += scratch.memo_entries();
     }
-    if (engine != nullptr) telemetry->snapshots = engine->snapshot_count();
   }
+  if (engine != nullptr) gathered.snapshots = engine->snapshot_count();
+  gathered.replays = count;
+  gathered.blocks = waves;
+  gathered.workers = threads;
+  gathered.wall_seconds = range_elapsed.count();
+
+  if (registry.enabled()) {
+    registry.counter("campaign.memo.lookups").add(gathered.memo_lookups);
+    registry.counter("campaign.memo.hits").add(gathered.memo_hits);
+    registry.counter("campaign.memo.evictions").add(gathered.memo_evictions);
+    registry.gauge("campaign.memo.entries")
+        .set(static_cast<double>(gathered.memo_entries));
+    registry.gauge("campaign.snapshots")
+        .set(static_cast<double>(gathered.snapshots));
+    if (range_elapsed.count() > 0.0)
+      registry.gauge("campaign.replays_per_second")
+          .set(static_cast<double>(count) / range_elapsed.count());
+  }
+
+  if (telemetry != nullptr) *telemetry = gathered;
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "campaign/scenario_sampler.hpp"
@@ -52,6 +53,19 @@ enum class CampaignEngine {
 enum class CampaignMemo {
   kScratch,  ///< per-worker Scratch memo (never crosses threads)
   kShared,   ///< one sharded SharedReplayMemo consulted by every worker
+};
+
+/// Live progress of a campaign, delivered after each completed wave (or,
+/// for the subprocess backend, each folded block). Observability only:
+/// consumers may print heartbeats from it but must never feed it back into
+/// scheduling or replay decisions — the summary does not depend on whether
+/// anyone listens.
+struct CampaignProgress {
+  std::size_t replays_done = 0;   ///< replays folded so far
+  std::size_t replays_total = 0;  ///< campaign size
+  std::size_t successes = 0;      ///< successful replays among done
+  std::uint64_t memo_lookups = 0;  ///< shared-memo lookups so far (0 if n/a)
+  std::uint64_t memo_hits = 0;     ///< shared-memo hits so far (0 if n/a)
 };
 
 /// Knobs of one campaign run.
@@ -90,6 +104,10 @@ struct CampaignOptions {
   std::size_t memo_capacity = 1 << 15;
   /// Lock shards of the shared memo.
   std::size_t memo_shards = 16;
+  /// Progress callback, invoked after each completed wave from the thread
+  /// that runs the campaign (never from worker threads). Purely
+  /// observational — the summary is identical whether it is set or not.
+  std::function<void(const CampaignProgress&)> on_progress;
 };
 
 /// Optional observability output of run_campaign — memo effectiveness and
@@ -101,6 +119,15 @@ struct CampaignTelemetry {
   std::uint64_t memo_evictions = 0;
   std::size_t memo_entries = 0;  ///< resident at campaign end (shared mode)
   std::size_t snapshots = 0;     ///< prefix snapshots the engine stored
+  // Execution-shape counters (PR 6): identical semantics for the
+  // in-process and subprocess backends, so Session can report one story.
+  // wall_seconds is the only non-deterministic field; everything else is a
+  // pure function of the campaign configuration.
+  std::size_t replays = 0;       ///< replays executed and folded
+  std::size_t blocks = 0;        ///< waves (in-process) or wire blocks
+  std::size_t workers = 0;       ///< worker threads or subprocess slots
+  std::size_t worker_retries = 0;  ///< subprocess blocks retried (0 in-proc)
+  double wall_seconds = 0.0;     ///< campaign wall time (steady_clock)
 };
 
 /// Compact outcome of one replay: exactly what the accumulator folds,

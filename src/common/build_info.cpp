@@ -1,0 +1,33 @@
+#include "common/build_info.hpp"
+
+#if defined(__has_include)
+#if __has_include("caft_build_info.h")
+#include "caft_build_info.h"
+#endif
+#endif
+
+#ifndef CAFT_BUILD_GIT_SHA
+#define CAFT_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef CAFT_BUILD_COMPILER
+#define CAFT_BUILD_COMPILER "unknown"
+#endif
+#ifndef CAFT_BUILD_TYPE
+#define CAFT_BUILD_TYPE "unknown"
+#endif
+
+namespace caft {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{CAFT_BUILD_GIT_SHA, CAFT_BUILD_COMPILER,
+                              CAFT_BUILD_TYPE};
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& info = build_info();
+  return "caft " + info.git_sha + " (" + info.compiler + ", " +
+         info.build_type + ")";
+}
+
+}  // namespace caft

@@ -1,0 +1,26 @@
+/// \file common/build_info.hpp
+/// Build provenance: which commit, compiler and build type produced this
+/// binary. Values are configured by CMake (cmake/build_info.h.in) at
+/// configure time; when the generated header is absent (e.g. a bare
+/// compiler invocation outside CMake) every field degrades to "unknown"
+/// so the library still builds.
+#pragma once
+
+#include <string>
+
+namespace caft {
+
+struct BuildInfo {
+  std::string git_sha;     ///< `git rev-parse HEAD` at configure time
+  std::string compiler;    ///< compiler id + version
+  std::string build_type;  ///< CMAKE_BUILD_TYPE (Release, Debug, ...)
+};
+
+/// Provenance of this binary.
+[[nodiscard]] const BuildInfo& build_info();
+
+/// One-line human-readable form for `--version`:
+/// "caft <sha> (<compiler>, <build_type>)".
+[[nodiscard]] std::string version_line();
+
+}  // namespace caft

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <fstream>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -102,6 +103,21 @@ class CliArgs {
   }
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
+  }
+
+  /// Validates up front that `path` (the value of --`flag`) can be opened
+  /// for writing, so a run fails before hours of work rather than when the
+  /// output file finally opens. Probes with an append-mode open — an
+  /// existing file is left byte-identical (no truncation) and a created
+  /// empty file is what the real writer would produce anyway. Throws
+  /// CheckError naming the flag on failure.
+  static void check_writable_path(const std::string& flag,
+                                  const std::string& path) {
+    CAFT_CHECK_MSG(!path.empty() && path != "true",
+                   "--" + flag + " needs a file path");
+    std::ofstream probe(path, std::ios::app);
+    CAFT_CHECK_MSG(probe.good(),
+                   "--" + flag + ": cannot write '" + path + "'");
   }
 
  private:

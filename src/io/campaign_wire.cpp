@@ -302,6 +302,11 @@ void write_campaign_partial(std::ostream& os,
      << partial.telemetry.memo_evictions << " "
      << partial.telemetry.memo_entries << " " << partial.telemetry.snapshots
      << "\n";
+  if (partial.timing.present) {
+    os << "timing " << format_double(partial.timing.wall_seconds) << " "
+       << format_double(partial.timing.schedule_seconds) << " "
+       << format_double(partial.timing.replay_seconds) << "\n";
+  }
   os << "records " << partial.records.size() << "\n";
   for (const caft::ReplayRecord& record : partial.records) {
     os << "r " << (record.success ? 1 : 0) << " "
@@ -352,6 +357,15 @@ CampaignPartialResult read_campaign_partial(std::istream& is) {
           next_token(fields, "telemetry entries"), "telemetry entries");
       partial.telemetry.snapshots = parse_size(
           next_token(fields, "telemetry snapshots"), "telemetry snapshots");
+    } else if (key == "timing") {
+      // Optional since PR 6; a document without it parses fine.
+      partial.timing.wall_seconds = parse_double(
+          next_token(fields, "timing wall"), "timing wall");
+      partial.timing.schedule_seconds = parse_double(
+          next_token(fields, "timing schedule"), "timing schedule");
+      partial.timing.replay_seconds = parse_double(
+          next_token(fields, "timing replay"), "timing replay");
+      partial.timing.present = true;
     } else if (key == "records") {
       const std::size_t n =
           parse_size(next_token(fields, "record count"), "record count");

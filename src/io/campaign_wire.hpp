@@ -36,6 +36,14 @@
 ///   counts <replays> <successes>         # the block's Wilson inputs —
 ///                                        # integrity check on the records
 ///   telemetry <lookups> <hits> <evictions> <entries> <snapshots>
+///   timing <wall> <schedule> <replay>    # OPTIONAL, v1-compatible: the
+///                                        # worker's own steady_clock
+///                                        # seconds (hexfloat) — whole
+///                                        # invocation, re-schedule phase,
+///                                        # replay phase. Observability
+///                                        # only; a reader accepts its
+///                                        # absence (pre-PR-6 workers)
+///                                        # and the fold ignores it.
 ///   records <count>
 ///   r <success> <deadlock> <latency> <delivered> <relaxations> <failed>
 ///   ...                                  # one line per replay, in
@@ -95,6 +103,16 @@ struct CampaignWorkOrder {
   double expect_horizon = std::numeric_limits<double>::quiet_NaN();
 };
 
+/// Worker-side wall-clock breakdown of one block (steady_clock seconds).
+/// Observability only: never folded into the summary, and optional on the
+/// wire so pre-existing partial documents stay readable.
+struct WorkerTiming {
+  bool present = false;           ///< the wire carried a timing line
+  double wall_seconds = 0.0;      ///< whole worker invocation
+  double schedule_seconds = 0.0;  ///< instance load + re-schedule + pins
+  double replay_seconds = 0.0;    ///< run_campaign_block proper
+};
+
 /// One block's fold inputs plus its mergeable fold state and telemetry.
 struct CampaignPartialResult {
   std::string algorithm;
@@ -103,6 +121,7 @@ struct CampaignPartialResult {
   std::size_t successes = 0;  ///< Wilson inputs: (count, successes)
   std::vector<caft::ReplayRecord> records;  ///< canonical replay order
   caft::CampaignTelemetry telemetry;
+  WorkerTiming timing;  ///< optional worker-side timings (observability)
 };
 
 void write_campaign_work_order(std::ostream& os,

@@ -1,0 +1,350 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace obs {
+
+namespace detail {
+
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Log-spaced seconds from 10µs to 100s — the default phase-timing bounds.
+std::vector<double> default_seconds_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-5; b < 100.0 * 1.0001; b *= 10.0) {
+    bounds.push_back(b);
+    bounds.push_back(b * 2.5);
+    bounds.push_back(b * 5.0);
+  }
+  bounds.resize(bounds.size() - 2);  // stop at exactly 1e2
+  return bounds;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Shortest round-trippable decimal form (metrics are human-inspected, so
+/// no hexfloat here; %.17g survives a parse back to the same double).
+void write_json_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) noexcept {
+  if (!enabled_ || !enabled_->load(std::memory_order_relaxed)) return;
+  cells_->cells[detail::stripe_index()].value.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) noexcept {
+  if (!enabled_ || !enabled_->load(std::memory_order_relaxed)) return;
+  cell_->value.store(value, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!enabled_ || !enabled_->load(std::memory_order_relaxed)) return;
+  const std::size_t stripe = detail::stripe_index();
+  const auto it = std::lower_bound(cells_->bounds.begin(),
+                                   cells_->bounds.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - cells_->bounds.begin());
+  cells_->bucket_counts[stripe * cells_->buckets() + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  cells_->observations[stripe].value.fetch_add(1, std::memory_order_relaxed);
+  cells_->sums[stripe].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Span::finish() noexcept {
+  if (registry_ == nullptr) return;
+  Registry* registry = registry_;
+  registry_ = nullptr;
+  const double end_us = registry->now_us();
+  registry->complete_event(std::move(name_), begin_us_, end_us - begin_us_,
+                           tid_);
+}
+
+ScopedTimer::ScopedTimer(Registry& registry, const char* name) {
+  if (!registry.enabled()) return;
+  registry_ = &registry;
+  histogram_ = registry.histogram(std::string(name) + ".seconds");
+  span_ = registry.span(name);
+  begin_ = std::chrono::steady_clock::now();
+}
+
+void ScopedTimer::stop() noexcept {
+  if (registry_ == nullptr) return;
+  registry_ = nullptr;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - begin_;
+  histogram_.observe(elapsed.count());
+  span_.finish();
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  for (const GaugeValue& g : gauges)
+    if (g.name == name) return g.value;
+  return 0.0;
+}
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+Registry::~Registry() = default;
+
+detail::CounterCells* Registry::counter_cells(const std::string& name) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  for (auto& [existing, cells] : counters_)
+    if (existing == name) return cells.get();
+  counters_.emplace_back(name, std::make_unique<detail::CounterCells>());
+  return counters_.back().second.get();
+}
+
+detail::GaugeCell* Registry::gauge_cell(const std::string& name) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  for (auto& [existing, cell] : gauges_)
+    if (existing == name) return cell.get();
+  gauges_.emplace_back(name, std::make_unique<detail::GaugeCell>());
+  return gauges_.back().second.get();
+}
+
+detail::HistogramCells* Registry::histogram_cells(const std::string& name,
+                                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  for (auto& [existing, cells] : histograms_)
+    if (existing == name) return cells.get();
+  histograms_.emplace_back(
+      name, std::make_unique<detail::HistogramCells>(std::move(bounds)));
+  return histograms_.back().second.get();
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(&enabled_, counter_cells(name));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(&enabled_, gauge_cell(name));
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  return histogram(name, default_seconds_bounds());
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  return Histogram(&enabled_, histogram_cells(name, std::move(bounds)));
+}
+
+Span Registry::span(const char* name) {
+  if (!tracing()) return Span();
+  return Span(this, std::string(name), now_us(), current_tid());
+}
+
+Span Registry::span(const char* prefix, std::string_view detail) {
+  if (!tracing()) return Span();
+  std::string name(prefix);
+  name += ':';
+  name += detail;
+  return Span(this, std::move(name), now_us(), current_tid());
+}
+
+void Registry::complete_event(std::string name, double begin_us,
+                              double duration_us, std::uint32_t tid) {
+  if (!tracing()) return;
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  events_.push_back(
+      TraceEvent{std::move(name), begin_us, duration_us, tid, 'X'});
+}
+
+void Registry::set_track_label(std::uint32_t tid, std::string label) {
+  if (!tracing()) return;
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  events_.push_back(TraceEvent{std::move(label), 0.0, 0.0, tid, 'M'});
+}
+
+double Registry::now_us() const {
+  const std::chrono::duration<double, std::micro> since =
+      std::chrono::steady_clock::now() - epoch_;
+  return since.count();
+}
+
+std::uint32_t Registry::current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, cells] : counters_)
+      snap.counters.push_back({name, cells->total()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, cell] : gauges_)
+      snap.gauges.push_back(
+          {name, cell->value.load(std::memory_order_relaxed)});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, cells] : histograms_) {
+      MetricsSnapshot::HistogramValue h;
+      h.name = name;
+      h.bounds = cells->bounds;
+      h.counts.assign(cells->buckets(), 0);
+      for (std::size_t stripe = 0; stripe < kStripes; ++stripe) {
+        for (std::size_t bucket = 0; bucket < cells->buckets(); ++bucket)
+          h.counts[bucket] +=
+              cells->bucket_counts[stripe * cells->buckets() + bucket]
+                  .value.load(std::memory_order_relaxed);
+        h.count +=
+            cells->observations[stripe].value.load(std::memory_order_relaxed);
+        h.sum += cells->sums[stripe].value.load(std::memory_order_relaxed);
+      }
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::size_t Registry::trace_event_count() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return events_.size();
+}
+
+void Registry::write_metrics_json(std::ostream& os,
+                                  const caft::BuildInfo& build) const {
+  const MetricsSnapshot snap = snapshot();
+  os << "{\n  \"schema\": \"caft-metrics/v1\",\n  \"build\": {\n"
+     << "    \"git_sha\": ";
+  write_json_string(os, build.git_sha);
+  os << ",\n    \"compiler\": ";
+  write_json_string(os, build.compiler);
+  os << ",\n    \"build_type\": ";
+  write_json_string(os, build.build_type);
+  os << "\n  },\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(os, snap.counters[i].name);
+    os << ": " << snap.counters[i].value;
+  }
+  os << (snap.counters.empty() ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(os, snap.gauges[i].name);
+    os << ": ";
+    write_json_double(os, snap.gauges[i].value);
+  }
+  os << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const MetricsSnapshot::HistogramValue& h = snap.histograms[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(os, h.name);
+    os << ": {\"bounds\": [";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j != 0) os << ", ";
+      write_json_double(os, h.bounds[j]);
+    }
+    os << "], \"counts\": [";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << h.counts[j];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": ";
+    write_json_double(os, h.sum);
+    os << "}";
+  }
+  os << (snap.histograms.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+void Registry::write_trace_json(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    events = events_;
+  }
+  // Stable order: metadata first, then events by (ts, tid, name).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.phase != b.phase) return a.phase == 'M';
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.name < b.name;
+                   });
+  os << "{\"traceEvents\": [";
+  char buf[96];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i == 0 ? "\n" : ",\n");
+    if (e.phase == 'M') {
+      os << "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+            "\"tid\": "
+         << e.tid << ", \"args\": {\"name\": ";
+      write_json_string(os, e.name);
+      os << "}}";
+    } else {
+      os << "  {\"ph\": \"X\", \"name\": ";
+      write_json_string(os, e.name);
+      std::snprintf(buf, sizeof(buf),
+                    ", \"pid\": 1, \"tid\": %" PRIu32
+                    ", \"ts\": %.3f, \"dur\": %.3f}",
+                    e.tid, e.ts_us, e.dur_us);
+      os << buf;
+    }
+  }
+  os << (events.empty() ? "]}\n" : "\n]}\n");
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace obs

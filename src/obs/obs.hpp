@@ -1,0 +1,341 @@
+/// \file obs/obs.hpp
+/// End-to-end observability: a metrics registry (named counters, gauges and
+/// fixed-bucket histograms over striped atomic storage), span tracing that
+/// emits Chrome trace-event JSON (loadable in Perfetto / about:tracing),
+/// and a `caft-metrics/v1` JSON snapshot writer.
+///
+/// The hard contract of this subsystem is that it is *provably inert*:
+/// nothing recorded here may ever feed back into a schedule, a replay, a
+/// campaign summary or any other deterministic result stream. Every
+/// consumer writes observability output to its own file or to stderr,
+/// never interleaved with report streams, and the golden / byte-identity
+/// ctests run a second time with instrumentation enabled to enforce it
+/// (cmake/campaign_golden.cmake, cmake/campaign_subprocess.cmake).
+///
+/// Cost model:
+///  - Disabled (the default): every hot-path operation — Counter::add,
+///    Gauge::set, Histogram::observe, Registry::span(const char*),
+///    ScopedTimer construction — is one relaxed atomic load plus a branch,
+///    performs zero heap allocations, and never reads a clock
+///    (tests/test_obs.cpp guards the zero-allocation property).
+///  - Enabled: counters and histograms stripe their storage across
+///    cache-line-sized cells indexed by a per-thread slot, so concurrent
+///    writers do not contend on one line; totals are exact (fetch_add).
+///    Trace events take one mutex-guarded vector append per *span*, which
+///    is fine at span granularity (phases, waves, worker blocks — never
+///    per replay).
+///
+/// All timestamps come from std::chrono::steady_clock (monotonic — wall
+/// clock adjustments can never produce negative spans), expressed in
+/// microseconds since the registry's construction, which is exactly the
+/// "ts" unit the Chrome trace-event format wants.
+///
+/// Handles (Counter, Gauge, Histogram) are cheap value types pointing into
+/// registry-owned storage; they stay valid for the registry's lifetime and
+/// a default-constructed handle is a no-op. Look handles up once, outside
+/// hot loops — `counter(name)` takes a lock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/build_info.hpp"
+
+namespace obs {
+
+class Registry;
+
+/// Stripe count of counter/histogram storage. 16 cache lines per counter
+/// is enough that 8-16 writer threads rarely share a line.
+inline constexpr std::size_t kStripes = 16;
+
+namespace detail {
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Storage of one named counter: kStripes padded cells, summed on read.
+struct CounterCells {
+  CounterCell cells[kStripes];
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const CounterCell& cell : cells)
+      sum += cell.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+};
+
+/// Storage of one named gauge (last-write-wins, not striped: gauges are
+/// set, not accumulated).
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+struct alignas(64) SumCell {
+  std::atomic<double> value{0.0};
+};
+
+/// Storage of one named histogram: per-stripe bucket counts plus striped
+/// observation count and sum. `bounds` are inclusive upper bounds of the
+/// first bounds.size() buckets; the last bucket is +inf (overflow).
+struct HistogramCells {
+  std::vector<double> bounds;              ///< immutable after creation
+  std::vector<CounterCell> bucket_counts;  ///< [stripe][bucket], flattened
+  CounterCell observations[kStripes];
+  SumCell sums[kStripes];
+
+  explicit HistogramCells(std::vector<double> upper_bounds)
+      : bounds(std::move(upper_bounds)),
+        bucket_counts(kStripes * (bounds.size() + 1)) {}
+
+  [[nodiscard]] std::size_t buckets() const { return bounds.size() + 1; }
+};
+
+/// The calling thread's stripe slot: a small round-robin id assigned on
+/// first use, stable for the thread's lifetime.
+[[nodiscard]] std::size_t stripe_index() noexcept;
+
+}  // namespace detail
+
+/// Monotonically increasing counter handle.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) noexcept;
+
+ private:
+  friend class Registry;
+  Counter(const std::atomic<bool>* enabled, detail::CounterCells* cells)
+      : enabled_(enabled), cells_(cells) {}
+  const std::atomic<bool>* enabled_ = nullptr;
+  detail::CounterCells* cells_ = nullptr;
+};
+
+/// Last-write-wins gauge handle.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) noexcept;
+
+ private:
+  friend class Registry;
+  Gauge(const std::atomic<bool>* enabled, detail::GaugeCell* cell)
+      : enabled_(enabled), cell_(cell) {}
+  const std::atomic<bool>* enabled_ = nullptr;
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(const std::atomic<bool>* enabled, detail::HistogramCells* cells)
+      : enabled_(enabled), cells_(cells) {}
+  const std::atomic<bool>* enabled_ = nullptr;
+  detail::HistogramCells* cells_ = nullptr;
+};
+
+/// RAII trace span: created via Registry::span, records one Chrome
+/// "complete" event (ph:"X") covering construction to finish()/destruction.
+/// Inert (and allocation-free for const char* names) when tracing is off.
+/// Move-only; moving transfers responsibility for recording the event.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      registry_ = other.registry_;
+      name_ = std::move(other.name_);
+      begin_us_ = other.begin_us_;
+      tid_ = other.tid_;
+      other.registry_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Records the event now (idempotent; the destructor then does nothing).
+  void finish() noexcept;
+
+ private:
+  friend class Registry;
+  Span(Registry* registry, std::string name, double begin_us,
+       std::uint32_t tid)
+      : registry_(registry),
+        name_(std::move(name)),
+        begin_us_(begin_us),
+        tid_(tid) {}
+  Registry* registry_ = nullptr;  ///< null = inert
+  std::string name_;
+  double begin_us_ = 0.0;
+  std::uint32_t tid_ = 0;
+};
+
+/// RAII phase timer: on destruction (or stop()) observes the elapsed
+/// seconds into the histogram `<name>.seconds` *and* records a trace span
+/// named `<name>`. One line per phase at the call site; inert and
+/// allocation-free when the registry is disabled.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  ScopedTimer(Registry& registry, const char* name);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Records histogram + span now (idempotent).
+  void stop() noexcept;
+
+ private:
+  Registry* registry_ = nullptr;  ///< null = inert
+  Histogram histogram_;
+  Span span_;
+  std::chrono::steady_clock::time_point begin_{};
+};
+
+/// Point-in-time copy of every metric, for programmatic inspection and the
+/// JSON writers. Entries are sorted by name (deterministic output).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;          ///< upper bounds (last bucket +inf)
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;             ///< total observations
+    double sum = 0.0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// The named counter's value, or 0 when absent (telemetry cross-checks).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  /// The named gauge's value, or 0.0 when absent.
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+};
+
+/// The metrics + tracing registry. One global() instance serves the whole
+/// process; local instances exist for tests. Thread-safe throughout.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Master switch: metrics recording (and, with set_tracing, spans).
+  /// Disabled registries make every handle operation a cheap no-op.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_release);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Span collection switch; effective only while enabled() too.
+  void set_tracing(bool on) {
+    tracing_.store(on, std::memory_order_release);
+  }
+  [[nodiscard]] bool tracing() const {
+    return enabled() && tracing_.load(std::memory_order_relaxed);
+  }
+
+  /// Find-or-create handles. Creation allocates storage once per name (the
+  /// storage lives as long as the registry, even while disabled, so a
+  /// handle created before set_enabled(true) records afterwards).
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  /// Default bounds: log-spaced seconds from 10µs to 100s.
+  [[nodiscard]] Histogram histogram(const std::string& name);
+  [[nodiscard]] Histogram histogram(const std::string& name,
+                                    std::vector<double> bounds);
+
+  /// A span on the current thread's trace track. The (const char*) form
+  /// allocates nothing when tracing is off; the two-part form builds
+  /// "prefix:detail" only when tracing is on.
+  [[nodiscard]] Span span(const char* name);
+  [[nodiscard]] Span span(const char* prefix, std::string_view detail);
+
+  /// Explicit complete event for callers that track their own begin time
+  /// and/or report on behalf of another track (e.g. the campaign
+  /// coordinator tagging per-worker-slot tracks). No-op when !tracing().
+  void complete_event(std::string name, double begin_us, double duration_us,
+                      std::uint32_t tid);
+  /// Names a trace track (Chrome "thread_name" metadata event).
+  void set_track_label(std::uint32_t tid, std::string label);
+
+  /// Microseconds since the registry's construction (steady_clock).
+  [[nodiscard]] double now_us() const;
+  /// Small stable id of the calling thread — the default span track.
+  [[nodiscard]] static std::uint32_t current_tid();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::size_t trace_event_count() const;
+
+  /// `caft-metrics/v1` JSON document: schema tag, build-provenance block,
+  /// then counters/gauges/histograms sorted by name.
+  void write_metrics_json(std::ostream& os,
+                          const caft::BuildInfo& build) const;
+  /// Chrome trace-event JSON (the object form: {"traceEvents": [...]}),
+  /// loadable in Perfetto / about:tracing.
+  void write_trace_json(std::ostream& os) const;
+
+  /// The process-wide registry (never destroyed). Disabled until a
+  /// consumer — e.g. campaign_cli --trace-out/--metrics-out — enables it.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  struct TraceEvent {
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::uint32_t tid = 0;
+    char phase = 'X';  ///< 'X' complete, 'M' metadata (track label)
+  };
+
+  [[nodiscard]] detail::CounterCells* counter_cells(const std::string& name);
+  [[nodiscard]] detail::GaugeCell* gauge_cell(const std::string& name);
+  [[nodiscard]] detail::HistogramCells* histogram_cells(
+      const std::string& name, std::vector<double> bounds);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> tracing_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex metrics_mutex_;  ///< guards the three name tables
+  std::vector<std::pair<std::string, std::unique_ptr<detail::CounterCells>>>
+      counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<detail::GaugeCell>>>
+      gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<detail::HistogramCells>>>
+      histograms_;
+
+  mutable std::mutex trace_mutex_;  ///< guards the event buffer
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace obs

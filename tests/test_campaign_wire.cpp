@@ -219,6 +219,42 @@ TEST(CampaignWire, PartialResultRoundTripsBitExactly) {
   EXPECT_EQ(back.telemetry.snapshots, partial.telemetry.snapshots);
 }
 
+TEST(CampaignWire, PartialTimingLineIsOptionalAndRoundTripsBitExactly) {
+  {  // absent on the wire -> absent after parsing (v1 workers stay foldable)
+    const CampaignPartialResult partial = sample_partial();
+    const std::string doc = to_text(partial);
+    EXPECT_EQ(doc.find("timing "), std::string::npos);
+    std::istringstream is(doc);
+    EXPECT_FALSE(read_campaign_partial(is).timing.present);
+  }
+  {  // present -> hexfloat round-trip is bit-exact
+    CampaignPartialResult partial = sample_partial();
+    partial.timing.present = true;
+    partial.timing.wall_seconds = 1.2345678901234567;
+    partial.timing.schedule_seconds = 0.1;  // inexact in binary
+    partial.timing.replay_seconds = 1.1345678901234567;
+    const std::string doc = to_text(partial);
+    EXPECT_NE(doc.find("timing "), std::string::npos);
+    std::istringstream is(doc);
+    const CampaignPartialResult back = read_campaign_partial(is);
+    ASSERT_TRUE(back.timing.present);
+    EXPECT_EQ(back.timing.wall_seconds, partial.timing.wall_seconds);
+    EXPECT_EQ(back.timing.schedule_seconds, partial.timing.schedule_seconds);
+    EXPECT_EQ(back.timing.replay_seconds, partial.timing.replay_seconds);
+  }
+  {  // a malformed timing line is rejected, not defaulted
+    CampaignPartialResult partial = sample_partial();
+    partial.timing.present = true;
+    partial.timing.wall_seconds = 2.0;
+    std::string doc = to_text(partial);
+    const std::size_t at = doc.find("timing ");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, doc.find('\n', at) - at, "timing 0x1p+1 zz");
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+}
+
 TEST(CampaignWire, PartialRejectsInconsistentDocuments) {
   {  // record list shorter than the block
     CampaignPartialResult partial = sample_partial();

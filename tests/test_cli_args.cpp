@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -74,6 +77,47 @@ TEST(CliArgs, GetChoiceValidatesAgainstSet) {
     EXPECT_NE(what.find("'fast'"), std::string::npos);
     EXPECT_NE(what.find("incremental|naive"), std::string::npos);
   }
+}
+
+TEST(CliArgs, CheckWritablePathAcceptsAndPreservesFiles) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "caft_cli_args_probe.txt")
+          .string();
+  std::remove(path.c_str());
+
+  // A creatable path passes; the probe must not leave partial state that
+  // confuses the real writer later (an empty file is fine — it is what the
+  // writer would produce anyway).
+  CliArgs::check_writable_path("trace-out", path);
+
+  // An *existing* file must survive the probe byte-identically: validation
+  // runs before the campaign, and aborting later for an unrelated reason
+  // must not have truncated a previous run's artifact.
+  { std::ofstream out(path, std::ios::trunc); out << "previous artifact"; }
+  CliArgs::check_writable_path("trace-out", path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "previous artifact");
+  std::remove(path.c_str());
+}
+
+TEST(CliArgs, CheckWritablePathRejectsBadTargets) {
+  // A directory that does not exist: fail now, not after the campaign.
+  try {
+    CliArgs::check_writable_path("metrics-out",
+                                 "/nonexistent-dir-xyzzy/metrics.json");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--metrics-out"), std::string::npos);
+    EXPECT_NE(what.find("/nonexistent-dir-xyzzy/metrics.json"),
+              std::string::npos);
+  }
+  // A bare flag parses as the value "true": that is a missing path, not a
+  // file named "true" in the working directory.
+  EXPECT_THROW(CliArgs::check_writable_path("trace-out", "true"), CheckError);
+  EXPECT_THROW(CliArgs::check_writable_path("trace-out", ""), CheckError);
 }
 
 }  // namespace

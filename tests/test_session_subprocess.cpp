@@ -212,6 +212,51 @@ TEST(SessionSubprocess, ByteIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(SessionSubprocess, TelemetryParityWithInProcess) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(310, 8, 1.0, 1);
+  CampaignSpec spec = lifetime_spec(400);
+  // Dead-from-t0 masks are the memoisable scenario shape (8 masks for
+  // k = 1), so the memo telemetry the parity below compares is non-trivial.
+  spec.sampler = SamplerSpec::uniform_k(1);
+
+  const Session in_process{};
+  const CampaignRun reference = in_process.evaluate(instance, spec).runs[0];
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(cli, 2);
+  const CampaignRun subprocess =
+      Session(options).evaluate(instance, spec).runs[0];
+
+  // Both backends report the same telemetry story (PR 6): every field is
+  // populated with identical semantics, and the deterministic fields agree.
+  const caft::CampaignTelemetry& a = reference.telemetry;
+  const caft::CampaignTelemetry& b = subprocess.telemetry;
+  EXPECT_EQ(a.replays, spec.replays);
+  EXPECT_EQ(b.replays, spec.replays);
+  // Memo *lookups* are a pure function of the scenario stream (one per
+  // replay that is not short-circuited), so they must match bit-exactly
+  // across backends; *hits* depend on memo state and block partitioning,
+  // so only liveness is asserted.
+  EXPECT_EQ(b.memo_lookups, a.memo_lookups);
+  EXPECT_GT(a.memo_lookups, 0u);
+  EXPECT_GT(a.memo_hits, 0u);
+  EXPECT_GT(b.memo_hits, 0u);
+  // Workers run the same engine configuration, so the folded snapshot
+  // count is per-worker-identical; the coordinator reports the maximum.
+  EXPECT_EQ(b.snapshots, a.snapshots);
+  EXPECT_GT(a.blocks, 0u);
+  EXPECT_GT(b.blocks, 0u);
+  EXPECT_GE(a.workers, 1u);
+  EXPECT_EQ(b.workers, 2u);
+  EXPECT_EQ(a.worker_retries, 0u);
+  EXPECT_EQ(b.worker_retries, 0u);
+  EXPECT_GT(a.wall_seconds, 0.0);
+  EXPECT_GT(b.wall_seconds, 0.0);
+}
+
 TEST(SessionSubprocess, EvaluateBatchMatchesInProcess) {
   const std::string cli = cli_path();
   if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "common/build_info.hpp"
 #include "common/cli_args.hpp"
 #include "dag/generators.hpp"
 #include "exp/config.hpp"
@@ -242,6 +243,10 @@ int cmd_algos() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("%s\n", caft::version_line().c_str());
+    return 0;
+  }
   const Args args(argc, argv, 2);
   try {
     if (command == "generate") return cmd_generate(args);

@@ -62,8 +62,25 @@
 /// order (io/campaign_wire.hpp) on stdin, replay the requested scenario
 /// block, emit the partial result on stdout. Spawned by the coordinator;
 /// not for interactive use.
+///
+/// Observability (all inert — reports are byte-identical with or without):
+///   --trace-out FILE    Chrome trace-event JSON of the run (scheduler
+///                       phases, campaign waves, per-worker subprocess
+///                       spans); open in Perfetto or about:tracing.
+///   --metrics-out FILE  caft-metrics/v1 JSON snapshot (counters, gauges,
+///                       histograms, build provenance).
+///   --progress          live heartbeat on stderr: replays/s, Wilson CI
+///                       width, memo hit rate, ETA. Rejected in --worker
+///                       mode (a worker's stderr belongs to its failure
+///                       diagnostics).
+///   --version           print build provenance (git SHA, compiler, build
+///                       type) and exit.
+/// Both files are validated writable up front and written on completion;
+/// the confirmation lines go to stderr so stdout stays byte-stable.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -71,8 +88,10 @@
 
 #include "api/api.hpp"
 #include "campaign/stats.hpp"
+#include "common/build_info.hpp"
 #include "common/cli_args.hpp"
 #include "dag/generators.hpp"
+#include "obs/obs.hpp"
 #include "platform/cost_synthesis.hpp"
 
 namespace {
@@ -133,6 +152,96 @@ std::vector<std::string> parse_algos(const std::string& list) {
   return names;
 }
 
+/// Validates the observability flags up front (so a long campaign cannot
+/// fail at the final write) and arms the global registry. Purely additive:
+/// with neither flag the registry stays disabled and every instrumentation
+/// point in the library is a relaxed load + branch.
+void arm_observability(const Args& args) {
+  if (args.has("trace-out"))
+    Args::check_writable_path("trace-out", args.get("trace-out"));
+  if (args.has("metrics-out"))
+    Args::check_writable_path("metrics-out", args.get("metrics-out"));
+  obs::Registry& registry = obs::Registry::global();
+  if (args.has("trace-out") || args.has("metrics-out"))
+    registry.set_enabled(true);
+  if (args.has("trace-out")) registry.set_tracing(true);
+}
+
+/// Writes --trace-out / --metrics-out. Confirmations go to *stderr*: stdout
+/// carries the deterministic report (or, in worker mode, the wire partial)
+/// and must stay byte-identical with observability on.
+void write_observability_outputs(const Args& args) {
+  obs::Registry& registry = obs::Registry::global();
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out");
+    std::ofstream out(path, std::ios::trunc);
+    registry.write_trace_json(out);
+    CAFT_CHECK_MSG(out.good(), "--trace-out: failed writing '" + path + "'");
+    std::fprintf(stderr, "trace written to %s (%zu events)\n", path.c_str(),
+                 registry.trace_event_count());
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out");
+    std::ofstream out(path, std::ios::trunc);
+    registry.write_metrics_json(out, caft::build_info());
+    CAFT_CHECK_MSG(out.good(),
+                   "--metrics-out: failed writing '" + path + "'");
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  }
+}
+
+/// The --progress stderr heartbeat: throttled to ~5 lines/s, always prints
+/// the campaign's final state. Reads CampaignProgress only — it cannot
+/// steer the campaign.
+class ProgressHeartbeat {
+ public:
+  void operator()(const caft::CampaignProgress& progress) {
+    using clock = std::chrono::steady_clock;
+    const clock::time_point now = clock::now();
+    if (progress.replays_done <= last_done_) {
+      // A smaller (or restarted) count means a new campaign began —
+      // per-algorithm rates, not a blended one.
+      start_ = now;
+      last_print_ = clock::time_point{};
+    }
+    last_done_ = progress.replays_done;
+    const bool final = progress.replays_done >= progress.replays_total;
+    if (!final && now - last_print_ < std::chrono::milliseconds(200)) return;
+    last_print_ = now;
+
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double rate =
+        elapsed > 0.0
+            ? static_cast<double>(progress.replays_done) / elapsed
+            : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(progress.replays_total -
+                                         progress.replays_done) /
+                         rate
+                   : 0.0;
+    const caft::WilsonInterval ci =
+        caft::wilson_interval(progress.successes, progress.replays_done);
+    const double memo_pct =
+        progress.memo_lookups > 0
+            ? 100.0 * static_cast<double>(progress.memo_hits) /
+                  static_cast<double>(progress.memo_lookups)
+            : 0.0;
+    std::fprintf(stderr,
+                 "progress: %zu/%zu (%.1f%%) | %.0f replays/s | "
+                 "CI width %.4f | memo %.1f%% | ETA %.1fs\n",
+                 progress.replays_done, progress.replays_total,
+                 100.0 * static_cast<double>(progress.replays_done) /
+                     static_cast<double>(progress.replays_total),
+                 rate, ci.high - ci.low, memo_pct, eta);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_print_{};
+  std::size_t last_done_ = static_cast<std::size_t>(-1);
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,12 +251,25 @@ int main(int argc, char** argv) {
                          "and examples\n");
     return 2;
   }
+  if (args.has("version")) {
+    std::printf("%s\n", caft::version_line().c_str());
+    return 0;
+  }
   // Worker mode: one wire-protocol exchange on stdin/stdout, nothing else
   // on stdout (the coordinator parses it). Errors go to stderr + exit 1,
   // which the coordinator treats as a retryable worker failure.
   if (args.has("worker")) {
     try {
+      // A worker's stderr is its failure diagnostics channel — refuse the
+      // heartbeat rather than interleave the two. Traces/metrics are fine:
+      // they land in their own files (one per worker invocation).
+      CAFT_CHECK_MSG(!args.has("progress"),
+                     "--progress conflicts with --worker (the coordinator "
+                     "owns progress reporting; worker stderr carries "
+                     "failure diagnostics)");
+      arm_observability(args);
       ftsched::run_campaign_worker(std::cin, std::cout);
+      write_observability_outputs(args);
       return 0;
     } catch (const std::exception& error) {
       std::fprintf(stderr, "worker error: %s\n", error.what());
@@ -155,6 +277,7 @@ int main(int argc, char** argv) {
     }
   }
   try {
+    arm_observability(args);
     // --- instance: load from file or generate the paper's random protocol.
     std::unique_ptr<ftsched::Instance> instance;
     if (args.has("in")) {
@@ -198,6 +321,7 @@ int main(int argc, char** argv) {
       session_options.exec.worker_threads =
           args.get_size("worker-threads", 1);
     }
+    if (args.has("progress")) session_options.on_progress = ProgressHeartbeat();
     const ftsched::Session session(session_options);
 
     // --- spec: algorithms, sampler distribution, replay/seed budget.
@@ -280,6 +404,10 @@ int main(int argc, char** argv) {
       }
       std::printf("JSON written to %s\n", path.c_str());
     }
+
+    // Before the Proposition check so the artifacts exist even when a
+    // violated run exits 1 — that is exactly the run worth inspecting.
+    write_observability_outputs(args);
 
     // Proposition 5.2 check: every within-eps replay must have survived.
     // (HEFT, when campaigned, schedules at ε=0, so its within-eps replays
