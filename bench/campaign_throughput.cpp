@@ -38,8 +38,17 @@
 /// readable JSON document (schema "caft-bench-campaign/v1", documented in
 /// README "Campaign bench artifact") — CI uploads it per commit so the
 /// performance trajectory accumulates.
+///
+/// When a worker binary is named (--subprocess-cli PATH, or the
+/// CAFT_CAMPAIGN_CLI environment variable the subprocess tests already
+/// use), a fourth sweep runs the uniform-k workload through the
+/// subprocess backend's streaming coordinator at 1/2/4 workers: its cells
+/// carry `fold_window_peak` — the coordinator's peak count of buffered
+/// blocks — so the bench trajectory tracks coordinator memory as well as
+/// throughput, and its summaries must stay byte-identical to in-process.
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -106,6 +115,10 @@ struct BenchCell {
   double seconds = 0.0;
   double replays_per_sec = 0.0;
   double memo_hit_rate = 0.0;
+  /// Streaming-coordinator memory: peak blocks buffered past the fold
+  /// frontier (subprocess cells only; 0 for in-process cells, whose wave
+  /// buffer is bounded by SessionOptions::block by construction).
+  std::size_t fold_window_peak = 0;
 };
 
 /// Writes the BENCH_campaign.json artifact (schema caft-bench-campaign/v1;
@@ -133,7 +146,8 @@ bool write_bench_json(const std::string& path, std::size_t replays,
         << cell.engine << "\", \"memo\": \"" << cell.memo
         << "\", \"threads\": " << cell.threads << ", \"seconds\": "
         << cell.seconds << ", \"replays_per_sec\": " << cell.replays_per_sec
-        << ", \"memo_hit_rate\": " << cell.memo_hit_rate << "}"
+        << ", \"memo_hit_rate\": " << cell.memo_hit_rate
+        << ", \"fold_window_peak\": " << cell.fold_window_peak << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
@@ -354,6 +368,59 @@ int run_bench(int argc, char** argv) {
       table.print(std::cout, 3);
       std::cout << "\n";
     }
+  }
+
+  // --- Subprocess streaming coordinator: uniform-k fanned out to worker
+  // processes, tracking the coordinator's peak buffered blocks
+  // (fold_window_peak) alongside throughput. Only runs when a worker
+  // binary is named — the bench cannot assume campaign_cli's location —
+  // and holds the subprocess summaries to the same byte-identity gate as
+  // every other exact cell (folded into `deterministic`).
+  std::string worker_cli = args.get("subprocess-cli");
+  if (worker_cli.empty())
+    if (const char* env_cli = std::getenv("CAFT_CAMPAIGN_CLI"))
+      worker_cli = env_cli;
+  if (!worker_cli.empty()) {
+    ftsched::CampaignSpec spec;
+    spec.sampler = ftsched::SamplerSpec::uniform_k(2);
+    spec.replays = replays;
+
+    ftsched::SessionOptions reference_options;
+    reference_options.threads = 1;
+    const CampaignSummary reference =
+        ftsched::Session(reference_options)
+            .evaluate_schedule(instance, schedule, spec)
+            .summary;
+
+    Table table("subprocess streaming coordinator — uniform-k",
+                {"workers", "seconds", "replays_per_sec",
+                 "fold_window_peak"});
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      ftsched::SessionOptions session_options;
+      session_options.exec =
+          ftsched::ExecutionPolicy::subprocess(worker_cli, workers);
+      const ftsched::Session session(session_options);
+      const auto start = Clock::now();
+      const ftsched::CampaignRun run =
+          session.evaluate_schedule(instance, schedule, spec);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!summaries_identical(run.summary, reference)) {
+        deterministic = false;
+        std::cerr << "MISMATCH: subprocess summary at " << workers
+                  << " worker(s) diverged from the in-process summary\n";
+      }
+      table.add_row({static_cast<double>(workers), seconds,
+                     static_cast<double>(replays) / seconds,
+                     static_cast<double>(run.telemetry.fold_window_peak)});
+      cells.push_back({"uniform-k", "subprocess", "shared", workers, seconds,
+                       static_cast<double>(replays) / seconds,
+                       hit_rate(run.telemetry),
+                       run.telemetry.fold_window_peak});
+    }
+    table.print(std::cout, 3);
+    std::cout << "\n";
   }
 
   std::cout << "summaries bit-for-bit identical across engines, memo "

@@ -11,6 +11,13 @@
 # --trace-out/--metrics-out/--progress; the JSON summaries must STILL be
 # byte-identical to the uninstrumented single-process run (observability
 # inertness across the process boundary).
+#
+# A second leg replays the same identity check through the *streaming*
+# coordinator under memory pressure: --block-replays 25 splits the 300
+# replays into 12 blocks and --reorder-window 2 forces the fold to run
+# with at most two blocks buffered, so out-of-order completions must be
+# held back and folded in canonical order — the summary must still match
+# the single-process run byte for byte.
 if(NOT CLI OR NOT WORK_DIR)
   message(FATAL_ERROR "campaign_subprocess.cmake needs -DCLI and -DWORK_DIR")
 endif()
@@ -61,6 +68,35 @@ foreach(sampler_args
         "determinism contract is broken")
     endif()
   endforeach()
+
+  # Streaming-coordinator leg: small blocks + a tight reorder window, so
+  # the O(blocks-in-flight) fold path (not the window-never-fills happy
+  # path) is what produces the summary.
+  foreach(workers 2 4)
+    execute_process(
+      COMMAND ${CLI} ${common_args} ${OBS_ARGS}
+              --exec subprocess --workers ${workers}
+              --block-replays 25 --reorder-window 2 --json stream${workers}
+      OUTPUT_QUIET
+      RESULT_VARIABLE stream_rc
+      WORKING_DIRECTORY ${WORK_DIR})
+    if(NOT stream_rc EQUAL 0)
+      message(FATAL_ERROR
+        "campaign_cli (streaming fold, --workers ${workers} "
+        "--block-replays 25 --reorder-window 2) exited with ${stream_rc}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/single_campaign.json
+              ${WORK_DIR}/stream${workers}_campaign.json
+      RESULT_VARIABLE stream_diff_rc)
+    if(NOT stream_diff_rc EQUAL 0)
+      message(FATAL_ERROR
+        "streaming-fold campaign summary at ${workers} worker(s) with a "
+        "2-block reorder window differs from the single-process summary "
+        "(${sampler_args}) — the canonical-order fold is broken")
+    endif()
+  endforeach()
 endforeach()
 
 if(OBS)
@@ -74,7 +110,9 @@ if(OBS)
   endif()
   message(STATUS
     "subprocess campaign summaries identical at 1, 2 and 4 workers "
-    "with observability on")
+    "(incl. streaming fold, reorder window 2) with observability on")
 else()
-  message(STATUS "subprocess campaign summaries identical at 1, 2 and 4 workers")
+  message(STATUS
+    "subprocess campaign summaries identical at 1, 2 and 4 workers "
+    "(incl. streaming fold, reorder window 2)")
 endif()

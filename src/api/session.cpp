@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <istream>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -82,6 +84,20 @@ std::unique_ptr<caft::ScenarioSampler> SamplerSpec::build(
   throw caft::CheckError("unhandled sampler kind");
 }
 
+double CampaignSpec::theta_bucket_width(double schedule_horizon) const {
+  if (theta_buckets == 0) return 0.0;
+  // A zero or non-finite horizon (empty instance, fully-dead schedule)
+  // admits no bucket width: horizon / buckets would be 0, inf or NaN, and a
+  // 0-width bucket silently degenerates to exact replays while inf/NaN
+  // poison every quantized crash time. Refuse loudly; the exact path is
+  // the meaningful option for such schedules.
+  CAFT_CHECK_MSG(
+      std::isfinite(schedule_horizon) && schedule_horizon > 0.0,
+      "theta buckets are underivable for a zero or non-finite schedule "
+      "horizon — run such schedules exact (CampaignSpec::exact / --exact)");
+  return schedule_horizon / static_cast<double>(theta_buckets);
+}
+
 const CampaignRun* CampaignReport::find(const std::string& algorithm) const {
   for (const CampaignRun& run : runs)
     if (run.algorithm == algorithm) return &run;
@@ -113,7 +129,11 @@ caft::CampaignOptions Session::campaign_options(
   campaign.memo_shards = options_.memo_shards;
   campaign.adaptive_snapshots = options_.adaptive_snapshots;
   campaign.exact = spec.exact;
-  campaign.theta_bucket_width = spec.theta_bucket_width(schedule_horizon);
+  // An exact campaign never consults the width, so don't derive it —
+  // deriving would (correctly) throw on the degenerate horizons the exact
+  // path exists to serve.
+  campaign.theta_bucket_width =
+      spec.exact ? 0.0 : spec.theta_bucket_width(schedule_horizon);
   campaign.on_progress = options_.on_progress;
   return campaign;
 }
@@ -122,6 +142,18 @@ CampaignRun Session::evaluate_schedule(const Instance& instance,
                                        ScheduleResult result,
                                        const CampaignSpec& spec) const {
   CAFT_CHECK_MSG(spec.replays > 0, "campaign replays must be positive");
+  // Early stopping is a coordinator-side decision: only the subprocess
+  // backend implements it. Reject elsewhere instead of silently running
+  // the full replay budget the caller asked to cut short.
+  if (spec.target_ci_width != 0.0) {
+    CAFT_CHECK_MSG(std::isfinite(spec.target_ci_width) &&
+                       spec.target_ci_width > 0.0 &&
+                       spec.target_ci_width < 1.0,
+                   "target CI width must be in (0, 1)");
+    CAFT_CHECK_MSG(options_.exec.mode == ExecutionPolicy::Mode::kSubprocess,
+                   "target_ci_width early stopping requires the subprocess "
+                   "execution backend");
+  }
   // θ-quantization only exists on the incremental engine's shared memo;
   // reject the inert combinations rather than silently running an exact
   // campaign the caller believes is bucketed (spec.exact is the intentional
@@ -144,7 +176,7 @@ CampaignRun Session::evaluate_schedule(const Instance& instance,
   const auto sampler = spec.sampler.build(instance.proc_count());
   const caft::CampaignOptions campaign =
       campaign_options(spec, run.result.schedule.horizon());
-  run.theta_bucket_width = spec.exact ? 0.0 : campaign.theta_bucket_width;
+  run.theta_bucket_width = campaign.theta_bucket_width;
   run.summary = run_campaign(run.result.schedule, instance.costs(), *sampler,
                              campaign, &run.telemetry);
   return run;
@@ -207,7 +239,7 @@ CampaignRun Session::evaluate_schedule_subprocess(
 
   const double horizon = run.result.schedule.horizon();
   const caft::CampaignOptions campaign = campaign_options(spec, horizon);
-  run.theta_bucket_width = spec.exact ? 0.0 : campaign.theta_bucket_width;
+  run.theta_bucket_width = campaign.theta_bucket_width;
 
   // Work-order template shared by every block.
   CampaignWorkOrder order;
@@ -243,42 +275,134 @@ CampaignRun Session::evaluate_schedule_subprocess(
   for (std::size_t first = 0; first < spec.replays; first += chunk)
     blocks.push_back({first, std::min(chunk, spec.replays - first)});
 
-  std::vector<CampaignPartialResult> partials(blocks.size());
-  std::atomic<std::size_t> next{0};
+  // Streaming fold state (PR 7). Completed partials enter a reorder window
+  // keyed by block index; whenever the window holds the fold frontier
+  // (next_to_fold), that block folds into the single accumulator and is
+  // freed. Claims are gated on the same frontier — a dispatcher may only
+  // claim block b while b < next_to_fold + window — so at any instant the
+  // blocks past the frontier (in a worker, in the window, or both) number
+  // at most `window`: coordinator memory is O(window × block), never
+  // O(replays). Deadlock-free because claims are monotone and a claimed
+  // block either folds (advancing the frontier and waking waiters) or
+  // fails the campaign (also waking waiters): the frontier block is always
+  // claimed and always progressing.
+  //
+  // The fold itself is byte-identical to the buffered coordinator and to
+  // an in-process run by construction: records still fold in canonical
+  // scenario order, only *when* each block folds changed.
+  const std::size_t window =
+      exec.reorder_window > 0
+          ? exec.reorder_window
+          : std::max<std::size_t>(2 * exec.n_workers, 4);
+  const auto sampler = spec.sampler.build(instance.proc_count());
+  caft::CampaignAccumulator accumulator(run.result.schedule.eps(),
+                                        spec.quantiles);
+  accumulator.set_sampler_name(sampler->name());
+  run.telemetry = {};
+
+  std::mutex fold_mutex;  ///< guards everything in this block
+  std::condition_variable fold_cv;
+  std::map<std::size_t, CampaignPartialResult> reorder;
+  std::size_t next_to_fold = 0;   ///< first block not yet folded
+  std::size_t next_to_claim = 0;  ///< first block not yet claimed
+  std::size_t window_peak = 0;    ///< most blocks `reorder` ever held
+  std::size_t blocks_buffered = 0;  ///< completions that had to wait
+  std::size_t folded_replays = 0;
+  std::size_t folded_successes = 0;
+  double worker_replay_seconds = 0.0;
+  bool stop = false;  ///< early stop: target CI width reached
   std::atomic<bool> failed{false};
-  std::mutex error_mutex;
   std::string error;
 
   // Observability is strictly write-only: the registry is disabled unless a
   // consumer turned it on, spans/counters never steer dispatch, and the
-  // progress callback fires under a mutex from dispatcher threads with
-  // monotonic completed-replay counts (completion order, not canonical
-  // order — the fold below is what stays canonical).
+  // progress callback fires under the fold mutex with canonical-prefix
+  // counts (monotone by construction).
   obs::Registry& registry = obs::Registry::global();
   obs::Span coordinator_span = registry.span("campaign.subprocess", order.algorithm);
+  obs::Span fold_span = registry.span("campaign.fold");
   obs::Counter retries_counter = registry.counter("campaign.worker.retries");
   obs::Histogram block_seconds =
       registry.histogram("campaign.worker.block.seconds");
   const std::chrono::steady_clock::time_point campaign_begin =
       std::chrono::steady_clock::now();
   std::atomic<std::size_t> retries_total{0};
-  std::mutex progress_mutex;
-  std::size_t progress_done = 0;
-  std::size_t progress_successes = 0;
-  std::uint64_t progress_lookups = 0;
-  std::uint64_t progress_hits = 0;
+
+  // Claim the next block index, or size() when the dispatcher should exit
+  // (campaign failed, early stop, or no blocks left). Blocks until the
+  // claim fits the reorder window.
+  const auto claim = [&]() -> std::size_t {
+    std::unique_lock<std::mutex> lock(fold_mutex);
+    fold_cv.wait(lock, [&] {
+      return failed.load() || stop || next_to_claim >= blocks.size() ||
+             next_to_claim < next_to_fold + window;
+    });
+    if (failed.load() || stop || next_to_claim >= blocks.size())
+      return blocks.size();
+    return next_to_claim++;
+  };
+
+  // Hand a completed block to the reorder window and drain the fold
+  // frontier. Folding under the mutex is deliberate: the accumulator is a
+  // strictly sequential structure, and a fold step is microseconds next to
+  // the subprocess replay that produced the block.
+  const auto complete = [&](std::size_t b, CampaignPartialResult partial) {
+    const std::lock_guard<std::mutex> lock(fold_mutex);
+    if (b != next_to_fold) ++blocks_buffered;
+    reorder.emplace(b, std::move(partial));
+    window_peak = std::max(window_peak, reorder.size());
+    bool advanced = false;
+    for (auto it = reorder.find(next_to_fold); it != reorder.end();
+         it = reorder.find(next_to_fold)) {
+      const CampaignPartialResult& ready = it->second;
+      for (const caft::ReplayRecord& record : ready.records)
+        caft::fold_replay_record(accumulator, record);
+      folded_replays += ready.count;
+      folded_successes += ready.successes;
+      // Telemetry sums across workers (snapshots are per-engine: max —
+      // every worker builds the same engine).
+      run.telemetry.memo_lookups += ready.telemetry.memo_lookups;
+      run.telemetry.memo_hits += ready.telemetry.memo_hits;
+      run.telemetry.memo_evictions += ready.telemetry.memo_evictions;
+      run.telemetry.memo_entries += ready.telemetry.memo_entries;
+      run.telemetry.snapshots =
+          std::max(run.telemetry.snapshots, ready.telemetry.snapshots);
+      if (ready.timing.present)
+        worker_replay_seconds += ready.timing.replay_seconds;
+      reorder.erase(it);
+      ++next_to_fold;
+      advanced = true;
+    }
+    if (!advanced) return;
+    const caft::WilsonInterval ci =
+        caft::wilson_interval(folded_successes, folded_replays);
+    if (spec.target_ci_width > 0.0 && !stop && folded_replays > 0 &&
+        ci.high - ci.low <= spec.target_ci_width)
+      stop = true;  // already-claimed blocks still finish and fold
+    if (options_.on_progress) {
+      caft::CampaignProgress progress;
+      progress.replays_done = folded_replays;
+      progress.replays_total = spec.replays;
+      progress.successes = folded_successes;
+      progress.memo_lookups = run.telemetry.memo_lookups;
+      progress.memo_hits = run.telemetry.memo_hits;
+      progress.ci_width = ci.high - ci.low;
+      options_.on_progress(progress);
+    }
+    fold_cv.notify_all();  // frontier moved: gated claims may proceed
+  };
 
   // One dispatcher thread per worker slot: claim a block, spawn a worker
-  // process for it, retry on any failure (crash, nonzero exit, garbage or
-  // truncated output, wrong block echoed back), give up after the retry
-  // budget and fail the whole campaign loudly.
+  // process for it, stream its stdout into an incremental parser, retry on
+  // any failure (crash, nonzero exit, garbage or truncated output, wrong
+  // block echoed back), give up after the retry budget and fail the whole
+  // campaign loudly.
   const auto dispatch = [&](std::size_t slot) {
     // One trace track per worker slot: every spawn/retry span of this slot
     // lands on it, so Perfetto shows the pool's occupancy directly.
     const std::uint32_t track = 100 + static_cast<std::uint32_t>(slot);
     registry.set_track_label(track, "worker-slot-" + std::to_string(slot));
-    for (std::size_t b = next.fetch_add(1);
-         b < blocks.size() && !failed.load(); b = next.fetch_add(1)) {
+    for (std::size_t b = claim(); b < blocks.size(); b = claim()) {
       CampaignWorkOrder block_order = order;
       block_order.first = blocks[b].first;
       block_order.count = blocks[b].count;
@@ -299,8 +423,16 @@ CampaignRun Session::evaluate_schedule_subprocess(
         const double attempt_begin_us = registry.now_us();
         const std::chrono::steady_clock::time_point attempt_begin =
             std::chrono::steady_clock::now();
+        // Worker stdout streams into the incremental reader as it arrives:
+        // the coordinator never holds a block's full wire text next to its
+        // parsed records (the reader latches parse errors; take() below
+        // throws them, after the child is reaped).
+        CampaignPartialReader reader;
         const caft::SubprocessResult child = caft::run_subprocess(
-            {exec.worker_command, "--worker"}, doc.str());
+            {exec.worker_command, "--worker"}, doc.str(),
+            [&reader](const char* data, std::size_t size) {
+              reader.feed(data, size);
+            });
         if (!child.ok()) {
           last_failure = child.describe_failure();
           if (registry.tracing())
@@ -312,15 +444,14 @@ CampaignRun Session::evaluate_schedule_subprocess(
           continue;
         }
         try {
-          std::istringstream out(child.out);
-          CampaignPartialResult partial = read_campaign_partial(out);
+          CampaignPartialResult partial = reader.take();
           CAFT_CHECK_MSG(partial.algorithm == block_order.algorithm,
                          "worker answered for algorithm '" +
                              partial.algorithm + "'");
           CAFT_CHECK_MSG(partial.first == block_order.first &&
                              partial.count == block_order.count,
                          "worker answered the wrong scenario block");
-          partials[b] = std::move(partial);
+          complete(b, std::move(partial));
           done = true;
         } catch (const std::exception& parse_error) {
           last_failure = parse_error.what();
@@ -333,26 +464,10 @@ CampaignRun Session::evaluate_schedule_subprocess(
                   std::to_string(blocks[b].first) + "," +
                   std::to_string(blocks[b].count) + ")",
               attempt_begin_us, registry.now_us() - attempt_begin_us, track);
-        if (done) {
-          block_seconds.observe(attempt_elapsed.count());
-          if (options_.on_progress) {
-            const std::lock_guard<std::mutex> lock(progress_mutex);
-            progress_done += partials[b].count;
-            progress_successes += partials[b].successes;
-            progress_lookups += partials[b].telemetry.memo_lookups;
-            progress_hits += partials[b].telemetry.memo_hits;
-            caft::CampaignProgress progress;
-            progress.replays_done = progress_done;
-            progress.replays_total = spec.replays;
-            progress.successes = progress_successes;
-            progress.memo_lookups = progress_lookups;
-            progress.memo_hits = progress_hits;
-            options_.on_progress(progress);
-          }
-        }
+        if (done) block_seconds.observe(attempt_elapsed.count());
       }
       if (!done) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const std::lock_guard<std::mutex> lock(fold_mutex);
         if (error.empty())
           error = "campaign worker failed on scenario block [" +
                   std::to_string(blocks[b].first) + ", " +
@@ -360,6 +475,7 @@ CampaignRun Session::evaluate_schedule_subprocess(
                   ") after " + std::to_string(exec.max_retries + 1) +
                   " attempts: " + last_failure;
         failed.store(true);
+        fold_cv.notify_all();  // wake window-gated claimers to exit
       }
     }
   };
@@ -374,30 +490,12 @@ CampaignRun Session::evaluate_schedule_subprocess(
     for (std::thread& thread : pool) thread.join();
   }
   if (failed.load()) throw caft::CheckError(error);
-
-  // Fold every block's records in canonical scenario order — the exact
-  // fold run_campaign performs in process, so the summary is byte-identical
-  // by construction. Telemetry is summed across worker processes (snapshots
-  // are per-engine, so take the max — each worker builds the same engine).
-  obs::Span fold_span = registry.span("campaign.fold");
-  const auto sampler = spec.sampler.build(instance.proc_count());
-  caft::CampaignAccumulator accumulator(run.result.schedule.eps(),
-                                        spec.quantiles);
-  accumulator.set_sampler_name(sampler->name());
-  run.telemetry = {};
-  double worker_replay_seconds = 0.0;
-  for (const CampaignPartialResult& partial : partials) {
-    for (const caft::ReplayRecord& record : partial.records)
-      caft::fold_replay_record(accumulator, record);
-    run.telemetry.memo_lookups += partial.telemetry.memo_lookups;
-    run.telemetry.memo_hits += partial.telemetry.memo_hits;
-    run.telemetry.memo_evictions += partial.telemetry.memo_evictions;
-    run.telemetry.memo_entries += partial.telemetry.memo_entries;
-    run.telemetry.snapshots =
-        std::max(run.telemetry.snapshots, partial.telemetry.snapshots);
-    if (partial.timing.present)
-      worker_replay_seconds += partial.timing.replay_seconds;
-  }
+  // Every claimed block folded: claims are monotone, so the folded set is
+  // the contiguous canonical prefix [0, next_to_claim) — the invariant
+  // that makes an early-stopped summary a truncated-campaign summary, not
+  // a subsampled one.
+  CAFT_CHECK_MSG(next_to_fold == next_to_claim && reorder.empty(),
+                 "streaming fold frontier did not drain");
   run.summary = accumulator.summary();
   fold_span.finish();
 
@@ -405,11 +503,12 @@ CampaignRun Session::evaluate_schedule_subprocess(
   // so a CampaignRun reads identically whichever backend produced it.
   const std::chrono::duration<double> campaign_elapsed =
       std::chrono::steady_clock::now() - campaign_begin;
-  run.telemetry.replays = spec.replays;
-  run.telemetry.blocks = blocks.size();
+  run.telemetry.replays = folded_replays;
+  run.telemetry.blocks = next_to_fold;
   run.telemetry.workers = dispatchers;
   run.telemetry.worker_retries = retries_total.load();
   run.telemetry.wall_seconds = campaign_elapsed.count();
+  run.telemetry.fold_window_peak = window_peak;
   coordinator_span.finish();
 
   // Worker processes run with *their* registries disabled, so the
@@ -417,8 +516,11 @@ CampaignRun Session::evaluate_schedule_subprocess(
   // metrics — no double counting with the in-process path, which folds
   // inside run_campaign instead.
   if (registry.enabled()) {
-    registry.counter("campaign.replays").add(spec.replays);
-    registry.counter("campaign.blocks").add(blocks.size());
+    registry.counter("campaign.replays").add(folded_replays);
+    registry.counter("campaign.blocks").add(next_to_fold);
+    registry.gauge("campaign.fold.window_peak")
+        .set(static_cast<double>(window_peak));
+    registry.counter("campaign.fold.blocks_buffered").add(blocks_buffered);
     registry.counter("campaign.memo.lookups").add(run.telemetry.memo_lookups);
     registry.counter("campaign.memo.hits").add(run.telemetry.memo_hits);
     registry.counter("campaign.memo.evictions")
@@ -429,7 +531,8 @@ CampaignRun Session::evaluate_schedule_subprocess(
         .set(static_cast<double>(run.telemetry.snapshots));
     if (campaign_elapsed.count() > 0.0)
       registry.gauge("campaign.replays_per_second")
-          .set(static_cast<double>(spec.replays) / campaign_elapsed.count());
+          .set(static_cast<double>(folded_replays) /
+               campaign_elapsed.count());
     if (worker_replay_seconds > 0.0)
       registry.gauge("campaign.worker.replay_seconds_total")
           .set(worker_replay_seconds);
@@ -475,31 +578,46 @@ void run_campaign_worker(std::istream& in, std::ostream& out) {
   campaign.adaptive_snapshots = order.adaptive_snapshots;
   campaign.exact = order.spec.exact;
   // The shared derivation (CampaignSpec::theta_bucket_width) — horizon is
-  // pinned above, so the width matches the coordinator's bit-for-bit.
-  campaign.theta_bucket_width = order.spec.theta_bucket_width(horizon);
+  // pinned above, so the width matches the coordinator's bit-for-bit (and
+  // like the coordinator, an exact campaign never derives one).
+  campaign.theta_bucket_width =
+      order.spec.exact ? 0.0 : order.spec.theta_bucket_width(horizon);
 
-  CampaignPartialResult partial;
-  partial.algorithm = order.algorithm;
-  partial.first = order.first;
-  partial.count = order.count;
+  // Stream the partial document: header up front, each completed wave's
+  // records the moment they exist, the mergeable fold state (`counts`) and
+  // telemetry/timing as the footer. The worker never materialises the
+  // whole block, so its memory — like the coordinator's — is bounded by
+  // the wave size, not the block size. Flushing per wave is what lets the
+  // coordinator's incremental reader overlap parsing with the replay.
+  caft::CampaignTelemetry telemetry;
+  std::size_t successes = 0;
+  std::size_t written = 0;
+  write_campaign_partial_header(out, order.algorithm, order.first,
+                                order.count);
   const std::chrono::steady_clock::time_point replay_begin =
       std::chrono::steady_clock::now();
-  partial.records =
-      run_campaign_block(scheduled.schedule, instance.costs(), *sampler,
-                         campaign, order.first, order.count,
-                         &partial.telemetry);
-  for (const caft::ReplayRecord& record : partial.records)
-    if (record.success) ++partial.successes;
+  run_campaign_block_streamed(
+      scheduled.schedule, instance.costs(), *sampler, campaign, order.first,
+      order.count, &telemetry,
+      [&](const caft::ReplayRecord* records, std::size_t count) {
+        write_campaign_partial_records(out, records, count);
+        out.flush();
+        for (std::size_t i = 0; i < count; ++i)
+          if (records[i].success) ++successes;
+        written += count;
+      });
   const std::chrono::steady_clock::time_point worker_end =
       std::chrono::steady_clock::now();
-  partial.timing.present = true;
-  partial.timing.schedule_seconds =
+  WorkerTiming timing;
+  timing.present = true;
+  timing.schedule_seconds =
       std::chrono::duration<double>(replay_begin - worker_begin).count();
-  partial.timing.replay_seconds =
+  timing.replay_seconds =
       std::chrono::duration<double>(worker_end - replay_begin).count();
-  partial.timing.wall_seconds =
+  timing.wall_seconds =
       std::chrono::duration<double>(worker_end - worker_begin).count();
-  write_campaign_partial(out, partial);
+  write_campaign_partial_footer(out, written, successes, telemetry, timing);
+  out.flush();
 }
 
 }  // namespace ftsched

@@ -107,18 +107,27 @@ struct CampaignSpec {
   std::size_t theta_buckets = 0;
   /// Exactness escape hatch: bit-exact replays even with buckets set.
   bool exact = false;
+  /// Early stopping (subprocess backend only): stop dispatching new
+  /// scenario blocks once the Wilson 95% interval around the folded
+  /// prefix's success rate is at most this wide (0 = off, run all
+  /// replays). The summary then covers a *contiguous canonical prefix* of
+  /// the scenario stream — still deterministic per stopping point, but
+  /// intentionally NOT byte-identical to a fixed-replay run: the stopping
+  /// point depends on worker completion timing. The in-process backend
+  /// rejects it rather than silently ignoring it.
+  double target_ci_width = 0.0;
   /// Forwarded to every scheduler (ε/model overrides, algorithm knobs).
   ScheduleRequest request;
 
   /// The memo bucket width theta_buckets implies for a schedule of this
-  /// horizon (0 = exact). The *single* derivation both the in-process path
-  /// and the subprocess worker use — the width changes replay results, so
-  /// the two sides must agree bit-for-bit.
-  [[nodiscard]] double theta_bucket_width(double schedule_horizon) const {
-    return theta_buckets > 0
-               ? schedule_horizon / static_cast<double>(theta_buckets)
-               : 0.0;
-  }
+  /// horizon (0 when theta_buckets == 0). The *single* derivation both the
+  /// in-process path and the subprocess worker use — the width changes
+  /// replay results, so the two sides must agree bit-for-bit. Throws
+  /// caft::CheckError when buckets are requested for a zero or non-finite
+  /// horizon (empty or fully-dead schedule): no meaningful width is
+  /// derivable, so the caller must take the exact path instead of
+  /// silently replaying with 0-width buckets.
+  [[nodiscard]] double theta_bucket_width(double schedule_horizon) const;
 };
 
 /// How a Session physically executes campaigns: in this process (the
@@ -144,6 +153,15 @@ struct ExecutionPolicy {
   /// Replays per worker block; 0 = auto (aims at ~4 blocks per worker, so
   /// a straggler or retried block costs a fraction of the campaign).
   std::size_t block_replays = 0;
+  /// Reorder window of the coordinator's streaming fold (PR 7): at most
+  /// this many blocks may be past the fold frontier at once — claimed,
+  /// completed-and-buffered, or both — so coordinator memory is
+  /// O(reorder_window × block_replays) records, never O(replays). Larger
+  /// windows tolerate slower stragglers without idling dispatchers; 1
+  /// serializes the fold (one block in flight at a time). 0 = auto
+  /// (max(2 × n_workers, 4)). Can never change a summary — only when each
+  /// buffered block folds.
+  std::size_t reorder_window = 0;
   /// Extra attempts per block after a worker failure (crash, nonzero exit,
   /// unparseable output) before the campaign gives up.
   std::size_t max_retries = 2;
@@ -178,9 +196,12 @@ struct SessionOptions {
   /// Where campaigns run: this process or a pool of worker processes.
   ExecutionPolicy exec;
   /// Live progress callback, invoked from the coordinating thread after
-  /// each folded wave (in-process) or completed worker block (subprocess).
-  /// Purely observational: summaries are identical whether it is set or
-  /// not, and it must never be used to steer the campaign.
+  /// each folded wave (in-process) or each advance of the streaming fold
+  /// frontier (subprocess) — counts are always of the *folded canonical
+  /// prefix*, so they are monotone at any worker count. Purely
+  /// observational: summaries are identical whether it is set or not, and
+  /// it must never be used to steer the campaign (the one sanctioned
+  /// feedback, --target-ci-width early stopping, lives in CampaignSpec).
   std::function<void(const caft::CampaignProgress&)> on_progress;
 };
 

@@ -173,6 +173,8 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
       progress.replays_done = done;
       progress.replays_total = count;
       progress.successes = successes;
+      const WilsonInterval ci = wilson_interval(successes, done);
+      progress.ci_width = ci.high - ci.low;
       if (shared_memo != nullptr) {
         const SharedReplayMemo::Stats stats = shared_memo->stats();
         progress.memo_lookups = stats.lookups;
@@ -257,6 +259,17 @@ std::vector<ReplayRecord> run_campaign_block(const Schedule& schedule,
                                     static_cast<std::ptrdiff_t>(wave));
                    });
   return all;
+}
+
+void run_campaign_block_streamed(
+    const Schedule& schedule, const CostModel& costs,
+    const ScenarioSampler& sampler, const CampaignOptions& options,
+    std::size_t first, std::size_t count, CampaignTelemetry* telemetry,
+    const std::function<void(const ReplayRecord* records,
+                             std::size_t count)>& sink) {
+  run_replay_range(schedule, costs, sampler, options, first, count, telemetry,
+                   [&](const std::vector<ReplayRecord>& records,
+                       std::size_t wave) { sink(records.data(), wave); });
 }
 
 CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,

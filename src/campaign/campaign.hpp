@@ -66,6 +66,10 @@ struct CampaignProgress {
   std::size_t successes = 0;      ///< successful replays among done
   std::uint64_t memo_lookups = 0;  ///< shared-memo lookups so far (0 if n/a)
   std::uint64_t memo_hits = 0;     ///< shared-memo hits so far (0 if n/a)
+  /// Width of the Wilson 95% interval around the success rate of the folded
+  /// prefix (1.0 until anything folds). What --target-ci-width early
+  /// stopping watches; observational like every other field here.
+  double ci_width = 1.0;
 };
 
 /// Knobs of one campaign run.
@@ -128,6 +132,11 @@ struct CampaignTelemetry {
   std::size_t workers = 0;       ///< worker threads or subprocess slots
   std::size_t worker_retries = 0;  ///< subprocess blocks retried (0 in-proc)
   double wall_seconds = 0.0;     ///< campaign wall time (steady_clock)
+  /// Most blocks the subprocess coordinator's reorder window ever held at
+  /// once (PR 7) — the streaming fold's actual peak, bounded by
+  /// ExecutionPolicy::reorder_window. 0 for the in-process backend, whose
+  /// fold is wave-by-wave and never buffers.
+  std::size_t fold_window_peak = 0;
 };
 
 /// Compact outcome of one replay: exactly what the accumulator folds,
@@ -162,6 +171,19 @@ void fold_replay_record(CampaignAccumulator& accumulator,
     const ScenarioSampler& sampler, const CampaignOptions& options,
     std::size_t first, std::size_t count,
     CampaignTelemetry* telemetry = nullptr);
+
+/// Streaming form of run_campaign_block: identical record stream, but each
+/// completed wave (options.block records at most) is handed to `sink` in
+/// canonical replay order and then discarded, so the caller — the
+/// subprocess worker writing records onto its stdout pipe — never holds
+/// more than one wave in memory. Concatenating the sink chunks reproduces
+/// run_campaign_block's return value exactly.
+void run_campaign_block_streamed(
+    const Schedule& schedule, const CostModel& costs,
+    const ScenarioSampler& sampler, const CampaignOptions& options,
+    std::size_t first, std::size_t count, CampaignTelemetry* telemetry,
+    const std::function<void(const ReplayRecord* records, std::size_t count)>&
+        sink);
 
 /// Runs `options.replays` crash replays of `schedule` under scenarios drawn
 /// from `sampler` and returns the folded summary. `telemetry`, when

@@ -1,0 +1,79 @@
+#include "campaign/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace caft {
+
+ProgressHeartbeat::ProgressHeartbeat(std::ostream* sink,
+                                     std::function<Clock::time_point()> now)
+    : sink_(sink), now_(std::move(now)) {
+  if (!now_) now_ = [] { return Clock::now(); };
+}
+
+void ProgressHeartbeat::operator()(const CampaignProgress& progress) {
+  const Clock::time_point now = now_();
+  // A non-increasing count or a changed total means a new campaign began
+  // (the CLI reuses one heartbeat across --algos entries): per-campaign
+  // rates and ETA, not a blend across campaigns.
+  if (!have_seen_ || progress.replays_done <= last_seen_.replays_done ||
+      progress.replays_total != last_seen_.replays_total) {
+    start_ = now;
+    last_print_ = Clock::time_point{};
+  }
+  last_seen_ = progress;
+  have_seen_ = true;
+  const bool final = progress.replays_done >= progress.replays_total;
+  if (!final && now - last_print_ < std::chrono::milliseconds(200)) {
+    printed_last_ = false;
+    return;
+  }
+  print(progress, now);
+}
+
+void ProgressHeartbeat::finish() {
+  // The terminal-line guarantee: whatever the throttle swallowed, the
+  // campaign's last state reaches the sink exactly once.
+  if (!have_seen_ || printed_last_) return;
+  print(last_seen_, now_());
+}
+
+void ProgressHeartbeat::print(const CampaignProgress& progress,
+                              Clock::time_point now) {
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(progress.replays_done) / elapsed
+                    : 0.0;
+  const std::size_t remaining =
+      progress.replays_total > progress.replays_done
+          ? progress.replays_total - progress.replays_done
+          : 0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+  const double memo_pct =
+      progress.memo_lookups > 0
+          ? 100.0 * static_cast<double>(progress.memo_hits) /
+                static_cast<double>(progress.memo_lookups)
+          : 0.0;
+  const double pct =
+      progress.replays_total > 0
+          ? 100.0 * static_cast<double>(progress.replays_done) /
+                static_cast<double>(progress.replays_total)
+          : 100.0;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "progress: %zu/%zu (%.1f%%) | %.0f replays/s | "
+                "CI width %.4f | memo %.1f%% | ETA %.1fs\n",
+                progress.replays_done, progress.replays_total, pct, rate,
+                progress.ci_width, memo_pct, eta);
+  if (sink_ != nullptr)
+    *sink_ << line << std::flush;
+  else
+    std::fputs(line, stderr);
+  last_print_ = now;
+  printed_last_ = true;
+}
+
+}  // namespace caft

@@ -1,0 +1,65 @@
+/// \file progress.hpp
+/// ProgressHeartbeat — the throttled live-progress line consumers hang on
+/// CampaignProgress callbacks (campaign_cli --progress is the canonical
+/// user). Extracted from the CLI (PR 7) so the throttle/terminal-line
+/// state machine is testable: the original inline version could swallow
+/// the campaign's final update when it landed inside the throttle window,
+/// leaving a heartbeat frozen below 100%.
+///
+/// Reads CampaignProgress only — it can never steer a campaign — and
+/// writes complete '\n'-terminated lines to its sink (stderr by default),
+/// so a report printed to stdout afterwards never interleaves mid-line.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <iosfwd>
+
+#include "campaign/campaign.hpp"
+
+namespace caft {
+
+/// Throttled progress-line printer (~5 lines/s) with a guaranteed terminal
+/// line: call finish() when the campaign completes and the last observed
+/// state is printed even if the throttle swallowed it — including
+/// early-stopped campaigns (--target-ci-width), whose final
+/// `replays_done` never reaches `replays_total` and so never trips the
+/// "final update bypasses the throttle" rule on its own.
+///
+/// One heartbeat instance may observe several campaigns in sequence (the
+/// CLI reuses one across --algos entries): a restarted or shrunk replay
+/// count, or a changed total, begins a new campaign with fresh rate/ETA
+/// state.
+class ProgressHeartbeat {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `sink` receives the lines (nullptr = the process's stderr). `now`
+  /// overrides the clock so tests can drive the throttle
+  /// deterministically.
+  explicit ProgressHeartbeat(std::ostream* sink = nullptr,
+                             std::function<Clock::time_point()> now = {});
+
+  /// The CampaignProgress callback: prints a line unless the throttle
+  /// (200 ms since the last line) suppresses it. An update whose
+  /// replays_done reaches replays_total always prints.
+  void operator()(const CampaignProgress& progress);
+
+  /// Campaign-complete hook: prints the last observed state if the
+  /// throttle suppressed it (the bugfix this class exists for). Idempotent
+  /// and safe to call when nothing was ever observed.
+  void finish();
+
+ private:
+  void print(const CampaignProgress& progress, Clock::time_point now);
+
+  std::ostream* sink_;  ///< nullptr = stderr
+  std::function<Clock::time_point()> now_;
+  Clock::time_point start_{};
+  Clock::time_point last_print_{};
+  CampaignProgress last_seen_{};
+  bool have_seen_ = false;
+  bool printed_last_ = false;  ///< last_seen_ made it to the sink
+};
+
+}  // namespace caft

@@ -63,7 +63,8 @@ std::string SubprocessResult::describe_failure() const {
 }
 
 SubprocessResult run_subprocess(const std::vector<std::string>& argv,
-                                const std::string& input) {
+                                const std::string& input,
+                                const StdoutSink& on_stdout) {
   SubprocessResult result;
   CAFT_CHECK_MSG(!argv.empty(), "subprocess argv must name a program");
   ignore_sigpipe_once();
@@ -184,10 +185,16 @@ SubprocessResult run_subprocess(const std::vector<std::string>& argv,
         continue;
       char buffer[4096];
       const ssize_t n = ::read(*pipe, buffer, sizeof buffer);
-      if (n > 0)
-        sink->append(buffer, static_cast<std::size_t>(n));
-      else
+      if (n > 0) {
+        // stdout streams to the sink when one is installed (the sink must
+        // not throw — see StdoutSink); stderr always accumulates.
+        if (on_stdout && sink == &result.out)
+          on_stdout(buffer, static_cast<std::size_t>(n));
+        else
+          sink->append(buffer, static_cast<std::size_t>(n));
+      } else {
         close_fd(*pipe);
+      }
     }
   }
   close_fd(in_pipe[1]);
@@ -231,7 +238,7 @@ namespace caft {
 std::string SubprocessResult::describe_failure() const { return error; }
 
 SubprocessResult run_subprocess(const std::vector<std::string>&,
-                                const std::string&) {
+                                const std::string&, const StdoutSink&) {
   SubprocessResult result;
   result.error = "subprocess execution is unavailable on this platform";
   return result;

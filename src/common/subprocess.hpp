@@ -14,6 +14,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,11 +61,22 @@ struct SubprocessResult {
   [[nodiscard]] std::string describe_failure() const;
 };
 
+/// Incremental stdout sink: called from the poll loop with each chunk of
+/// child stdout as it arrives (any chunking, including mid-line splits).
+/// When set, `SubprocessResult::out` stays empty — the child's output is
+/// never accumulated in one string. The sink MUST NOT throw: it runs while
+/// the child is alive, and unwinding out of the poll loop would leak the
+/// process. Parsers latch errors instead (io/campaign_wire's
+/// CampaignPartialReader is the intended consumer).
+using StdoutSink = std::function<void(const char* data, std::size_t size)>;
+
 /// Runs `argv` (argv[0] is the program, resolved via PATH like execvp),
 /// writes `input` to its stdin, and blocks until it exits. Stdout/stderr
 /// are captured concurrently with the stdin feed (poll loop), so neither
-/// side can deadlock on a full pipe regardless of sizes.
+/// side can deadlock on a full pipe regardless of sizes. With `on_stdout`,
+/// stdout chunks stream to the sink instead of `result.out`.
 [[nodiscard]] SubprocessResult run_subprocess(
-    const std::vector<std::string>& argv, const std::string& input);
+    const std::vector<std::string>& argv, const std::string& input,
+    const StdoutSink& on_stdout = nullptr);
 
 }  // namespace caft

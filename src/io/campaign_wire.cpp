@@ -3,9 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -290,135 +293,251 @@ CampaignWorkOrder read_campaign_work_order(std::istream& is) {
   return order;
 }
 
+namespace {
+
+void write_record_line(std::ostream& os, const caft::ReplayRecord& record) {
+  os << "r " << (record.success ? 1 : 0) << " "
+     << (record.order_deadlock ? 1 : 0) << " "
+     << format_double(record.latency) << " " << record.delivered_messages
+     << " " << record.order_relaxations << " " << record.failed_count
+     << "\n";
+}
+
+void write_counts_telemetry_timing(std::ostream& os, std::size_t records,
+                                   std::size_t successes,
+                                   const caft::CampaignTelemetry& telemetry,
+                                   const WorkerTiming& timing) {
+  os << "counts " << records << " " << successes << "\n";
+  os << "telemetry " << telemetry.memo_lookups << " " << telemetry.memo_hits
+     << " " << telemetry.memo_evictions << " " << telemetry.memo_entries
+     << " " << telemetry.snapshots << "\n";
+  if (timing.present) {
+    os << "timing " << format_double(timing.wall_seconds) << " "
+       << format_double(timing.schedule_seconds) << " "
+       << format_double(timing.replay_seconds) << "\n";
+  }
+}
+
+}  // namespace
+
 void write_campaign_partial(std::ostream& os,
                             const CampaignPartialResult& partial) {
   os << "caft-campaign-partial v1\n";
   os << "algorithm " << partial.algorithm << "\n";
   os << "block " << partial.first << " " << partial.count << "\n";
-  os << "counts " << partial.records.size() << " " << partial.successes
-     << "\n";
-  os << "telemetry " << partial.telemetry.memo_lookups << " "
-     << partial.telemetry.memo_hits << " "
-     << partial.telemetry.memo_evictions << " "
-     << partial.telemetry.memo_entries << " " << partial.telemetry.snapshots
-     << "\n";
-  if (partial.timing.present) {
-    os << "timing " << format_double(partial.timing.wall_seconds) << " "
-       << format_double(partial.timing.schedule_seconds) << " "
-       << format_double(partial.timing.replay_seconds) << "\n";
-  }
+  write_counts_telemetry_timing(os, partial.records.size(),
+                                partial.successes, partial.telemetry,
+                                partial.timing);
   os << "records " << partial.records.size() << "\n";
-  for (const caft::ReplayRecord& record : partial.records) {
-    os << "r " << (record.success ? 1 : 0) << " "
-       << (record.order_deadlock ? 1 : 0) << " "
-       << format_double(record.latency) << " " << record.delivered_messages
-       << " " << record.order_relaxations << " " << record.failed_count
-       << "\n";
-  }
+  for (const caft::ReplayRecord& record : partial.records)
+    write_record_line(os, record);
   os << "end\n";
 }
 
-CampaignPartialResult read_campaign_partial(std::istream& is) {
-  expect_magic(is, "caft-campaign-partial");
-  CampaignPartialResult partial;
-  bool saw_end = false, saw_block = false, saw_counts = false;
-  std::size_t declared_records = 0;
-  std::size_t declared_successes = 0;
-  std::string line;
-  while (!saw_end && std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream fields(line);
-    std::string key;
-    fields >> key;
-    if (key == "end") {
-      saw_end = true;
-    } else if (key == "algorithm") {
-      partial.algorithm = next_token(fields, "algorithm name");
-    } else if (key == "block") {
-      partial.first =
-          parse_size(next_token(fields, "block first"), "block first");
-      partial.count =
-          parse_size(next_token(fields, "block count"), "block count");
-      saw_block = true;
-    } else if (key == "counts") {
-      declared_records =
-          parse_size(next_token(fields, "counts replays"), "counts replays");
-      declared_successes = parse_size(next_token(fields, "counts successes"),
-                                      "counts successes");
-      saw_counts = true;
-    } else if (key == "telemetry") {
-      partial.telemetry.memo_lookups = parse_size(
-          next_token(fields, "telemetry lookups"), "telemetry lookups");
-      partial.telemetry.memo_hits =
-          parse_size(next_token(fields, "telemetry hits"), "telemetry hits");
-      partial.telemetry.memo_evictions = parse_size(
-          next_token(fields, "telemetry evictions"), "telemetry evictions");
-      partial.telemetry.memo_entries = parse_size(
-          next_token(fields, "telemetry entries"), "telemetry entries");
-      partial.telemetry.snapshots = parse_size(
-          next_token(fields, "telemetry snapshots"), "telemetry snapshots");
-    } else if (key == "timing") {
-      // Optional since PR 6; a document without it parses fine.
-      partial.timing.wall_seconds = parse_double(
-          next_token(fields, "timing wall"), "timing wall");
-      partial.timing.schedule_seconds = parse_double(
-          next_token(fields, "timing schedule"), "timing schedule");
-      partial.timing.replay_seconds = parse_double(
-          next_token(fields, "timing replay"), "timing replay");
-      partial.timing.present = true;
-    } else if (key == "records") {
-      const std::size_t n =
-          parse_size(next_token(fields, "record count"), "record count");
-      partial.records.clear();
-      partial.records.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        std::string record_line;
-        CAFT_CHECK_MSG(static_cast<bool>(std::getline(is, record_line)),
-                       "campaign wire: truncated record list");
-        std::istringstream record_fields(record_line);
-        const std::string tag = next_token(record_fields, "record tag");
-        CAFT_CHECK_MSG(tag == "r", "campaign wire: bad record line '" +
-                                       record_line + "'");
-        caft::ReplayRecord record;
-        record.success =
-            parse_bool(next_token(record_fields, "record success"), "success");
-        record.order_deadlock = parse_bool(
-            next_token(record_fields, "record deadlock"), "deadlock");
-        record.latency = parse_double(
-            next_token(record_fields, "record latency"), "latency");
-        record.delivered_messages = parse_size(
-            next_token(record_fields, "record delivered"), "delivered");
-        record.order_relaxations = parse_size(
-            next_token(record_fields, "record relaxations"), "relaxations");
-        record.failed_count = parse_size(
-            next_token(record_fields, "record failed"), "failed");
-        partial.records.push_back(record);
-      }
-    } else {
-      throw caft::CheckError("campaign wire: unknown partial key '" + key +
-                             "'");
+void write_campaign_partial_header(std::ostream& os,
+                                   const std::string& algorithm,
+                                   std::size_t first, std::size_t count) {
+  os << "caft-campaign-partial v1\n";
+  os << "algorithm " << algorithm << "\n";
+  os << "block " << first << " " << count << "\n";
+  os << "records " << count << "\n";
+}
+
+void write_campaign_partial_records(std::ostream& os,
+                                    const caft::ReplayRecord* records,
+                                    std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    write_record_line(os, records[i]);
+}
+
+void write_campaign_partial_footer(std::ostream& os, std::size_t records,
+                                   std::size_t successes,
+                                   const caft::CampaignTelemetry& telemetry,
+                                   const WorkerTiming& timing) {
+  write_counts_telemetry_timing(os, records, successes, telemetry, timing);
+  os << "end\n";
+}
+
+void CampaignPartialReader::fail(const std::string& why) noexcept {
+  if (error_.empty()) error_ = why;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+void CampaignPartialReader::feed(const char* data, std::size_t size) noexcept {
+  if (failed()) return;  // the poll loop keeps draining; we stop parsing
+  std::size_t consumed = 0;
+  while (consumed < size) {
+    const void* newline =
+        std::memchr(data + consumed, '\n', size - consumed);
+    if (newline == nullptr) {
+      buffer_.append(data + consumed, size - consumed);
+      return;
     }
+    const std::size_t line_end =
+        static_cast<std::size_t>(static_cast<const char*>(newline) - data);
+    buffer_.append(data + consumed, line_end - consumed);
+    consumed = line_end + 1;
+    try {
+      consume_line(buffer_);
+    } catch (const std::exception& parse_error) {
+      fail(parse_error.what());
+      return;
+    }
+    buffer_.clear();
   }
-  CAFT_CHECK_MSG(saw_end, "campaign wire: truncated partial (no 'end')");
-  CAFT_CHECK_MSG(saw_block, "campaign wire: partial has no block range");
-  CAFT_CHECK_MSG(saw_counts, "campaign wire: partial has no counts line");
-  CAFT_CHECK_MSG(partial.records.size() == partial.count,
+}
+
+void CampaignPartialReader::consume_line(const std::string& line) {
+  if (saw_end_) return;  // trailing output after 'end' is ignored
+  if (!saw_magic_) {
+    CAFT_CHECK_MSG(line == "caft-campaign-partial v1",
+                   "campaign wire: bad magic line '" + line +
+                       "' (expected 'caft-campaign-partial v1')");
+    saw_magic_ = true;
+    return;
+  }
+  // Inside the record list every line must be a record line — an empty or
+  // foreign line there is corruption, not formatting slack.
+  if (saw_records_ && partial_.records.size() < records_expected_) {
+    std::istringstream record_fields(line);
+    const std::string tag = next_token(record_fields, "record tag");
+    CAFT_CHECK_MSG(tag == "r",
+                   "campaign wire: bad record line '" + line + "'");
+    caft::ReplayRecord record;
+    record.success =
+        parse_bool(next_token(record_fields, "record success"), "success");
+    record.order_deadlock =
+        parse_bool(next_token(record_fields, "record deadlock"), "deadlock");
+    record.latency =
+        parse_double(next_token(record_fields, "record latency"), "latency");
+    record.delivered_messages =
+        parse_size(next_token(record_fields, "record delivered"), "delivered");
+    record.order_relaxations = parse_size(
+        next_token(record_fields, "record relaxations"), "relaxations");
+    record.failed_count =
+        parse_size(next_token(record_fields, "record failed"), "failed");
+    partial_.records.push_back(record);
+    return;
+  }
+  if (line.empty()) return;
+  std::istringstream fields(line);
+  std::string key;
+  fields >> key;
+  if (key == "end") {
+    saw_end_ = true;
+  } else if (key == "algorithm") {
+    partial_.algorithm = next_token(fields, "algorithm name");
+  } else if (key == "block") {
+    CAFT_CHECK_MSG(!saw_records_,
+                   "campaign wire: block range after the record list");
+    partial_.first =
+        parse_size(next_token(fields, "block first"), "block first");
+    partial_.count =
+        parse_size(next_token(fields, "block count"), "block count");
+    // A corrupt range whose end overflows size_t would wrap every
+    // downstream [first, first + count) computation — reject it here, so
+    // the coordinator retries the worker instead of folding a lie.
+    CAFT_CHECK_MSG(partial_.count <=
+                       std::numeric_limits<std::size_t>::max() -
+                           partial_.first,
+                   "campaign wire: block range [" +
+                       std::to_string(partial_.first) + ", +" +
+                       std::to_string(partial_.count) +
+                       ") overflows size_t");
+    saw_block_ = true;
+  } else if (key == "counts") {
+    declared_records_ =
+        parse_size(next_token(fields, "counts replays"), "counts replays");
+    declared_successes_ = parse_size(next_token(fields, "counts successes"),
+                                     "counts successes");
+    saw_counts_ = true;
+  } else if (key == "telemetry") {
+    partial_.telemetry.memo_lookups = parse_size(
+        next_token(fields, "telemetry lookups"), "telemetry lookups");
+    partial_.telemetry.memo_hits =
+        parse_size(next_token(fields, "telemetry hits"), "telemetry hits");
+    partial_.telemetry.memo_evictions = parse_size(
+        next_token(fields, "telemetry evictions"), "telemetry evictions");
+    partial_.telemetry.memo_entries = parse_size(
+        next_token(fields, "telemetry entries"), "telemetry entries");
+    partial_.telemetry.snapshots = parse_size(
+        next_token(fields, "telemetry snapshots"), "telemetry snapshots");
+  } else if (key == "timing") {
+    // Optional since PR 6; a document without it parses fine.
+    partial_.timing.wall_seconds =
+        parse_double(next_token(fields, "timing wall"), "timing wall");
+    partial_.timing.schedule_seconds = parse_double(
+        next_token(fields, "timing schedule"), "timing schedule");
+    partial_.timing.replay_seconds =
+        parse_double(next_token(fields, "timing replay"), "timing replay");
+    partial_.timing.present = true;
+  } else if (key == "records") {
+    CAFT_CHECK_MSG(!saw_records_, "campaign wire: duplicate records header");
+    CAFT_CHECK_MSG(saw_block_,
+                   "campaign wire: records header before the block range");
+    records_expected_ =
+        parse_size(next_token(fields, "record count"), "record count");
+    // Validate the header against the echoed block *before* reserving —
+    // a corrupt count must not become a giant allocation (or a silently
+    // short block the fold would accept).
+    CAFT_CHECK_MSG(records_expected_ == partial_.count,
+                   "campaign wire: records header declares " +
+                       std::to_string(records_expected_) +
+                       " records for a block of " +
+                       std::to_string(partial_.count));
+    partial_.records.reserve(records_expected_);
+    saw_records_ = true;
+  } else {
+    throw caft::CheckError("campaign wire: unknown partial key '" + key +
+                           "'");
+  }
+}
+
+CampaignPartialResult CampaignPartialReader::take() {
+  if (failed()) throw caft::CheckError(error_);
+  if (!buffer_.empty()) {
+    // An unterminated trailing line: a mid-line truncation unless the
+    // document already ended (then it is ignorable junk, e.g. a shell
+    // wrapper's unterminated noise).
+    CAFT_CHECK_MSG(saw_end_, "campaign wire: truncated partial (unterminated "
+                             "line '" + buffer_ + "')");
+  }
+  CAFT_CHECK_MSG(saw_magic_, "campaign wire: empty document");
+  CAFT_CHECK_MSG(saw_end_, "campaign wire: truncated partial (no 'end')");
+  CAFT_CHECK_MSG(saw_block_, "campaign wire: partial has no block range");
+  CAFT_CHECK_MSG(saw_counts_, "campaign wire: partial has no counts line");
+  CAFT_CHECK_MSG(partial_.records.size() == partial_.count,
                  "campaign wire: partial carries " +
-                     std::to_string(partial.records.size()) +
+                     std::to_string(partial_.records.size()) +
                      " records for a block of " +
-                     std::to_string(partial.count));
-  CAFT_CHECK_MSG(declared_records == partial.records.size(),
+                     std::to_string(partial_.count));
+  CAFT_CHECK_MSG(declared_records_ == partial_.records.size(),
                  "campaign wire: counts line disagrees with the record list");
   std::size_t successes = 0;
-  for (const caft::ReplayRecord& record : partial.records)
+  for (const caft::ReplayRecord& record : partial_.records)
     if (record.success) ++successes;
-  CAFT_CHECK_MSG(successes == declared_successes,
+  CAFT_CHECK_MSG(successes == declared_successes_,
                  "campaign wire: counts line declares " +
-                     std::to_string(declared_successes) +
+                     std::to_string(declared_successes_) +
                      " successes but the records fold to " +
                      std::to_string(successes));
-  partial.successes = successes;
-  return partial;
+  partial_.successes = successes;
+  return std::move(partial_);
+}
+
+CampaignPartialResult read_campaign_partial(std::istream& is) {
+  // One parser: the whole-document reader is the incremental reader fed in
+  // chunks, so the strictness contract cannot drift between the two.
+  CampaignPartialReader reader;
+  char buffer[4096];
+  while (true) {
+    is.read(buffer, sizeof buffer);
+    const std::streamsize n = is.gcount();
+    if (n > 0) reader.feed(buffer, static_cast<std::size_t>(n));
+    if (n < static_cast<std::streamsize>(sizeof buffer)) break;
+  }
+  return reader.take();
 }
 
 }  // namespace ftsched

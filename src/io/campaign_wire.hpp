@@ -50,6 +50,12 @@
 ///                                        # canonical replay order
 ///   end
 ///
+/// Line order outside the record list is free (the reader is keyed by the
+/// first token); streaming workers exploit that by emitting the `records`
+/// list first and the `counts`/`telemetry`/`timing` lines last, so record
+/// lines can leave the process before the block finishes computing
+/// (write_campaign_partial_header/records/footer below).
+///
 /// Why per-replay records and not merged fold states: the summary's P²
 /// quantile estimators and Welford moments are order-sensitive streaming
 /// folds — merging two partial estimator states is not bit-identical to
@@ -133,7 +139,75 @@ void write_campaign_partial(std::ostream& os,
                             const CampaignPartialResult& partial);
 /// Parses a partial result; throws caft::CheckError on malformed input —
 /// including a record list that disagrees with the `counts` line or the
-/// `block` range.
+/// `block` range, a block range whose `first + count` overflows, or a
+/// `records` header that disagrees with the block's `count`.
 [[nodiscard]] CampaignPartialResult read_campaign_partial(std::istream& is);
+
+/// Chunked partial-result writer — the worker half of the streaming pipe.
+/// A worker that replays a large block must not materialise every record
+/// before the first byte of output; these three calls let it emit the
+/// document incrementally:
+///
+///   write_campaign_partial_header(os, algorithm, first, count);
+///   for each computed sub-block: write_campaign_partial_records(os, ...);
+///   write_campaign_partial_footer(os, successes, telemetry, timing);
+///
+/// The header carries the `records <count>` line (count is the block size,
+/// known up front); the mergeable fold state (`counts`) and telemetry land
+/// in the footer, *after* the record lines — the reader is line-keyed and
+/// validates the whole document at the end, so both orders parse
+/// identically (write_campaign_partial keeps the legacy counts-first order
+/// for whole-document writes).
+void write_campaign_partial_header(std::ostream& os,
+                                   const std::string& algorithm,
+                                   std::size_t first, std::size_t count);
+void write_campaign_partial_records(
+    std::ostream& os, const caft::ReplayRecord* records, std::size_t count);
+void write_campaign_partial_footer(std::ostream& os, std::size_t records,
+                                   std::size_t successes,
+                                   const caft::CampaignTelemetry& telemetry,
+                                   const WorkerTiming& timing);
+
+/// Incremental partial-result parser — the coordinator half of the
+/// streaming pipe. Feed it raw stdout bytes as they arrive from the worker
+/// (any chunking, including mid-line splits); it consumes complete lines
+/// immediately, so the coordinator never holds a worker's full stdout
+/// string next to the parsed records.
+///
+/// feed() never throws: a malformed document latches an error and further
+/// input is ignored (the poll loop that delivers chunks must keep draining
+/// the child regardless). finish() validates the complete document — the
+/// same strictness contract as read_campaign_partial — and either returns
+/// the parsed partial or throws caft::CheckError with the latched reason.
+class CampaignPartialReader {
+ public:
+  /// Buffers `data` and consumes every complete line. Safe to call after
+  /// an error (input is discarded).
+  void feed(const char* data, std::size_t size) noexcept;
+
+  /// True once a parse error has been latched; finish() will throw it.
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+
+  /// Validates end-of-stream (a trailing unterminated line, a missing
+  /// `end`, count mismatches and every latched feed() error all throw) and
+  /// returns the parsed partial. Call exactly once, after the last feed().
+  [[nodiscard]] CampaignPartialResult take();
+
+ private:
+  void consume_line(const std::string& line);
+  void fail(const std::string& why) noexcept;
+
+  CampaignPartialResult partial_;
+  std::string buffer_;          ///< bytes of the current (incomplete) line
+  std::string error_;           ///< first latched parse error, empty = ok
+  bool saw_magic_ = false;
+  bool saw_end_ = false;
+  bool saw_block_ = false;
+  bool saw_counts_ = false;
+  bool saw_records_ = false;
+  std::size_t records_expected_ = 0;  ///< from the `records` header line
+  std::size_t declared_records_ = 0;  ///< from the `counts` line
+  std::size_t declared_successes_ = 0;
+};
 
 }  // namespace ftsched

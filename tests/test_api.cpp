@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -527,6 +528,57 @@ TEST(SessionApi, RejectsInertThetaBucketCombinations) {
   // --exact opts out of quantization, so any engine/memo is legal again.
   spec.exact = true;
   EXPECT_NO_THROW((void)Session(naive).evaluate(instance, spec));
+}
+
+TEST(SessionApi, ThetaBucketWidthRejectsDegenerateHorizons) {
+  CampaignSpec spec;
+  spec.theta_buckets = 16;
+  // A zero or non-finite horizon admits no bucket width: 0-width buckets
+  // would silently degenerate to exact replays, inf/NaN would poison every
+  // quantized crash time. The derivation must refuse, pointing at the
+  // exact path.
+  EXPECT_THROW((void)spec.theta_bucket_width(0.0), caft::CheckError);
+  EXPECT_THROW((void)spec.theta_bucket_width(-1.0), caft::CheckError);
+  EXPECT_THROW(
+      (void)spec.theta_bucket_width(std::numeric_limits<double>::infinity()),
+      caft::CheckError);
+  EXPECT_THROW(
+      (void)spec.theta_bucket_width(std::numeric_limits<double>::quiet_NaN()),
+      caft::CheckError);
+  EXPECT_DOUBLE_EQ(spec.theta_bucket_width(16.0), 1.0);
+  // No buckets, no width — degenerate horizons are fine then.
+  spec.theta_buckets = 0;
+  EXPECT_DOUBLE_EQ(spec.theta_bucket_width(0.0), 0.0);
+}
+
+TEST(SessionApi, ExactCampaignsNeverDeriveABucketWidth) {
+  // exact + buckets on a degenerate schedule must run, not throw: the
+  // exact path is precisely the documented escape hatch for schedules
+  // whose horizon admits no bucket width.
+  const Instance instance = random_instance(43, 8, 1.0, 1);
+  CampaignSpec spec;
+  spec.algorithms = {"caft"};
+  spec.replays = 10;
+  spec.theta_buckets = 16;
+  spec.exact = true;
+  const CampaignReport report = Session().evaluate(instance, spec);
+  EXPECT_DOUBLE_EQ(report.runs[0].theta_bucket_width, 0.0);
+}
+
+TEST(SessionApi, InProcessBackendRejectsTargetCiWidth) {
+  const Instance instance = random_instance(44, 8, 1.0, 1);
+  CampaignSpec spec;
+  spec.algorithms = {"caft"};
+  spec.replays = 10;
+  spec.target_ci_width = 0.05;
+  // Early stopping lives in the subprocess coordinator; anywhere else the
+  // knob would be silently ignored — reject instead.
+  EXPECT_THROW((void)Session().evaluate(instance, spec), caft::CheckError);
+  // And the width itself must be a meaningful CI width.
+  spec.target_ci_width = 1.5;
+  EXPECT_THROW((void)Session().evaluate(instance, spec), caft::CheckError);
+  spec.target_ci_width = -0.1;
+  EXPECT_THROW((void)Session().evaluate(instance, spec), caft::CheckError);
 }
 
 TEST(SessionApi, DisplayNameUppercases) {

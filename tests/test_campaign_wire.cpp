@@ -291,5 +291,106 @@ TEST(CampaignWire, PartialRejectsInconsistentDocuments) {
   }
 }
 
+TEST(CampaignWire, PartialRejectsCorruptBlockRanges) {
+  {  // first + count overflows size_t — would wrap every range computation
+    std::string doc = to_text(sample_partial());
+    const std::size_t at = doc.find("block 12 3");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 10,
+                "block 18446744073709551615 2");  // SIZE_MAX + 2 wraps
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+  {  // records header disagrees with the echoed block count — must be
+     // rejected *before* any records are accepted (a corrupt huge count
+     // must never become a giant reserve, a short one a silent underfold)
+    std::string doc = to_text(sample_partial());
+    const std::size_t at = doc.find("records 3");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 9, "records 2");
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+  {  // records header before any block range: nothing to validate against
+    std::istringstream is(
+        "caft-campaign-partial v1\nalgorithm caft\nrecords 1\n"
+        "r 1 0 0x1p+0 1 0 0\nblock 0 1\ncounts 1 1\nend\n");
+    EXPECT_THROW((void)read_campaign_partial(is), CheckError);
+  }
+}
+
+TEST(CampaignWire, IncrementalReaderMatchesWholeDocumentReader) {
+  CampaignPartialResult partial = sample_partial();
+  partial.timing.present = true;
+  partial.timing.wall_seconds = 0.25;
+  partial.timing.schedule_seconds = 0.0625;
+  partial.timing.replay_seconds = 0.1875;
+  const std::string doc = to_text(partial);
+
+  // Feed the document at every chunk size from 1 byte up — mid-line and
+  // mid-token splits included — and require the identical parse.
+  for (std::size_t chunk = 1; chunk <= doc.size(); ++chunk) {
+    CampaignPartialReader reader;
+    for (std::size_t at = 0; at < doc.size(); at += chunk)
+      reader.feed(doc.data() + at, std::min(chunk, doc.size() - at));
+    ASSERT_FALSE(reader.failed()) << "chunk size " << chunk;
+    const CampaignPartialResult back = reader.take();
+    ASSERT_EQ(back.records.size(), partial.records.size());
+    EXPECT_EQ(back.first, partial.first);
+    EXPECT_EQ(back.count, partial.count);
+    EXPECT_EQ(back.successes, partial.successes);
+    for (std::size_t i = 0; i < partial.records.size(); ++i)
+      EXPECT_EQ(back.records[i].latency, partial.records[i].latency);
+    EXPECT_TRUE(back.timing.present);
+    EXPECT_EQ(back.timing.replay_seconds, partial.timing.replay_seconds);
+  }
+}
+
+TEST(CampaignWire, IncrementalReaderAcceptsStreamedFooterLastLayout) {
+  // The streaming worker writes header + records first, the mergeable fold
+  // state last; the reader must parse that layout identically.
+  const CampaignPartialResult partial = sample_partial();
+  std::ostringstream os;
+  write_campaign_partial_header(os, partial.algorithm, partial.first,
+                                partial.count);
+  write_campaign_partial_records(os, partial.records.data(), 2);
+  write_campaign_partial_records(os, partial.records.data() + 2, 1);
+  write_campaign_partial_footer(os, partial.records.size(),
+                                partial.successes, partial.telemetry,
+                                partial.timing);
+  const std::string doc = os.str();
+  EXPECT_LT(doc.find("records 3"), doc.find("counts 3"));
+
+  std::istringstream is(doc);
+  const CampaignPartialResult back = read_campaign_partial(is);
+  EXPECT_EQ(back.algorithm, partial.algorithm);
+  EXPECT_EQ(back.first, partial.first);
+  EXPECT_EQ(back.count, partial.count);
+  EXPECT_EQ(back.successes, partial.successes);
+  ASSERT_EQ(back.records.size(), partial.records.size());
+  for (std::size_t i = 0; i < partial.records.size(); ++i)
+    EXPECT_EQ(back.records[i].latency, partial.records[i].latency);
+  EXPECT_EQ(back.telemetry.memo_lookups, partial.telemetry.memo_lookups);
+}
+
+TEST(CampaignWire, IncrementalReaderLatchesErrorsInsteadOfThrowing) {
+  CampaignPartialReader reader;
+  const std::string garbage = "Segmentation fault (core dumped)\n";
+  reader.feed(garbage.data(), garbage.size());  // must not throw
+  EXPECT_TRUE(reader.failed());
+  // Further input after the latch is ignored, not parsed.
+  const std::string more = "caft-campaign-partial v1\n";
+  reader.feed(more.data(), more.size());
+  EXPECT_THROW((void)reader.take(), CheckError);
+}
+
+TEST(CampaignWire, IncrementalReaderRejectsMidLineTruncation) {
+  const std::string doc = to_text(sample_partial());
+  const std::size_t cut = doc.rfind("r ") + 5;  // mid-record, no newline
+  CampaignPartialReader reader;
+  reader.feed(doc.data(), cut);
+  EXPECT_THROW((void)reader.take(), CheckError);
+}
+
 }  // namespace
 }  // namespace ftsched

@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "campaign/progress.hpp"
 
 namespace caft {
 namespace {
@@ -118,6 +122,89 @@ TEST(CliArgs, CheckWritablePathRejectsBadTargets) {
   // file named "true" in the working directory.
   EXPECT_THROW(CliArgs::check_writable_path("trace-out", "true"), CheckError);
   EXPECT_THROW(CliArgs::check_writable_path("trace-out", ""), CheckError);
+}
+
+// --- ProgressHeartbeat (campaign/progress.hpp) — the --progress state
+// machine the CLIs hang on CampaignProgress callbacks, driven here with an
+// injected clock so the 200 ms throttle is deterministic.
+
+CampaignProgress progress_at(std::size_t done, std::size_t total) {
+  CampaignProgress progress;
+  progress.replays_done = done;
+  progress.replays_total = total;
+  progress.successes = done;
+  return progress;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  return lines;
+}
+
+TEST(ProgressHeartbeat, EmitsTerminalLineSwallowedByThrottle) {
+  // The regression this class exists for: the campaign's last update lands
+  // inside the 200 ms throttle window with replays_done < replays_total
+  // (an early-stopped campaign, or intermediate folds) — finish() must
+  // still emit the terminal state instead of leaving the heartbeat frozen
+  // at an earlier count.
+  using Clock = ProgressHeartbeat::Clock;
+  Clock::time_point fake_now{std::chrono::seconds(1000)};
+  std::ostringstream sink;
+  ProgressHeartbeat heartbeat(&sink, [&] { return fake_now; });
+
+  heartbeat(progress_at(100, 1000));  // first update always prints
+  fake_now += std::chrono::milliseconds(50);
+  heartbeat(progress_at(300, 1000));  // throttled: 50 ms < 200 ms
+  EXPECT_EQ(count_lines(sink.str()), 1u);
+  EXPECT_NE(sink.str().find("100/1000"), std::string::npos);
+
+  heartbeat.finish();  // campaign complete (early stop at 300)
+  EXPECT_EQ(count_lines(sink.str()), 2u);
+  EXPECT_NE(sink.str().find("300/1000"), std::string::npos);
+  heartbeat.finish();  // idempotent
+  EXPECT_EQ(count_lines(sink.str()), 2u);
+}
+
+TEST(ProgressHeartbeat, FinalUpdateBypassesThrottleAndFinishStaysQuiet) {
+  using Clock = ProgressHeartbeat::Clock;
+  Clock::time_point fake_now{std::chrono::seconds(1000)};
+  std::ostringstream sink;
+  ProgressHeartbeat heartbeat(&sink, [&] { return fake_now; });
+
+  heartbeat(progress_at(500, 1000));
+  fake_now += std::chrono::milliseconds(10);
+  heartbeat(progress_at(1000, 1000));  // done == total: prints regardless
+  EXPECT_EQ(count_lines(sink.str()), 2u);
+  EXPECT_NE(sink.str().find("1000/1000"), std::string::npos);
+  EXPECT_NE(sink.str().find("100.0%"), std::string::npos);
+  heartbeat.finish();  // nothing pending — no duplicate line
+  EXPECT_EQ(count_lines(sink.str()), 2u);
+}
+
+TEST(ProgressHeartbeat, RestartedCampaignResetsRateState) {
+  using Clock = ProgressHeartbeat::Clock;
+  Clock::time_point fake_now{std::chrono::seconds(1000)};
+  std::ostringstream sink;
+  ProgressHeartbeat heartbeat(&sink, [&] { return fake_now; });
+
+  heartbeat(progress_at(1000, 1000));  // campaign A completes
+  fake_now += std::chrono::milliseconds(10);
+  // Campaign B begins: a non-increasing count (or changed total) resets
+  // the throttle, so B's first update prints even inside A's window.
+  heartbeat(progress_at(200, 2000));
+  EXPECT_EQ(count_lines(sink.str()), 2u);
+  EXPECT_NE(sink.str().find("200/2000"), std::string::npos);
+  heartbeat.finish();  // B's last state already printed
+  EXPECT_EQ(count_lines(sink.str()), 2u);
+}
+
+TEST(ProgressHeartbeat, FinishWithNoObservationsIsANoOp) {
+  std::ostringstream sink;
+  ProgressHeartbeat heartbeat(&sink);
+  heartbeat.finish();
+  EXPECT_TRUE(sink.str().empty());
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 #include "common/subprocess.hpp"
 #include "helpers.hpp"
 #include "io/campaign_wire.hpp"
+#include "obs/obs.hpp"
 
 namespace ftsched {
 namespace {
@@ -349,6 +350,141 @@ TEST(SessionSubprocess, RetriesPoisonedOutputAndStaysIdentical) {
   const CampaignReport report = session.evaluate(instance, spec);
   expect_summaries_identical(reference, report.runs[0].summary);
   EXPECT_FALSE(std::filesystem::exists(poison));
+}
+
+TEST(SessionSubprocess, StreamedFoldBoundedByReorderWindow) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(311, 8, 1.0, 1);
+  const CampaignSpec spec = lifetime_spec(600);
+  const Session in_process{};
+  const CampaignSummary reference =
+      in_process.evaluate(instance, spec).runs[0].summary;
+
+  // Delaying wrapper: the first invocation to claim the marker sleeps half
+  // a second, so later blocks complete first and must buffer in the
+  // reorder window until the straggler folds — the exact pattern that made
+  // the old coordinator's memory O(replays).
+  const caft::ScratchDir dir("ftsched-subproc");
+  const std::string script = write_script(
+      dir, "straggler_worker.sh",
+      "if mkdir \"" + dir.file("straggler-claimed") + "\" 2>/dev/null; then\n"
+      "  sleep 0.5\n"
+      "fi\n"
+      "exec \"" + cli + "\" \"$@\"\n");
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(script, 4);
+  options.exec.block_replays = 30;    // 20 blocks
+  options.exec.reorder_window = 3;    // far fewer than blocks
+  const Session session(options);
+
+  // The peak-window gauge is the coordinator's own measurement of how many
+  // blocks it ever buffered; arm the registry to read it back.
+  obs::Registry& registry = obs::Registry::global();
+  registry.set_enabled(true);
+  const CampaignReport report = session.evaluate(instance, spec);
+  const obs::MetricsSnapshot metrics = registry.snapshot();
+  registry.set_enabled(false);
+
+  // Byte-identity survives the straggler-induced reordering...
+  expect_summaries_identical(reference, report.runs[0].summary);
+  // ...and coordinator memory stayed bounded by the window, not by the
+  // campaign: at most reorder_window blocks buffered, ever.
+  const double peak = metrics.gauge_value("campaign.fold.window_peak");
+  EXPECT_GE(peak, 1.0);
+  EXPECT_LE(peak, 3.0);
+  EXPECT_EQ(report.runs[0].telemetry.fold_window_peak,
+            static_cast<std::size_t>(peak));
+  // The straggler forced at least one block to wait for the fold frontier.
+  EXPECT_GE(metrics.counter_value("campaign.fold.blocks_buffered"), 1u);
+  EXPECT_EQ(report.runs[0].telemetry.blocks, 20u);
+}
+
+TEST(SessionSubprocess, OutOfOrderCompletionStaysIdenticalAcrossWorkers) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(312, 10, 1.0, 1);
+  const ScheduleResult scheduled =
+      SchedulerRegistry::global().make("caft")->schedule(instance);
+  CampaignSpec spec = lifetime_spec(400);
+  spec.sampler = SamplerSpec::exponential(0.5 / scheduled.makespan);
+
+  const Session in_process{};
+  const CampaignSummary reference =
+      in_process.evaluate(instance, spec).runs[0].summary;
+
+  // Jittering wrapper: each worker invocation sleeps 0–0.2 s depending on
+  // its pid, so block completion order is scrambled differently on every
+  // run — the streamed fold must reproduce the canonical summary from any
+  // completion order, at any worker count, with a tight window.
+  const caft::ScratchDir dir("ftsched-subproc");
+  const std::string script = write_script(dir, "jitter_worker.sh",
+                                          "sleep 0.$(( $$ % 3 ))\n"
+                                          "exec \"" + cli + "\" \"$@\"\n");
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    SessionOptions options;
+    options.exec = ExecutionPolicy::subprocess(script, workers);
+    options.exec.block_replays = 50;  // 8 blocks
+    options.exec.reorder_window = 2;
+    const Session session(options);
+    const CampaignReport report = session.evaluate(instance, spec);
+    expect_summaries_identical(reference, report.runs[0].summary);
+    EXPECT_LE(report.runs[0].telemetry.fold_window_peak, 2u);
+  }
+}
+
+TEST(SessionSubprocess, ReorderWindowOfOneSerializesTheFold) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(313, 8, 1.0, 1);
+  const CampaignSpec spec = lifetime_spec(200);
+  const Session in_process{};
+  const CampaignSummary reference =
+      in_process.evaluate(instance, spec).runs[0].summary;
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(cli, 4);
+  options.exec.block_replays = 25;  // 8 blocks
+  options.exec.reorder_window = 1;  // degenerate: one block in flight
+  const Session session(options);
+  const CampaignReport report = session.evaluate(instance, spec);
+  expect_summaries_identical(reference, report.runs[0].summary);
+  EXPECT_EQ(report.runs[0].telemetry.fold_window_peak, 1u);
+}
+
+TEST(SessionSubprocess, EarlyStopFoldsAContiguousCanonicalPrefix) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  const Instance instance = random_instance(314, 8, 1.0, 1);
+  CampaignSpec spec = lifetime_spec(2000);
+  spec.target_ci_width = 0.15;  // reached after a few hundred replays
+
+  SessionOptions options;
+  options.exec = ExecutionPolicy::subprocess(cli, 2);
+  options.exec.block_replays = 50;
+  const Session session(options);
+  const CampaignRun run = session.evaluate(instance, spec).runs[0];
+
+  // Stopped early, on a block boundary (claims are whole blocks)...
+  const std::size_t folded = run.summary.replays;
+  EXPECT_LT(folded, spec.replays);
+  EXPECT_GE(folded, 50u);
+  EXPECT_EQ(folded % 50, 0u);
+  EXPECT_EQ(run.telemetry.replays, folded);
+  // ...and the folded set is the contiguous canonical prefix [0, folded):
+  // an in-process campaign of exactly that many replays is byte-identical.
+  // (This is what makes early stopping a *truncated* campaign rather than
+  // a subsampled one.)
+  CampaignSpec prefix = lifetime_spec(folded);
+  const CampaignSummary reference =
+      Session{}.evaluate(instance, prefix).runs[0].summary;
+  expect_summaries_identical(reference, run.summary);
 }
 
 TEST(SessionSubprocess, FailsLoudlyAfterRetryBudget) {

@@ -58,10 +58,27 @@
 /// byte-identical to in-process runs by construction. --worker-cmd names
 /// the worker binary (default: this binary).
 ///
+/// The subprocess coordinator folds worker records *streamingly* (PR 7):
+/// completed blocks enter a bounded reorder window and fold into the
+/// summary the moment they are next in canonical scenario order, so
+/// coordinator memory is O(--reorder-window × --block-replays) records
+/// regardless of --replays. --block-replays N sets the replays per worker
+/// block (0 = auto, ~4 blocks per worker); --reorder-window W caps the
+/// blocks past the fold frontier (0 = auto, max(2 × workers, 4)). Neither
+/// knob can change a report.
+///
+/// --target-ci-width W (subprocess only; off by default) stops dispatching
+/// new blocks once the Wilson 95% CI around the folded prefix's success
+/// rate is at most W wide. The result is a truncated-campaign summary over
+/// a contiguous canonical prefix — deterministic per stopping point but
+/// intentionally NOT byte-identical to a fixed-replay run, because the
+/// stopping point depends on worker completion timing.
+///
 /// --worker is the worker side of that protocol: read one serialized work
 /// order (io/campaign_wire.hpp) on stdin, replay the requested scenario
-/// block, emit the partial result on stdout. Spawned by the coordinator;
-/// not for interactive use.
+/// block, emit the partial result on stdout — records stream out in
+/// sub-block chunks as waves complete. Spawned by the coordinator; not for
+/// interactive use.
 ///
 /// Observability (all inert — reports are byte-identical with or without):
 ///   --trace-out FILE    Chrome trace-event JSON of the run (scheduler
@@ -87,6 +104,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "campaign/progress.hpp"
 #include "campaign/stats.hpp"
 #include "common/build_info.hpp"
 #include "common/cli_args.hpp"
@@ -190,58 +208,6 @@ void write_observability_outputs(const Args& args) {
   }
 }
 
-/// The --progress stderr heartbeat: throttled to ~5 lines/s, always prints
-/// the campaign's final state. Reads CampaignProgress only — it cannot
-/// steer the campaign.
-class ProgressHeartbeat {
- public:
-  void operator()(const caft::CampaignProgress& progress) {
-    using clock = std::chrono::steady_clock;
-    const clock::time_point now = clock::now();
-    if (progress.replays_done <= last_done_) {
-      // A smaller (or restarted) count means a new campaign began —
-      // per-algorithm rates, not a blended one.
-      start_ = now;
-      last_print_ = clock::time_point{};
-    }
-    last_done_ = progress.replays_done;
-    const bool final = progress.replays_done >= progress.replays_total;
-    if (!final && now - last_print_ < std::chrono::milliseconds(200)) return;
-    last_print_ = now;
-
-    const double elapsed =
-        std::chrono::duration<double>(now - start_).count();
-    const double rate =
-        elapsed > 0.0
-            ? static_cast<double>(progress.replays_done) / elapsed
-            : 0.0;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(progress.replays_total -
-                                         progress.replays_done) /
-                         rate
-                   : 0.0;
-    const caft::WilsonInterval ci =
-        caft::wilson_interval(progress.successes, progress.replays_done);
-    const double memo_pct =
-        progress.memo_lookups > 0
-            ? 100.0 * static_cast<double>(progress.memo_hits) /
-                  static_cast<double>(progress.memo_lookups)
-            : 0.0;
-    std::fprintf(stderr,
-                 "progress: %zu/%zu (%.1f%%) | %.0f replays/s | "
-                 "CI width %.4f | memo %.1f%% | ETA %.1fs\n",
-                 progress.replays_done, progress.replays_total,
-                 100.0 * static_cast<double>(progress.replays_done) /
-                     static_cast<double>(progress.replays_total),
-                 rate, ci.high - ci.low, memo_pct, eta);
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_{};
-  std::chrono::steady_clock::time_point last_print_{};
-  std::size_t last_done_ = static_cast<std::size_t>(-1);
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,8 +286,24 @@ int main(int argc, char** argv) {
           args.get("worker-cmd", argv[0]), args.get_size("workers", 2));
       session_options.exec.worker_threads =
           args.get_size("worker-threads", 1);
+      // Streaming-fold knobs: replays per worker block and how many blocks
+      // may sit past the fold frontier at once (coordinator memory is
+      // O(reorder-window × block-replays) records). 0 = auto for both.
+      session_options.exec.block_replays = args.get_size("block-replays", 0);
+      session_options.exec.reorder_window =
+          args.get_size("reorder-window", 0);
     }
-    if (args.has("progress")) session_options.on_progress = ProgressHeartbeat();
+    // One heartbeat shared across every campaign of this run, behind a
+    // shared_ptr because std::function copies its callable: finish() below
+    // must see the same throttle state the callbacks updated.
+    std::shared_ptr<ProgressHeartbeat> heartbeat;
+    if (args.has("progress")) {
+      heartbeat = std::make_shared<ProgressHeartbeat>();
+      session_options.on_progress =
+          [heartbeat](const caft::CampaignProgress& progress) {
+            (*heartbeat)(progress);
+          };
+    }
     const ftsched::Session session(session_options);
 
     // --- spec: algorithms, sampler distribution, replay/seed budget.
@@ -338,6 +320,12 @@ int main(int argc, char** argv) {
     // the user believes is bucketed (--exact is the intentional opt-out).
     spec.theta_buckets = args.get_size("theta-buckets", 0);
     spec.exact = args.has("exact");
+    // --target-ci-width W: early stopping on the subprocess backend — stop
+    // dispatching new blocks once the folded prefix's Wilson 95% CI is at
+    // most W wide. Intentionally non-identical to a fixed-replay run (the
+    // stopping point depends on worker timing); the Session rejects it on
+    // the in-process backend.
+    spec.target_ci_width = args.get_double("target-ci-width", 0.0);
 
     const std::string sampler_name = spec.sampler.name(m);
     std::printf("instance: %zu tasks, %zu edges, m=%zu, eps=%zu\n",
@@ -367,6 +355,12 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       const ftsched::CampaignRun& run = report.runs.emplace_back(
           session.evaluate_schedule(*instance, std::move(scheduled), spec));
+      // Terminal heartbeat line: the campaign is complete, so flush the
+      // state the 200 ms throttle may have swallowed — without this, a
+      // last block landing inside the throttle window (or an early-stopped
+      // campaign, which never reaches replays_total) leaves the heartbeat
+      // frozen below its final count.
+      if (heartbeat) heartbeat->finish();
       // Quantization is an opt-in approximation; surface its effect. (Not
       // printed otherwise — nor under --exact, where no bucketing happens —
       // so exact reports stay byte-stable.)
