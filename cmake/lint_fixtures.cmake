@@ -1,0 +1,77 @@
+# ftsched_lint fixture gate, run as a ctest via
+#   cmake -DLINT=<binary> -DFIXTURES=<repo>/tests/lint_fixtures -P …
+#
+# Asserts the linter's whole behavioural contract against the committed
+# fixture corpus: every rule fires at the expected file:line (byte-exact
+# against expected.txt), suppressions suppress, the --rule filter
+# restricts output to that rule, and bad invocations fail loudly.
+if(NOT LINT OR NOT FIXTURES)
+  message(FATAL_ERROR "lint_fixtures.cmake needs -DLINT and -DFIXTURES")
+endif()
+
+file(READ ${FIXTURES}/expected.txt expected)
+
+# ------------------------------------------------ full run: exact output
+execute_process(
+  COMMAND ${LINT} --root ${FIXTURES}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE summary
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR
+    "ftsched_lint on the fixture corpus must exit 1 (findings), got "
+    "${code}:\n${actual}${summary}")
+endif()
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "fixture findings drifted from tests/lint_fixtures/expected.txt.\n"
+    "--- expected ---\n${expected}\n--- actual ---\n${actual}\n"
+    "If the change is intentional, regenerate: "
+    "./build/tools/ftsched_lint --root tests/lint_fixtures > "
+    "tests/lint_fixtures/expected.txt")
+endif()
+
+# --------------------------------------- --rule filter: layering subset
+string(REPLACE "\n" ";" expected_lines "${expected}")
+set(want_layering "")
+foreach(line ${expected_lines})
+  if(line MATCHES ": layering: ")
+    string(APPEND want_layering "${line}\n")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LINT} --root ${FIXTURES} --rule layering
+  OUTPUT_VARIABLE actual_layering
+  ERROR_QUIET
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR "--rule layering on fixtures must exit 1, got ${code}")
+endif()
+if(NOT actual_layering STREQUAL want_layering)
+  message(FATAL_ERROR
+    "--rule layering must report exactly the layering subset of "
+    "expected.txt.\n--- expected ---\n${want_layering}\n--- actual ---\n"
+    "${actual_layering}")
+endif()
+
+# ------------------------------------------------- bad invocations fail
+execute_process(
+  COMMAND ${LINT} --root ${FIXTURES} --rule no-such-rule
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "unknown --rule must exit 2, got ${code}")
+endif()
+
+execute_process(
+  COMMAND ${LINT} --root ${FIXTURES}/does-not-exist
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "missing --root must exit 2 (never pass vacuously), "
+    "got ${code}")
+endif()
+
+message(STATUS "ftsched_lint fixtures: all rules fire as pinned, "
+  "suppressions and --rule filter behave")

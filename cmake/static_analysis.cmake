@@ -1,0 +1,59 @@
+# Static-analysis wiring: warnings-as-errors, the in-repo determinism
+# linter, and clang-tidy over the exported compile database.
+#
+#   FTSCHED_WERROR=ON   promote the global -Wall -Wextra to -Werror (CI
+#                       builds turn this on; default OFF so an older local
+#                       compiler with extra warnings never blocks a build)
+#   lint   target       run ftsched_lint over the source tree (all rules)
+#   tidy   target       run clang-tidy (via run-clang-tidy when available)
+#                       over compile_commands.json with the repo .clang-tidy
+#
+# The same checks gate ctest: `ftsched_lint` (full rule set, committed
+# tree must be clean), `include_what_they_ship` (the layering rule, which
+# absorbed the old cmake/include_guard.cmake grep) and
+# `ftsched_lint_fixtures` (the linter's own behavioural contract).
+
+option(FTSCHED_WERROR "Treat compiler warnings as errors" OFF)
+if(FTSCHED_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+# clang-tidy consumes the compile database; always export it.
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+# The $<TARGET_FILE:…> expression resolves at generate time, so this
+# module may be included before the tools are declared; the top-level
+# CMakeLists adds the lint -> ftsched_lint build dependency once the
+# binary target exists.
+add_custom_target(lint
+  COMMAND $<TARGET_FILE:ftsched_lint> --root ${CMAKE_SOURCE_DIR}
+  COMMENT "ftsched_lint: determinism-contract rules over src/ tools/ examples/ tests/ bench/"
+  VERBATIM)
+
+# tidy is gated on the tool being installed: the container image bakes in
+# only the gcc toolchain, so locally this degrades to a clear message
+# instead of a hard configure failure; CI installs clang-tidy and runs it.
+find_program(FTSCHED_CLANG_TIDY clang-tidy)
+find_program(FTSCHED_RUN_CLANG_TIDY run-clang-tidy)
+if(FTSCHED_CLANG_TIDY AND FTSCHED_RUN_CLANG_TIDY)
+  add_custom_target(tidy
+    COMMAND ${FTSCHED_RUN_CLANG_TIDY} -p ${CMAKE_BINARY_DIR} -quiet
+            "${CMAKE_SOURCE_DIR}/src/.*"
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy over compile_commands.json (src/)"
+    VERBATIM)
+elseif(FTSCHED_CLANG_TIDY)
+  file(GLOB_RECURSE FTSCHED_TIDY_SOURCES CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/src/*.cpp)
+  add_custom_target(tidy
+    COMMAND ${FTSCHED_CLANG_TIDY} -p ${CMAKE_BINARY_DIR} --quiet
+            ${FTSCHED_TIDY_SOURCES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy over compile_commands.json (src/)"
+    VERBATIM)
+else()
+  add_custom_target(tidy
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "clang-tidy not found; install it (or use the CI static-analysis job) to run the tidy target"
+    VERBATIM)
+endif()

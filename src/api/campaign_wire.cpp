@@ -1,4 +1,4 @@
-#include "io/campaign_wire.hpp"
+#include "api/campaign_wire.hpp"
 
 #include <cmath>
 #include <cstdio>

@@ -13,7 +13,7 @@
 
 #include "common/check.hpp"
 #include "common/subprocess.hpp"
-#include "io/campaign_wire.hpp"
+#include "api/campaign_wire.hpp"
 #include "obs/obs.hpp"
 
 namespace ftsched {

@@ -19,7 +19,7 @@
 /// `evaluate_batch` is the multi-instance entry point and the single choke
 /// point of process-level campaign scale-out: an `ExecutionPolicy` can fan
 /// each campaign's scenario stream out to worker processes (see
-/// io/campaign_wire.hpp for the protocol) — the deterministic split-stream
+/// api/campaign_wire.hpp for the protocol) — the deterministic split-stream
 /// contract makes the results placement-independent, and the coordinator's
 /// canonical-order fold makes them *byte-identical* to in-process runs.
 #pragma once
@@ -135,7 +135,7 @@ struct CampaignSpec {
 /// execution knob, the mode can never change a summary: the subprocess
 /// backend assigns contiguous scenario blocks of the same deterministic
 /// split-stream to workers (campaign_cli --worker speaking the
-/// io/campaign_wire protocol) and folds their per-replay records back in
+/// api/campaign_wire protocol) and folds their per-replay records back in
 /// canonical scenario order, so subprocess summaries are byte-identical to
 /// in-process ones for any worker count (the per-process replay memo is
 /// unobservable by design).

@@ -66,7 +66,7 @@ struct SubprocessResult {
 /// When set, `SubprocessResult::out` stays empty — the child's output is
 /// never accumulated in one string. The sink MUST NOT throw: it runs while
 /// the child is alive, and unwinding out of the poll loop would leak the
-/// process. Parsers latch errors instead (io/campaign_wire's
+/// process. Parsers latch errors instead (api/campaign_wire's
 /// CampaignPartialReader is the intended consumer).
 using StdoutSink = std::function<void(const char* data, std::size_t size)>;
 

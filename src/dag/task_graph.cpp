@@ -14,7 +14,10 @@ TaskGraph::TaskGraph(std::size_t expected_tasks) {
 TaskId TaskGraph::add_task(std::string name) {
   const auto id = TaskId(static_cast<TaskId::value_type>(names_.size()));
   if (name.empty()) {
-    name = "t";
+    // move-assign a fresh string: assigning the "t" literal in place takes
+    // libstdc++'s replace path, which GCC 12 misdiagnoses under -Wrestrict
+    // (PR105329) and -Werror would reject.
+    name = std::string("t");
     name += std::to_string(id.value());
   }
   names_.push_back(std::move(name));

@@ -59,6 +59,9 @@ ExperimentConfig scaled_down(ExperimentConfig config, std::size_t factor) {
 }
 
 std::size_t bench_reps_from_env(std::size_t fallback) {
+  // ftsched-lint: allow(clock-rng) CAFT_BENCH_REPS scales bench repetition
+  // counts only — it is read once, before any campaign, and can never
+  // reach a summary.
   const char* env = std::getenv("CAFT_BENCH_REPS");
   if (env == nullptr) return fallback;
   const long parsed = std::strtol(env, nullptr, 10);

@@ -20,11 +20,21 @@ class TraceWriter {
     os_ << std::fixed << std::setprecision(3);
   }
 
+  // append-built (not `"P" + str`): the char*+string&& operator+ takes
+  // libstdc++'s insert path, which GCC 12 misdiagnoses under -Wrestrict
+  // (PR105329) and -Werror would reject.
+  static std::string lane_label(std::size_t p, const char* suffix) {
+    std::string label = "P";
+    label += std::to_string(p);
+    label += suffix;
+    return label;
+  }
+
   void metadata(std::size_t proc_count) {
     for (std::size_t p = 0; p < proc_count; ++p) {
-      meta_name(p, kExecLane, "P" + std::to_string(p) + " exec");
-      meta_name(p, kSendLane, "P" + std::to_string(p) + " send");
-      meta_name(p, kRecvLane, "P" + std::to_string(p) + " recv");
+      meta_name(p, kExecLane, lane_label(p, " exec"));
+      meta_name(p, kSendLane, lane_label(p, " send"));
+      meta_name(p, kRecvLane, lane_label(p, " recv"));
     }
   }
 

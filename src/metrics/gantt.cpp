@@ -75,7 +75,13 @@ std::string render_gantt(const Schedule& schedule, const GanttOptions& options) 
   const std::size_t m = schedule.platform().proc_count();
   std::vector<std::vector<Bar>> lanes(m);
   std::vector<std::string> names(m);
-  for (std::size_t p = 0; p < m; ++p) names[p] = "P" + std::to_string(p);
+  for (std::size_t p = 0; p < m; ++p) {
+    // append-built (not `"P" + str`): the char*+string&& operator+ takes
+    // libstdc++'s insert path, which GCC 12 misdiagnoses under -Wrestrict
+    // (PR105329) and -Werror would reject.
+    names[p] = std::string("P");
+    names[p] += std::to_string(p);
+  }
 
   double horizon = 0.0;
   for (const TaskId t : schedule.graph().all_tasks()) {
@@ -102,7 +108,8 @@ std::string render_crash_gantt(const Schedule& schedule,
   std::vector<std::string> names(m);
   for (std::size_t p = 0; p < m; ++p) {
     const auto proc = ProcId(static_cast<ProcId::value_type>(p));
-    names[p] = "P" + std::to_string(p);
+    names[p] = std::string("P");
+    names[p] += std::to_string(p);
     if (scenario.dead_from_start(proc)) names[p] += " (DEAD)";
   }
 

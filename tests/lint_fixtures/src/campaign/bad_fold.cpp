@@ -1,0 +1,20 @@
+// ordered-fold fixture: iterating an unordered container into an
+// accumulator — the summary then depends on hash-table layout.
+#include <cstdint>
+#include <unordered_map>
+
+struct Memo {
+  std::unordered_map<std::uint64_t, double> entries;
+};
+
+double fold(const Memo& memo) {
+  double total = 0.0;
+  for (const auto& [key, value] : memo.entries) total += value;  // range-for
+  auto it = memo.entries.begin();                                // iterator
+  return it == memo.entries.end() ? total : total + it->second;
+}
+
+double keyed_lookup_is_fine(const Memo& memo) {
+  auto hit = memo.entries.find(42);  // lookups never observe the order
+  return hit == memo.entries.end() ? 0.0 : hit->second;
+}

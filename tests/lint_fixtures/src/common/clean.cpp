@@ -1,0 +1,13 @@
+// Clean fixture: prose and string literals that *mention* banned tokens
+// must not fire (the scanner matches code, not comments or literals).
+#include "common/clean.hpp"
+
+namespace caft {
+
+std::string clean_summary(double value) {
+  // rand() and system_clock in a comment are fine.
+  std::string text = "calls rand() and time() and getenv at %f precision";
+  return value > 0 ? text : "lifetime(rate=...)";
+}
+
+}  // namespace caft

@@ -1,0 +1,15 @@
+// Clean fixture: a header that satisfies every rule — guard present, no
+// using-namespace, no upward includes, no nondeterministic sources. The
+// linter must report nothing for this file.
+#pragma once
+
+#include <string>
+
+namespace caft {
+
+// Mentions of rand(), time() and system_clock in comments — and inside
+// string literals, see clean.cpp — must never fire: the scanner strips
+// comments and blanks literal contents before matching.
+std::string clean_summary(double value);
+
+}  // namespace caft

@@ -1,0 +1,9 @@
+// layering fixture: io/ is the low-level serialization layer and may not
+// reach up into campaign/ or api/ (their wire formats live up there).
+#pragma once
+
+#include "api/session.hpp"
+#include "campaign/campaign.hpp"
+#include "common/check.hpp"
+
+void serialize_everything();

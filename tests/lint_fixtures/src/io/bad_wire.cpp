@@ -1,0 +1,18 @@
+// wire-determinism fixture: every way a floating value can reach the wire
+// at nondeterministic-across-libc / default precision. No setprecision or
+// hexfloat pin anywhere in this file, so the streaming heuristic is live.
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+void emit(std::ostream& os) {
+  double latency = 1.5;
+  std::vector<double> quantiles = {0.5, 0.9};
+  os << latency;                                // default-precision stream
+  os << quantiles[0];                           // indexed float sequence
+  std::string s = std::to_string(latency);      // fixed 6-digit to_string
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", latency);  // printf float
+  os << s << buffer;
+}

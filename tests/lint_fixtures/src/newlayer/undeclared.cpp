@@ -1,0 +1,5 @@
+// layering fixture: a directory that is not in the declared layer DAG —
+// new layers must be added to the DAG deliberately, not appear silently.
+#include "common/check.hpp"
+
+void undeclared_layer();

@@ -1,0 +1,17 @@
+// clock-rng fixture: every banned nondeterministic source in a core layer.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double nondeterministic_cost() {
+  auto now = std::chrono::system_clock::now();          // wall clock
+  std::time_t stamp = std::time(nullptr);               // libc wall clock
+  int noise = std::rand();                              // libc RNG
+  std::random_device entropy;                           // hardware entropy
+  const char* knob = std::getenv("CAFT_SECRET_KNOB");   // environment
+  return static_cast<double>(stamp) + noise +
+         static_cast<double>(entropy()) +
+         (knob != nullptr ? 1.0 : 0.0) +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}

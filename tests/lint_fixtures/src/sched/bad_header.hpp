@@ -1,0 +1,7 @@
+// header-hygiene fixture: no #pragma once / include guard, and a
+// file-scope using-namespace that would leak into every includer.
+#include <string>
+
+using namespace std;
+
+string badly_guarded();

@@ -1,0 +1,12 @@
+// suppression meta-rule fixture: suppressions must name known rules and
+// carry a reason. A reasonless allow still suppresses its target (the
+// violation does not double-report) but is itself a finding, so nothing
+// sneaks past review silently.
+#include <cstdlib>
+
+int bad_suppressions() {
+  const char* a = std::getenv("CAFT_FIXTURE_C");  // ftsched-lint: allow(clock-rng)
+  // ftsched-lint: allow(made-up-rule) typo'd rule ids must be caught
+  const char* b = std::getenv("CAFT_FIXTURE_D");
+  return (a != nullptr ? 1 : 0) + (b != nullptr ? 1 : 0);
+}

@@ -1,0 +1,13 @@
+// suppression fixture: every violation here carries a well-formed allow
+// comment with a reason, so this file must produce zero findings (they
+// count as suppressed, not clean).
+#include <cstdlib>
+
+int suppressed_env_read() {
+  // ftsched-lint: allow(clock-rng) fixture demonstrating a block-comment
+  // suppression directly above the offending line.
+  const char* above = std::getenv("CAFT_FIXTURE_A");
+  const char* same =
+      std::getenv("CAFT_FIXTURE_B");  // ftsched-lint: allow(clock-rng) inline suppression fixture
+  return (above != nullptr ? 1 : 0) + (same != nullptr ? 1 : 0);
+}

@@ -1,0 +1,6 @@
+// layering fixture for the absorbed include_what_they_ship rule: shipped
+// consumers must obtain algorithms via the api/ facade, never algo/*.hpp.
+#include "algo/caft.hpp"
+#include "api/api.hpp"
+
+int main() { return 0; }

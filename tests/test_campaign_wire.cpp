@@ -1,9 +1,9 @@
-// Tests for the campaign wire format (io/campaign_wire.hpp): bit-exact
+// Tests for the campaign wire format (api/campaign_wire.hpp): bit-exact
 // round-trip of work orders and partial results (hexfloat doubles, inf/nan,
 // optional request overrides), and strict rejection of malformed or
 // internally inconsistent documents — a poisoned worker must be *detected*,
 // never folded.
-#include "io/campaign_wire.hpp"
+#include "api/campaign_wire.hpp"
 
 #include <gtest/gtest.h>
 

@@ -200,8 +200,8 @@ TEST(CrashSim, AllProcessorsDeadFailsOutright) {
 
 TEST(CrashScenario, RejectsOutOfRangeProcessor) {
   CrashScenario scenario = CrashScenario::none(4);
-  EXPECT_THROW(scenario.crash_time(P(4)), CheckError);
-  EXPECT_THROW(scenario.dead_from_start(P(5)), CheckError);
+  EXPECT_THROW((void)scenario.crash_time(P(4)), CheckError);
+  EXPECT_THROW((void)scenario.dead_from_start(P(5)), CheckError);
   EXPECT_THROW(scenario.set_crash_time(P(7), 1.0), CheckError);
   EXPECT_THROW(CrashScenario::at_zero(4, {P(9)}), CheckError);
 }

@@ -19,8 +19,11 @@ TEST(Gantt, RendersEveryProcessorLane) {
   const Schedule sched =
       heft_schedule(s.graph, *s.platform, *s.costs, CommModelKind::kOnePort);
   const std::string out = render_gantt(sched);
-  for (int p = 0; p < 4; ++p)
-    EXPECT_NE(out.find("P" + std::to_string(p)), std::string::npos);
+  for (int p = 0; p < 4; ++p) {
+    std::string lane = "P";
+    lane += std::to_string(p);
+    EXPECT_NE(out.find(lane), std::string::npos);
+  }
   EXPECT_NE(out.find('#'), std::string::npos);  // at least one bar
 }
 

@@ -30,7 +30,7 @@
 #include "common/check.hpp"
 #include "common/subprocess.hpp"
 #include "helpers.hpp"
-#include "io/campaign_wire.hpp"
+#include "api/campaign_wire.hpp"
 #include "obs/obs.hpp"
 
 namespace ftsched {

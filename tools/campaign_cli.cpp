@@ -75,7 +75,7 @@
 /// stopping point depends on worker completion timing.
 ///
 /// --worker is the worker side of that protocol: read one serialized work
-/// order (io/campaign_wire.hpp) on stdin, replay the requested scenario
+/// order (api/campaign_wire.hpp) on stdin, replay the requested scenario
 /// block, emit the partial result on stdout — records stream out in
 /// sub-block chunks as waves complete. Spawned by the coordinator; not for
 /// interactive use.

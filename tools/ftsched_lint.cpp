@@ -1,0 +1,1054 @@
+/// \file ftsched_lint.cpp
+/// Determinism-contract static analyzer for this repository.
+///
+/// The repo's core promise — campaign summaries byte-identical across
+/// thread counts, worker counts and process boundaries — is enforced at
+/// runtime by the identity ctests, but those only catch a violation when
+/// the exact configuration is exercised. This tool catches the *class* of
+/// bug at analysis time: it walks src/ tools/ examples/ tests/ bench/ and
+/// enforces the project invariants as named, individually suppressible
+/// rules.
+///
+/// Rules (ids are stable; they appear in findings and suppressions):
+///
+///   layering        A declared layer DAG over src/ modules: every
+///                   `#include "<layer>/..."` must point at the including
+///                   layer itself or a layer it is declared to depend on.
+///                   io/ notably may NOT include campaign/ or api/ (wire
+///                   formats of upper layers live in those layers), and
+///                   tools/ + examples/ must consume algorithms via the
+///                   api/ facade, never algo/*.hpp (the rule that used to
+///                   live in cmake/include_guard.cmake as a grep).
+///   wire-determinism
+///                   In wire/serialization code (src/io/ and
+///                   api/campaign_wire.*): floating-point values must
+///                   never reach an ostream at default precision —
+///                   `operator<<(double)` without a prior
+///                   std::setprecision/std::hexfloat pin in the file,
+///                   `std::to_string` on a floating value (always 6
+///                   digits), and %f/%g/%e printf formats are all flagged.
+///                   format_double()/"%a" hexfloat are the blessed paths.
+///   ordered-fold    Iterating a std::unordered_{map,set} (range-for or
+///                   .begin()) in shipped code (src/ tools/ examples/):
+///                   iteration order is unspecified, so feeding it into
+///                   any output or accumulator breaks byte-identity.
+///                   Keyed lookups (find/insert/at) stay legal.
+///   clock-rng       Nondeterministic sources — system_clock, time(),
+///                   rand()/srand(), random_device, getenv — banned in
+///                   src/ outside obs/, common/ and campaign/progress.*:
+///                   core layers must be pure functions of their inputs.
+///   header-hygiene  Headers must carry #pragma once (or a classic
+///                   include guard) and must not `using namespace` at
+///                   file scope.
+///   suppression     Meta rule: a suppression comment must name known
+///                   rules and carry a non-empty reason.
+///
+/// Suppression syntax — same line or a comment line directly above:
+///
+///   std::getenv("CAFT_THREADS");  // ftsched-lint: allow(clock-rng) env
+///                                 // is read once at startup, documented
+///
+/// Findings print as `file:line: rule-id: message` (paths relative to
+/// --root) and the tool exits 1 on any unsuppressed finding, 0 on a clean
+/// tree, 2 on usage/IO errors. Run it via the `lint` build target, the
+/// `ftsched_lint` ctest (full rule set) or the `include_what_they_ship`
+/// ctest (`--rule layering`).
+///
+/// This is a line-oriented lexical analyzer, not a compiler plugin: it
+/// strips comments and string-literal contents before matching (so prose
+/// mentioning rand() never fires), resolves project includes transitively
+/// to learn which identifiers are floating-point or unordered containers,
+/// and accepts that heuristics have edges — the suppression mechanism is
+/// the escape hatch, and tests/lint_fixtures/ pins every rule's expected
+/// behaviour.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------ model
+
+struct Finding {
+  std::string file;  // relative to the scan root, '/'-separated
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool finding_less(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+/// One physical source line in three views plus its comment text.
+struct SourceLine {
+  std::string raw;      ///< the line as written
+  std::string code;     ///< comments stripped, string/char contents blanked
+  std::string nostr;    ///< comments stripped, string contents kept
+  std::string comment;  ///< concatenated comment text on this line
+};
+
+struct Suppression {
+  std::set<std::string> rules;
+  std::string reason;
+};
+
+struct SourceFile {
+  std::string rel;  ///< path relative to root
+  bool is_header = false;
+  std::vector<SourceLine> lines;
+  /// Project includes ("api/session.hpp") in order of appearance.
+  std::vector<std::string> includes;
+  /// line number (1-based) -> parsed suppression on that line.
+  std::map<std::size_t, Suppression> suppressions;
+  /// Scalar double/float names declared anywhere in this file.
+  std::set<std::string> float_names;
+  /// Subset of float_names safe to export to includers (fields/globals,
+  /// not function parameters or locals hidden behind parentheses).
+  std::set<std::string> float_exports;
+  /// vector<double>/span<double>/array<double,..> names (indexed access
+  /// yields a floating value).
+  std::set<std::string> float_seq_names;
+  std::set<std::string> float_seq_exports;
+  /// std::unordered_{map,set,...} variable/field names.
+  std::set<std::string> unordered_names;
+  std::set<std::string> unordered_exports;
+};
+
+const std::set<std::string> kRuleIds = {
+    "layering",  "wire-determinism", "ordered-fold",
+    "clock-rng", "header-hygiene",   "suppression"};
+
+// ------------------------------------------------- layer DAG (the contract)
+//
+// Key: src/<layer>; value: the layers it may include (its own layer is
+// always allowed). This is the single declaration of the architecture —
+// extend it deliberately when a new dependency is architectural, never to
+// silence a finding.
+const std::map<std::string, std::set<std::string>>& layer_dag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      {"common", {}},
+      {"obs", {"common"}},
+      {"dag", {"common"}},
+      {"platform", {"common", "dag"}},
+      {"comm", {"common", "platform"}},
+      {"sched", {"common", "dag", "platform", "comm"}},
+      {"sim", {"common", "dag", "platform", "sched"}},
+      {"algo", {"common", "obs", "dag", "platform", "comm", "sched"}},
+      {"metrics", {"common", "dag", "platform", "comm", "sched", "sim"}},
+      // io is the low-level serialization layer: instance files, DOT and
+      // trace exports. It must stay below campaign/ and api/ — protocol
+      // formats of those layers (e.g. api/campaign_wire) live up there.
+      {"io", {"common", "dag", "platform", "comm", "sched", "sim"}},
+      {"campaign", {"common", "obs", "dag", "platform", "sched", "sim"}},
+      {"api",
+       {"common", "obs", "dag", "platform", "comm", "sched", "sim", "algo",
+        "metrics", "io", "campaign"}},
+      {"exp",
+       {"common", "obs", "dag", "platform", "comm", "sched", "sim",
+        "metrics", "io", "campaign", "api"}},
+  };
+  return dag;
+}
+
+std::string join(const std::set<std::string>& items, const char* sep) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += sep;
+    out += item;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ lexing
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits a file into SourceLines, tracking block comments, raw strings
+/// and ordinary string/char literals across the whole text.
+std::vector<SourceLine> lex_file(const std::string& text) {
+  enum class State { kCode, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;       // raw-string delimiter, ")delim" form
+  std::vector<SourceLine> lines;
+  SourceLine line;
+
+  auto flush = [&]() {
+    lines.push_back(line);
+    line = SourceLine{};
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      // An unterminated ordinary literal does not cross lines in valid
+      // C++; recover rather than swallowing the rest of the file.
+      if (state == State::kString || state == State::kChar)
+        state = State::kCode;
+      flush();
+      continue;
+    }
+    line.raw += c;
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          line.comment += "  ";
+          for (i += 2; i < text.size() && text[i] != '\n'; ++i) {
+            line.raw += text[i];
+            line.comment += text[i];
+          }
+          --i;  // reprocess the newline
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlock;
+          line.code += "  ";
+          line.nostr += "  ";
+          ++i;
+          line.raw += '*';
+          break;
+        }
+        if (c == '"' &&
+            (i >= 1 && text[i - 1] == 'R')) {  // raw string literal R"…(
+          state = State::kRaw;
+          raw_delim = ")";
+          for (std::size_t j = i + 1; j < text.size() && text[j] != '(';
+               ++j)
+            raw_delim += text[j];
+          raw_delim += '"';
+          line.code += '"';
+          line.nostr += '"';
+          break;
+        }
+        if (c == '"') {
+          state = State::kString;
+          line.code += '"';
+          line.nostr += '"';
+          break;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          line.code += '\'';
+          line.nostr += '\'';
+          break;
+        }
+        line.code += c;
+        line.nostr += c;
+        break;
+      case State::kBlock:
+        line.comment += c;
+        line.code += ' ';
+        line.nostr += ' ';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+          line.raw += '/';
+          line.code += ' ';
+          line.nostr += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          line.code += ' ';
+          line.nostr += c;
+          if (next != '\0' && next != '\n') {
+            ++i;
+            line.raw += text[i];
+            line.code += ' ';
+            line.nostr += text[i];
+          }
+          break;
+        }
+        line.code += c == '"' ? '"' : ' ';
+        line.nostr += c;
+        if (c == '"') state = State::kCode;
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          line.code += ' ';
+          line.nostr += ' ';
+          if (next != '\0' && next != '\n') {
+            ++i;
+            line.raw += text[i];
+            line.code += ' ';
+            line.nostr += ' ';
+          }
+          break;
+        }
+        line.code += c == '\'' ? '\'' : ' ';
+        line.nostr += c == '\'' ? '\'' : ' ';
+        if (c == '\'') state = State::kCode;
+        break;
+      case State::kRaw: {
+        line.code += ' ';
+        line.nostr += c;
+        if (c == raw_delim[0] &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 1; j < raw_delim.size(); ++j) {
+            ++i;
+            line.raw += text[i];
+            line.code += ' ';
+            line.nostr += text[i];
+          }
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (!line.raw.empty()) flush();
+  return lines;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool word_at(const std::string& s, std::size_t pos, std::string_view word) {
+  if (s.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(s[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= s.size() || !ident_char(s[end]);
+}
+
+/// First position of `word` as a whole identifier in `s`, npos if absent.
+std::size_t find_word(const std::string& s, std::string_view word,
+                      std::size_t from = 0) {
+  for (std::size_t pos = s.find(word.data(), from, word.size());
+       pos != std::string::npos;
+       pos = s.find(word.data(), pos + 1, word.size()))
+    if (word_at(s, pos, word)) return pos;
+  return std::string::npos;
+}
+
+// ------------------------------------------------------------- harvesting
+
+bool is_type_keyword(const std::string& word) {
+  static const std::set<std::string> kw = {
+      "int",    "bool",     "char",   "unsigned", "signed", "long",
+      "short",  "auto",     "void",   "const",    "double", "float",
+      "std",    "size_t",   "return", "static",   "if",     "while",
+      "struct", "class",    "using",  "typename", "new",    "delete",
+      "sizeof", "operator", "case",   "default",  "else"};
+  return kw.count(word) != 0;
+}
+
+/// True when `pos` sits inside an unclosed '(' earlier on the same line —
+/// the cheap "this is a function parameter" test used to decide whether a
+/// declaration is exported to includers.
+bool inside_parens(const std::string& code, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = 0; i < pos && i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')') --depth;
+  }
+  return depth > 0;
+}
+
+std::string read_ident(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() &&
+         (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '&'))
+    ++pos;
+  if (pos >= s.size() || !ident_start(s[pos])) return "";
+  std::size_t start = pos;
+  while (pos < s.size() && ident_char(s[pos])) ++pos;
+  return s.substr(start, pos - start);
+}
+
+/// Harvests `double x`, `float y = …`, `double a, b;` declarator names
+/// from one code line into the file's float-name sets.
+void harvest_floats_line(const std::string& code, bool header,
+                         SourceFile& file) {
+  for (const char* type : {"double", "float"}) {
+    for (std::size_t pos = find_word(code, type); pos != std::string::npos;
+         pos = find_word(code, type, pos + 1)) {
+      std::size_t cursor = pos + std::string_view(type).size();
+      // `double>` / `double*` / `double)` are template args, pointers or
+      // casts — scalar-name harvesting only wants `double name`.
+      while (cursor < code.size() && code[cursor] == ' ') ++cursor;
+      if (cursor >= code.size() || !ident_start(code[cursor])) continue;
+      const bool param = inside_parens(code, pos);
+      while (true) {
+        std::string name = read_ident(code, cursor);
+        if (name.empty() || is_type_keyword(name)) break;
+        file.float_names.insert(name);
+        if (header && !param) file.float_exports.insert(name);
+        // Multi-declarator: `double a, b;` — stop at anything that is not
+        // a plain `, next_name` continuation (initializers, params).
+        while (cursor < code.size() && code[cursor] == ' ') ++cursor;
+        if (cursor >= code.size() || code[cursor] != ',') break;
+        ++cursor;
+        while (cursor < code.size() && code[cursor] == ' ') ++cursor;
+        if (cursor >= code.size() || !ident_start(code[cursor])) break;
+      }
+    }
+  }
+  // Sequences of floats: vector<double> v; span<const double> s; …
+  for (const char* seq : {"vector<double>", "vector<float>",
+                          "span<double>", "span<const double>"}) {
+    for (std::size_t pos = code.find(seq); pos != std::string::npos;
+         pos = code.find(seq, pos + 1)) {
+      std::size_t cursor = pos + std::string_view(seq).size();
+      std::string name = read_ident(code, cursor);
+      if (name.empty() || is_type_keyword(name)) continue;
+      file.float_seq_names.insert(name);
+      if (header && !inside_parens(code, pos))
+        file.float_seq_exports.insert(name);
+    }
+  }
+}
+
+/// Harvests `std::unordered_map<K, V> name` declarator names. Template
+/// argument lists may span lines; a small lookahead window joins them.
+void harvest_unordered(SourceFile& file) {
+  static const char* kinds[] = {"unordered_map", "unordered_set",
+                                "unordered_multimap",
+                                "unordered_multiset"};
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    for (const char* kind : kinds) {
+      std::size_t pos = find_word(file.lines[li].code, kind);
+      if (pos == std::string::npos) continue;
+      // Join this line with a short lookahead so multi-line template
+      // argument lists still yield the declarator name.
+      std::string window = file.lines[li].code;
+      for (std::size_t j = li + 1;
+           j < file.lines.size() && j < li + 6; ++j)
+        window += " " + file.lines[j].code;
+      std::size_t cursor = pos + std::string_view(kind).size();
+      if (cursor >= window.size() || window[cursor] != '<') continue;
+      int angle = 0;
+      for (; cursor < window.size(); ++cursor) {
+        if (window[cursor] == '<') ++angle;
+        if (window[cursor] == '>' && --angle == 0) {
+          ++cursor;
+          break;
+        }
+      }
+      if (angle != 0) continue;
+      std::string name = read_ident(window, cursor);
+      if (name.empty() || is_type_keyword(name)) continue;
+      file.unordered_names.insert(name);
+      if (file.is_header && !inside_parens(window, pos))
+        file.unordered_exports.insert(name);
+    }
+  }
+}
+
+// -------------------------------------------------------------- suppression
+
+void parse_suppressions(SourceFile& file, std::vector<Finding>& findings) {
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& comment = file.lines[li].comment;
+    std::size_t tag = comment.find("ftsched-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t line_no = li + 1;
+    std::size_t open = comment.find("allow(", tag);
+    std::size_t close =
+        open == std::string::npos ? std::string::npos
+                                  : comment.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      findings.push_back(
+          {file.rel, line_no, "suppression",
+           "malformed suppression; expected `ftsched-lint: "
+           "allow(rule-id) reason`"});
+      continue;
+    }
+    Suppression sup;
+    std::stringstream ids(
+        comment.substr(open + 6, close - open - 6));
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      id = trimmed(id);
+      if (id.empty()) continue;
+      if (kRuleIds.count(id) == 0) {
+        findings.push_back({file.rel, line_no, "suppression",
+                            "unknown rule '" + id + "' in suppression "
+                            "(known: " + join(kRuleIds, ", ") + ")"});
+        continue;
+      }
+      sup.rules.insert(id);
+    }
+    sup.reason = trimmed(comment.substr(close + 1));
+    if (sup.reason.empty())
+      findings.push_back(
+          {file.rel, line_no, "suppression",
+           "suppression must carry a reason: `ftsched-lint: "
+           "allow(rule-id) <why>`"});
+    if (!sup.rules.empty()) file.suppressions[line_no] = sup;
+  }
+}
+
+/// A finding at `line_no` is suppressed by an allow() on the same line or
+/// on a directly preceding run of comment-only lines.
+bool is_suppressed(const SourceFile& file, std::size_t line_no,
+                   const std::string& rule) {
+  auto covers = [&](std::size_t ln) {
+    auto it = file.suppressions.find(ln);
+    return it != file.suppressions.end() && it->second.rules.count(rule);
+  };
+  if (covers(line_no)) return true;
+  for (std::size_t ln = line_no; ln > 1;) {
+    --ln;
+    const SourceLine& above = file.lines[ln - 1];
+    if (!trimmed(above.code).empty()) return false;  // real code: stop
+    if (covers(ln)) return true;
+    if (trimmed(above.comment).empty() && !trimmed(above.raw).empty())
+      return false;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ rules
+
+struct Context {
+  std::map<std::string, SourceFile> files;  // rel -> file
+  /// rel -> transitive project-include closure (rel paths).
+  std::map<std::string, std::set<std::string>> closures;
+};
+
+std::string top_dir(const std::string& rel) {
+  std::size_t slash = rel.find('/');
+  return slash == std::string::npos ? "" : rel.substr(0, slash);
+}
+
+std::string src_layer(const std::string& rel) {
+  if (top_dir(rel) != "src") return "";
+  std::size_t first = rel.find('/');
+  std::size_t second = rel.find('/', first + 1);
+  if (second == std::string::npos) return "";
+  return rel.substr(first + 1, second - first - 1);
+}
+
+/// Resolves an include string ("api/session.hpp") to a scanned file's rel
+/// path, or "" when it is a system/unknown include.
+std::string resolve_include(const Context& ctx, const std::string& inc) {
+  const std::string as_src = "src/" + inc;
+  if (ctx.files.count(as_src)) return as_src;
+  if (ctx.files.count(inc)) return inc;
+  return "";
+}
+
+void check_layering(const SourceFile& file,
+                    std::vector<Finding>& findings) {
+  const std::string dir = top_dir(file.rel);
+  const std::string layer = src_layer(file.rel);
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& nostr = file.lines[li].nostr;
+    std::size_t hash = nostr.find_first_not_of(" \t");
+    if (hash == std::string::npos || nostr[hash] != '#') continue;
+    std::size_t inc = nostr.find("include", hash);
+    if (inc == std::string::npos) continue;
+    std::size_t quote = nostr.find('"', inc);
+    if (quote == std::string::npos) continue;
+    std::size_t end = nostr.find('"', quote + 1);
+    if (end == std::string::npos) continue;
+    const std::string target = nostr.substr(quote + 1, end - quote - 1);
+    std::size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;  // sibling/generated header
+    const std::string component = target.substr(0, slash);
+    const std::size_t line_no = li + 1;
+
+    if (dir == "tools" || dir == "examples") {
+      if (component == "algo")
+        findings.push_back(
+            {file.rel, line_no, "layering",
+             "tools/ and examples/ must consume algorithms via the api/ "
+             "facade (SchedulerRegistry), not \"" + target + "\""});
+      continue;
+    }
+    if (dir != "src") continue;  // tests/ and bench/ may reach anywhere
+
+    const auto& dag = layer_dag();
+    auto self = dag.find(layer);
+    if (self == dag.end()) {
+      findings.push_back(
+          {file.rel, line_no, "layering",
+           "'src/" + layer + "' is not a declared layer — add it to the "
+           "layer DAG in tools/ftsched_lint.cpp"});
+      continue;
+    }
+    if (component == layer) continue;
+    if (dag.find(component) == dag.end()) {
+      findings.push_back(
+          {file.rel, line_no, "layering",
+           "include of undeclared layer '" + component + "' (\"" + target +
+               "\"); add it to the layer DAG in tools/ftsched_lint.cpp"});
+      continue;
+    }
+    if (self->second.count(component) == 0)
+      findings.push_back(
+          {file.rel, line_no, "layering",
+           "src/" + layer + " may not include \"" + target + "\" (layer '" +
+               layer + "' depends only on: " + join(self->second, ", ") +
+               ")"});
+  }
+}
+
+bool wire_scope(const std::string& rel) {
+  return rel.rfind("src/io/", 0) == 0 ||
+         rel.rfind("src/api/campaign_wire", 0) == 0;
+}
+
+/// Terminal identifier of an expression chain ending right before `end`
+/// ("order.spec.seed" -> "seed"); empty when the tail is not an identifier.
+std::string terminal_ident(const std::string& code, std::size_t end) {
+  if (end == 0 || !ident_char(code[end - 1])) return "";
+  std::size_t start = end;
+  while (start > 0 && ident_char(code[start - 1])) --start;
+  return code.substr(start, end - start);
+}
+
+void check_wire_determinism(const SourceFile& file,
+                            const std::set<std::string>& floats,
+                            const std::set<std::string>& float_seqs,
+                            std::vector<Finding>& findings) {
+  if (!wire_scope(file.rel)) return;
+  bool pinned = false;  // file set an explicit precision/hexfloat earlier
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& code = file.lines[li].code;
+    const std::string& nostr = file.lines[li].nostr;
+    const std::size_t line_no = li + 1;
+
+    // std::to_string on a floating value — always 6 fixed digits, and a
+    // stream precision pin cannot help it.
+    for (std::size_t pos = find_word(code, "to_string");
+         pos != std::string::npos;
+         pos = find_word(code, "to_string", pos + 1)) {
+      std::size_t cursor = pos + 9;
+      while (cursor < code.size() && code[cursor] == ' ') ++cursor;
+      if (cursor >= code.size() || code[cursor] != '(') continue;
+      ++cursor;
+      std::size_t arg_end = cursor;
+      while (arg_end < code.size() && code[arg_end] != ')' &&
+             code[arg_end] != ',')
+        ++arg_end;
+      std::size_t tail = arg_end;
+      while (tail > cursor && code[tail - 1] == ' ') --tail;
+      const std::string name = terminal_ident(code, tail);
+      if (!name.empty() && floats.count(name))
+        findings.push_back(
+            {file.rel, line_no, "wire-determinism",
+             "std::to_string on floating-point '" + name +
+                 "' formats at a fixed 6 digits; route it through "
+                 "format_double()/hexfloat"});
+    }
+
+    // printf-style %f/%g/%e in wire code (the "%a" hexfloat family is the
+    // blessed exception).
+    const bool has_printf = find_word(nostr, "printf") !=
+                                std::string::npos ||
+                            find_word(nostr, "sprintf") !=
+                                std::string::npos ||
+                            find_word(nostr, "snprintf") !=
+                                std::string::npos ||
+                            find_word(nostr, "fprintf") !=
+                                std::string::npos;
+    if (has_printf) {
+      for (std::size_t pos = nostr.find('%'); pos != std::string::npos;
+           pos = nostr.find('%', pos + 1)) {
+        std::size_t cursor = pos + 1;
+        while (cursor < nostr.size() &&
+               (std::isdigit(static_cast<unsigned char>(nostr[cursor])) !=
+                    0 ||
+                nostr[cursor] == '.' || nostr[cursor] == '*' ||
+                nostr[cursor] == '-' || nostr[cursor] == '+' ||
+                nostr[cursor] == '#' || nostr[cursor] == ' '))
+          ++cursor;
+        if (cursor < nostr.size() &&
+            std::string_view("fgeFGE").find(nostr[cursor]) !=
+                std::string_view::npos) {
+          findings.push_back(
+              {file.rel, line_no, "wire-determinism",
+               "printf float format '%" +
+                   std::string(1, nostr[cursor]) +
+                   "' in wire code; use format_double()/hexfloat "
+                   "(\"%a\") so values round-trip bit-exactly"});
+          break;
+        }
+      }
+    }
+
+    if (code.find("setprecision") != std::string::npos ||
+        code.find("hexfloat") != std::string::npos)
+      pinned = true;
+
+    // Default-precision streaming of a floating identifier. A file that
+    // pinned precision earlier (setprecision/hexfloat) took explicit
+    // control of its formatting and is exempt from this heuristic.
+    if (pinned) continue;
+    for (std::size_t pos = code.find("<<"); pos != std::string::npos;
+         pos = code.find("<<", pos + 2)) {
+      std::size_t cursor = pos + 2;
+      while (cursor < code.size() && code[cursor] == ' ') ++cursor;
+      if (cursor >= code.size() || !ident_start(code[cursor])) continue;
+      std::size_t start = cursor;
+      while (cursor < code.size() &&
+             (ident_char(code[cursor]) || code[cursor] == '.' ||
+              code[cursor] == ':' ||
+              (code[cursor] == '-' && cursor + 1 < code.size() &&
+               code[cursor + 1] == '>') ||
+              (code[cursor] == '>' && code[cursor - 1] == '-')))
+        ++cursor;
+      const std::string chain = code.substr(start, cursor - start);
+      const char after = cursor < code.size() ? code[cursor] : '\0';
+      if (after == '(') continue;  // a call: format_double(x) et al.
+      const std::string name = terminal_ident(code, cursor);
+      const bool indexed_float =
+          after == '[' && !name.empty() && float_seqs.count(name) != 0;
+      if (indexed_float || (!name.empty() && floats.count(name) != 0))
+        findings.push_back(
+            {file.rel, line_no, "wire-determinism",
+             "floating-point '" + chain +
+                 "' reaches the stream at default precision; route it "
+                 "through format_double()/hexfloat or pin "
+                 "std::setprecision first"});
+    }
+  }
+}
+
+void check_ordered_fold(const SourceFile& file,
+                        const std::set<std::string>& unordered,
+                        std::vector<Finding>& findings) {
+  const std::string dir = top_dir(file.rel);
+  if (dir != "src" && dir != "tools" && dir != "examples") return;
+  if (unordered.empty()) return;
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& code = file.lines[li].code;
+    const std::size_t line_no = li + 1;
+
+    // Range-for over an unordered container: for (auto& kv : memo)
+    for (std::size_t pos = find_word(code, "for");
+         pos != std::string::npos; pos = find_word(code, "for", pos + 1)) {
+      std::size_t paren = code.find('(', pos);
+      if (paren == std::string::npos) continue;
+      int depth = 0;
+      std::size_t colon = std::string::npos, close = std::string::npos;
+      for (std::size_t i = paren; i < code.size(); ++i) {
+        if (code[i] == '(') ++depth;
+        if (code[i] == ')' && --depth == 0) {
+          close = i;
+          break;
+        }
+        if (code[i] == ':' && depth == 1 &&
+            (i == 0 || code[i - 1] != ':') &&
+            (i + 1 >= code.size() || code[i + 1] != ':'))
+          colon = i;
+      }
+      if (colon == std::string::npos || close == std::string::npos)
+        continue;
+      std::size_t tail = close;
+      while (tail > colon && code[tail - 1] == ' ') --tail;
+      if (tail > 0 && code[tail - 1] == ')') continue;  // call result
+      const std::string name = terminal_ident(code, tail);
+      if (!name.empty() && unordered.count(name))
+        findings.push_back(
+            {file.rel, line_no, "ordered-fold",
+             "range-for over std::unordered container '" + name +
+                 "': iteration order is unspecified and breaks "
+                 "byte-identical output/folds; use an ordered container "
+                 "or sort a snapshot first"});
+    }
+
+    // Explicit iterator walks: memo.begin() / memo.cbegin()
+    for (const char* begin : {".begin", ".cbegin", ".rbegin"}) {
+      for (std::size_t pos = code.find(begin); pos != std::string::npos;
+           pos = code.find(begin, pos + 1)) {
+        std::size_t call = pos + std::string_view(begin).size();
+        if (call >= code.size() || code[call] != '(') continue;
+        const std::string name = terminal_ident(code, pos);
+        if (!name.empty() && unordered.count(name))
+          findings.push_back(
+              {file.rel, line_no, "ordered-fold",
+               "iterator walk over std::unordered container '" + name +
+                   "': iteration order is unspecified and breaks "
+                   "byte-identical output/folds; keyed lookups "
+                   "(find/at) are fine"});
+      }
+    }
+  }
+}
+
+bool clock_rng_exempt(const std::string& rel) {
+  return rel.rfind("src/obs/", 0) == 0 ||
+         rel.rfind("src/common/", 0) == 0 ||
+         rel.rfind("src/campaign/progress", 0) == 0;
+}
+
+void check_clock_rng(const SourceFile& file,
+                     std::vector<Finding>& findings) {
+  if (top_dir(file.rel) != "src" || clock_rng_exempt(file.rel)) return;
+  struct Pattern {
+    const char* token;
+    bool call_only;  // must be followed by '('
+    const char* what;
+  };
+  static const Pattern patterns[] = {
+      {"system_clock", false, "wall-clock time"},
+      {"time", true, "wall-clock time"},
+      {"clock", true, "process clock"},
+      {"rand", true, "libc RNG"},
+      {"srand", true, "libc RNG seeding"},
+      {"random_device", false, "hardware entropy"},
+      {"getenv", false, "environment lookup"},
+  };
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& code = file.lines[li].code;
+    for (const Pattern& p : patterns) {
+      for (std::size_t pos = find_word(code, p.token);
+           pos != std::string::npos;
+           pos = find_word(code, p.token, pos + 1)) {
+        // Member calls (schedule.time(...)) are project API, not libc.
+        if (pos > 0 && (code[pos - 1] == '.' ||
+                        (pos > 1 && code[pos - 2] == '-' &&
+                         code[pos - 1] == '>')))
+          continue;
+        if (p.call_only) {
+          std::size_t cursor = pos + std::string_view(p.token).size();
+          while (cursor < code.size() && code[cursor] == ' ') ++cursor;
+          if (cursor >= code.size() || code[cursor] != '(') continue;
+        }
+        findings.push_back(
+            {file.rel, li + 1, "clock-rng",
+             std::string("'") + p.token + "' (" + p.what +
+                 ") in a core layer — results must be pure functions of "
+                 "the inputs; only obs/, common/ and campaign/progress "
+                 "may touch nondeterministic sources"});
+      }
+    }
+  }
+}
+
+void check_header_hygiene(const SourceFile& file,
+                          std::vector<Finding>& findings) {
+  if (!file.is_header) return;
+  bool guarded = false, saw_ifndef = false;
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& nostr = file.lines[li].nostr;
+    if (nostr.find("#pragma once") != std::string::npos) guarded = true;
+    if (nostr.find("#ifndef") != std::string::npos) saw_ifndef = true;
+    if (saw_ifndef && nostr.find("#define") != std::string::npos)
+      guarded = true;
+    std::size_t pos = find_word(file.lines[li].code, "using");
+    if (pos != std::string::npos &&
+        find_word(file.lines[li].code, "namespace", pos) !=
+            std::string::npos)
+      findings.push_back(
+          {file.rel, li + 1, "header-hygiene",
+           "'using namespace' in a header leaks the namespace into every "
+           "includer; qualify names or alias instead"});
+  }
+  if (!guarded)
+    findings.push_back({file.rel, 1, "header-hygiene",
+                        "header has neither #pragma once nor an include "
+                        "guard"});
+}
+
+// ------------------------------------------------------------------ driver
+
+struct Options {
+  fs::path root = ".";
+  std::set<std::string> rules;  // empty = all
+};
+
+int usage(int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: ftsched_lint [--root DIR] [--rule id[,id...]] "
+        "[--list-rules]\n"
+        "Walks src/ tools/ examples/ tests/ bench/ under DIR and enforces "
+        "the\nproject determinism contract. Exits 1 on any unsuppressed "
+        "finding.\n";
+  return code;
+}
+
+bool collect_files(const Options& opt, Context& ctx, std::string& error) {
+  static const char* kTopDirs[] = {"src", "tools", "examples", "tests",
+                                   "bench"};
+  static const char* kSkipDirs[] = {"lint_fixtures", "golden", "build"};
+  bool any = false;
+  for (const char* top : kTopDirs) {
+    const fs::path dir = opt.root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        for (const char* skip : kSkipDirs)
+          if (name == skip) {
+            it.disable_recursion_pending();
+            break;
+          }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".cc" && ext != ".hpp" && ext != ".h")
+        continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      if (!in) {
+        error = "cannot read " + it->path().string();
+        return false;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      SourceFile file;
+      file.rel =
+          fs::relative(it->path(), opt.root).generic_string();
+      file.is_header = ext == ".hpp" || ext == ".h";
+      file.lines = lex_file(buffer.str());
+      ctx.files[file.rel] = std::move(file);
+      any = true;
+    }
+  }
+  if (!any)
+    error = "no sources found under " + opt.root.string() +
+            " (expected src/, tools/, examples/, tests/ or bench/) — "
+            "wrong --root?";
+  return any;
+}
+
+void build_closures(Context& ctx) {
+  for (auto& [rel, file] : ctx.files) {
+    for (const auto& line : file.lines) {
+      const std::string& nostr = line.nostr;
+      std::size_t hash = nostr.find_first_not_of(" \t");
+      if (hash == std::string::npos || nostr[hash] != '#') continue;
+      std::size_t inc = nostr.find("include", hash);
+      if (inc == std::string::npos) continue;
+      std::size_t quote = nostr.find('"', inc);
+      if (quote == std::string::npos) continue;
+      std::size_t end = nostr.find('"', quote + 1);
+      if (end == std::string::npos) continue;
+      file.includes.push_back(nostr.substr(quote + 1, end - quote - 1));
+    }
+  }
+  for (auto& [rel, file] : ctx.files) {
+    std::set<std::string>& closure = ctx.closures[rel];
+    std::vector<std::string> queue = {rel};
+    while (!queue.empty()) {
+      const std::string current = queue.back();
+      queue.pop_back();
+      auto it = ctx.files.find(current);
+      if (it == ctx.files.end()) continue;
+      for (const auto& inc : it->second.includes) {
+        const std::string resolved = resolve_include(ctx, inc);
+        if (resolved.empty() || resolved == rel) continue;
+        if (closure.insert(resolved).second) queue.push_back(resolved);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--list-rules") {
+      for (const auto& id : kRuleIds) std::cout << id << "\n";
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+      continue;
+    }
+    if (arg == "--rule" && i + 1 < argc) {
+      std::stringstream list(argv[++i]);
+      std::string id;
+      while (std::getline(list, id, ',')) {
+        id = trimmed(id);
+        if (kRuleIds.count(id) == 0) {
+          std::cerr << "ftsched_lint: unknown rule '" << id
+                    << "' (known: " << join(kRuleIds, ", ") << ")\n";
+          return 2;
+        }
+        opt.rules.insert(id);
+      }
+      continue;
+    }
+    std::cerr << "ftsched_lint: unknown argument '" << arg << "'\n";
+    return usage(2);
+  }
+
+  Context ctx;
+  std::string error;
+  if (!collect_files(opt, ctx, error)) {
+    std::cerr << "ftsched_lint: " << error << "\n";
+    return 2;
+  }
+  build_closures(ctx);
+
+  std::vector<Finding> raw_findings;
+  for (auto& [rel, file] : ctx.files) {
+    parse_suppressions(file, raw_findings);
+    for (std::size_t li = 0; li < file.lines.size(); ++li)
+      harvest_floats_line(file.lines[li].code, file.is_header, file);
+    harvest_unordered(file);
+  }
+
+  for (const auto& [rel, file] : ctx.files) {
+    // Effective name sets: the file's own declarations plus what its
+    // transitive project includes export (fields/globals, not params).
+    std::set<std::string> floats = file.float_names;
+    std::set<std::string> float_seqs = file.float_seq_names;
+    std::set<std::string> unordered = file.unordered_names;
+    for (const auto& dep : ctx.closures[rel]) {
+      const SourceFile& d = ctx.files.at(dep);
+      floats.insert(d.float_exports.begin(), d.float_exports.end());
+      float_seqs.insert(d.float_seq_exports.begin(),
+                        d.float_seq_exports.end());
+      unordered.insert(d.unordered_exports.begin(),
+                       d.unordered_exports.end());
+    }
+    check_layering(file, raw_findings);
+    check_wire_determinism(file, floats, float_seqs, raw_findings);
+    check_ordered_fold(file, unordered, raw_findings);
+    check_clock_rng(file, raw_findings);
+    check_header_hygiene(file, raw_findings);
+  }
+
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+  for (const auto& finding : raw_findings) {
+    if (!opt.rules.empty() && opt.rules.count(finding.rule) == 0)
+      continue;
+    if (is_suppressed(ctx.files.at(finding.file), finding.line,
+                      finding.rule)) {
+      ++suppressed;
+      continue;
+    }
+    findings.push_back(finding);
+  }
+  std::sort(findings.begin(), findings.end(), finding_less);
+
+  for (const auto& f : findings)
+    std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+              << f.message << "\n";
+  std::cerr << "ftsched_lint: " << findings.size() << " finding(s), "
+            << suppressed << " suppressed, " << ctx.files.size()
+            << " files scanned\n";
+  return findings.empty() ? 0 : 1;
+}
