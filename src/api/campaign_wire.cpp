@@ -14,10 +14,8 @@
 
 namespace ftsched {
 
-namespace {
+namespace wire {
 
-/// Doubles cross the wire as C hexadecimal float literals: bit-exact
-/// round-trip, locale-independent, and strtod parses them back natively.
 std::string format_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%a", value);
@@ -50,6 +48,40 @@ bool parse_bool(const std::string& token, const char* what) {
   return token == "1";
 }
 
+std::string next_token(std::istringstream& line, const char* what) {
+  std::string token;
+  CAFT_CHECK_MSG(static_cast<bool>(line >> token),
+                 std::string("campaign wire: missing ") + what);
+  return token;
+}
+
+void check_magic_line(const std::string& line, const char* magic) {
+  const std::string expected = std::string(magic) + " v1";
+  if (line == expected) return;
+  // Version skew before corruption: `<magic> v<anything-else>` is a
+  // well-formed document from a writer of another protocol generation —
+  // tell the peer to speak v1 instead of reporting a parse failure.
+  if (line.rfind(std::string(magic) + " v", 0) == 0)
+    throw caft::CheckError(
+        "campaign wire: unsupported document version '" + line +
+        "' — this reader speaks v1 (expected '" + expected + "')");
+  throw caft::CheckError("campaign wire: bad magic line '" + line +
+                         "' (expected '" + expected + "')");
+}
+
+void expect_magic(std::istream& is, const char* magic) {
+  std::string line;
+  CAFT_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                 "campaign wire: empty document");
+  check_magic_line(line, magic);
+}
+
+}  // namespace wire
+
+using namespace wire;
+
+namespace {
+
 const char* sampler_kind_name(SamplerSpec::Kind kind) {
   switch (kind) {
     case SamplerSpec::Kind::kUniformK:
@@ -76,41 +108,11 @@ SamplerSpec::Kind sampler_kind_from(const std::string& name) {
                          "'");
 }
 
-/// Pulls the next whitespace token off `line`; throws when the line is
-/// exhausted (every field of a keyed line is mandatory).
-std::string next_token(std::istringstream& line, const char* what) {
-  std::string token;
-  CAFT_CHECK_MSG(static_cast<bool>(line >> token),
-                 std::string("campaign wire: missing ") + what);
-  return token;
-}
-
-/// Reads the magic line `<magic> v1` and positions the stream after it.
-void expect_magic(std::istream& is, const char* magic) {
-  std::string line;
-  CAFT_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
-                 "campaign wire: empty document");
-  CAFT_CHECK_MSG(line == std::string(magic) + " v1",
-                 "campaign wire: bad magic line '" + line + "' (expected '" +
-                     magic + " v1')");
-}
-
 }  // namespace
 
-void write_campaign_work_order(std::ostream& os,
-                               const CampaignWorkOrder& order) {
-  os << "caft-campaign-work v1\n";
-  os << "instance " << order.instance_path << "\n";
-  os << "algorithm " << order.algorithm << "\n";
-  os << "block " << order.first << " " << order.count << "\n";
-  os << "replays " << order.spec.replays << "\n";
-  os << "seed " << order.spec.seed << "\n";
-  os << "quantiles " << order.spec.quantiles.size();
-  for (const double q : order.spec.quantiles) os << " " << format_double(q);
-  os << "\n";
-  os << "theta-buckets " << order.spec.theta_buckets << "\n";
-  os << "exact " << (order.spec.exact ? 1 : 0) << "\n";
-  const SamplerSpec& sampler = order.spec.sampler;
+namespace wire {
+
+void write_sampler_line(std::ostream& os, const SamplerSpec& sampler) {
   os << "sampler " << sampler_kind_name(sampler.kind) << " "
      << sampler.failures << " " << format_double(sampler.rate) << " "
      << format_double(sampler.shape) << " " << format_double(sampler.scale)
@@ -118,7 +120,28 @@ void write_campaign_work_order(std::ostream& os,
      << format_double(sampler.theta_lo) << " "
      << format_double(sampler.theta_hi) << " " << sampler.group_size << " "
      << format_double(sampler.group_prob) << "\n";
-  const ScheduleRequest& request = order.spec.request;
+}
+
+void read_sampler_line(std::istringstream& fields, SamplerSpec& sampler) {
+  sampler.kind = sampler_kind_from(next_token(fields, "sampler kind"));
+  sampler.failures =
+      parse_size(next_token(fields, "sampler failures"), "failures");
+  sampler.rate = parse_double(next_token(fields, "sampler rate"), "rate");
+  sampler.shape = parse_double(next_token(fields, "sampler shape"), "shape");
+  sampler.scale = parse_double(next_token(fields, "sampler scale"), "scale");
+  sampler.horizon =
+      parse_double(next_token(fields, "sampler horizon"), "horizon");
+  sampler.theta_lo =
+      parse_double(next_token(fields, "sampler theta-lo"), "theta-lo");
+  sampler.theta_hi =
+      parse_double(next_token(fields, "sampler theta-hi"), "theta-hi");
+  sampler.group_size =
+      parse_size(next_token(fields, "sampler group-size"), "group-size");
+  sampler.group_prob =
+      parse_double(next_token(fields, "sampler group-prob"), "group-prob");
+}
+
+void write_request_line(std::ostream& os, const ScheduleRequest& request) {
   os << "request ";
   if (request.eps.has_value())
     os << *request.eps;
@@ -136,6 +159,57 @@ void write_campaign_work_order(std::ostream& os,
              : "transitive")
      << " " << (request.one_to_one ? 1 : 0) << " " << request.batch_size
      << " " << (request.minimize_start_time ? 1 : 0) << "\n";
+}
+
+void read_request_line(std::istringstream& fields, ScheduleRequest& request) {
+  const std::string eps = next_token(fields, "request eps");
+  if (eps == "-")
+    request.eps.reset();
+  else
+    request.eps = parse_size(eps, "request eps");
+  const std::string model = next_token(fields, "request model");
+  if (model == "-") {
+    request.model.reset();
+  } else if (model == "oneport") {
+    request.model = caft::CommModelKind::kOnePort;
+  } else if (model == "macro") {
+    request.model = caft::CommModelKind::kMacroDataflow;
+  } else {
+    throw caft::CheckError("campaign wire: unknown model '" + model + "'");
+  }
+  request.validate =
+      parse_bool(next_token(fields, "request validate"), "validate");
+  const std::string support = next_token(fields, "request support");
+  CAFT_CHECK_MSG(support == "direct" || support == "transitive",
+                 "campaign wire: unknown support mode '" + support + "'");
+  request.support_mode = support == "direct"
+                             ? caft::CaftSupportMode::kDirect
+                             : caft::CaftSupportMode::kTransitive;
+  request.one_to_one =
+      parse_bool(next_token(fields, "request one-to-one"), "one-to-one");
+  request.batch_size =
+      parse_size(next_token(fields, "request batch-size"), "batch-size");
+  request.minimize_start_time =
+      parse_bool(next_token(fields, "request mst"), "mst");
+}
+
+}  // namespace wire
+
+void write_campaign_work_order(std::ostream& os,
+                               const CampaignWorkOrder& order) {
+  os << "caft-campaign-work v1\n";
+  os << "instance " << order.instance_path << "\n";
+  os << "algorithm " << order.algorithm << "\n";
+  os << "block " << order.first << " " << order.count << "\n";
+  os << "replays " << order.spec.replays << "\n";
+  os << "seed " << order.spec.seed << "\n";
+  os << "quantiles " << order.spec.quantiles.size();
+  for (const double q : order.spec.quantiles) os << " " << format_double(q);
+  os << "\n";
+  os << "theta-buckets " << order.spec.theta_buckets << "\n";
+  os << "exact " << (order.spec.exact ? 1 : 0) << "\n";
+  write_sampler_line(os, order.spec.sampler);
+  write_request_line(os, order.spec.request);
   os << "exec " << order.threads << " "
      << (order.engine == caft::CampaignEngine::kNaive ? "naive"
                                                       : "incremental")
@@ -203,57 +277,9 @@ CampaignWorkOrder read_campaign_work_order(std::istream& is) {
     } else if (key == "exact") {
       order.spec.exact = parse_bool(next_token(fields, "exact"), "exact");
     } else if (key == "sampler") {
-      SamplerSpec& sampler = order.spec.sampler;
-      sampler.kind = sampler_kind_from(next_token(fields, "sampler kind"));
-      sampler.failures =
-          parse_size(next_token(fields, "sampler failures"), "failures");
-      sampler.rate = parse_double(next_token(fields, "sampler rate"), "rate");
-      sampler.shape =
-          parse_double(next_token(fields, "sampler shape"), "shape");
-      sampler.scale =
-          parse_double(next_token(fields, "sampler scale"), "scale");
-      sampler.horizon =
-          parse_double(next_token(fields, "sampler horizon"), "horizon");
-      sampler.theta_lo =
-          parse_double(next_token(fields, "sampler theta-lo"), "theta-lo");
-      sampler.theta_hi =
-          parse_double(next_token(fields, "sampler theta-hi"), "theta-hi");
-      sampler.group_size =
-          parse_size(next_token(fields, "sampler group-size"), "group-size");
-      sampler.group_prob =
-          parse_double(next_token(fields, "sampler group-prob"), "group-prob");
+      read_sampler_line(fields, order.spec.sampler);
     } else if (key == "request") {
-      ScheduleRequest& request = order.spec.request;
-      const std::string eps = next_token(fields, "request eps");
-      if (eps == "-")
-        request.eps.reset();
-      else
-        request.eps = parse_size(eps, "request eps");
-      const std::string model = next_token(fields, "request model");
-      if (model == "-") {
-        request.model.reset();
-      } else if (model == "oneport") {
-        request.model = caft::CommModelKind::kOnePort;
-      } else if (model == "macro") {
-        request.model = caft::CommModelKind::kMacroDataflow;
-      } else {
-        throw caft::CheckError("campaign wire: unknown model '" + model +
-                               "'");
-      }
-      request.validate =
-          parse_bool(next_token(fields, "request validate"), "validate");
-      const std::string support = next_token(fields, "request support");
-      CAFT_CHECK_MSG(support == "direct" || support == "transitive",
-                     "campaign wire: unknown support mode '" + support + "'");
-      request.support_mode = support == "direct"
-                                 ? caft::CaftSupportMode::kDirect
-                                 : caft::CaftSupportMode::kTransitive;
-      request.one_to_one =
-          parse_bool(next_token(fields, "request one-to-one"), "one-to-one");
-      request.batch_size =
-          parse_size(next_token(fields, "request batch-size"), "batch-size");
-      request.minimize_start_time =
-          parse_bool(next_token(fields, "request mst"), "mst");
+      read_request_line(fields, order.spec.request);
     } else if (key == "exec") {
       order.threads = parse_size(next_token(fields, "exec threads"), "threads");
       const std::string engine = next_token(fields, "exec engine");
@@ -391,9 +417,7 @@ void CampaignPartialReader::feed(const char* data, std::size_t size) noexcept {
 void CampaignPartialReader::consume_line(const std::string& line) {
   if (saw_end_) return;  // trailing output after 'end' is ignored
   if (!saw_magic_) {
-    CAFT_CHECK_MSG(line == "caft-campaign-partial v1",
-                   "campaign wire: bad magic line '" + line +
-                       "' (expected 'caft-campaign-partial v1')");
+    check_magic_line(line, "caft-campaign-partial");
     saw_magic_ = true;
     return;
   }

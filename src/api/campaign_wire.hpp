@@ -80,6 +80,51 @@
 
 namespace ftsched {
 
+/// The building blocks every `caft-*` campaign document shares — exposed so
+/// new documents (the campaign server's request/report family lives in
+/// src/server/server_wire.hpp) speak the same dialect instead of growing a
+/// second, subtly different one. Everything throws caft::CheckError on
+/// malformed input, like the readers built from them.
+namespace wire {
+
+/// Doubles cross campaign wires as C hexadecimal float literals
+/// ("0x1.8p+3", plus "inf"/"nan"): bit-exact round-trip,
+/// locale-independent, and strtod parses them back natively.
+[[nodiscard]] std::string format_double(double value);
+[[nodiscard]] double parse_double(const std::string& token, const char* what);
+/// Strict non-negative decimal integer ("12x", "", "-3" all throw).
+[[nodiscard]] std::size_t parse_size(const std::string& token,
+                                     const char* what);
+/// Strict 0|1 flag.
+[[nodiscard]] bool parse_bool(const std::string& token, const char* what);
+/// Pulls the next whitespace token off `line`; throws when the line is
+/// exhausted (every field of a keyed line is mandatory).
+[[nodiscard]] std::string next_token(std::istringstream& line,
+                                     const char* what);
+
+/// Validates a document's first line against `<magic> v1`. Version skew
+/// gets its own diagnostic: a matching magic at any other version ("caft-
+/// campaign-work v2") names the version mismatch and tells the peer this
+/// reader speaks v1, instead of the generic bad-magic error a corrupt line
+/// earns — a future writer must be told to downgrade, not to debug
+/// "corruption".
+void check_magic_line(const std::string& line, const char* magic);
+/// Reads the magic line `<magic> v1` from `is` (check_magic_line rules)
+/// and positions the stream after it.
+void expect_magic(std::istream& is, const char* magic);
+
+/// The `sampler ...` spec line (kind + every distribution parameter,
+/// doubles as hexfloat) — one writer/reader pair shared by the work order
+/// and the server request, so the two documents cannot drift.
+void write_sampler_line(std::ostream& os, const SamplerSpec& sampler);
+void read_sampler_line(std::istringstream& fields, SamplerSpec& sampler);
+/// The `request ...` spec line (ScheduleRequest with "-" for unset
+/// optionals), same sharing story.
+void write_request_line(std::ostream& os, const ScheduleRequest& request);
+void read_request_line(std::istringstream& fields, ScheduleRequest& request);
+
+}  // namespace wire
+
 /// One unit of subprocess campaign work: replay the contiguous canonical
 /// scenario block [first, first + count) of `spec`'s campaign against the
 /// schedule `algorithm` produces on the referenced instance.

@@ -81,9 +81,23 @@ Instance Instance::load(const std::string& path, RunOptions options) {
   return Instance(std::move(bundle), options);
 }
 
+Instance Instance::load(std::istream& is, RunOptions options) {
+  auto bundle =
+      std::make_unique<caft::InstanceBundle>(caft::load_instance(is));
+  if (bundle->schedule != nullptr) {
+    options.eps = bundle->schedule->eps();
+    options.model = bundle->schedule->model();
+  }
+  return Instance(std::move(bundle), options);
+}
+
 void Instance::save(const std::string& path,
                     const caft::Schedule* schedule) const {
   caft::save_instance_file(path, graph(), platform(), costs(), schedule);
+}
+
+void Instance::save(std::ostream& os, const caft::Schedule* schedule) const {
+  caft::save_instance(os, graph(), platform(), costs(), schedule);
 }
 
 void Instance::validate(std::size_t eps) const {

@@ -74,10 +74,18 @@ class Instance {
   [[nodiscard]] static Instance load(const std::string& path,
                                      RunOptions options = {});
 
+  /// Same, from an already-open stream — how services that receive instance
+  /// bytes over a wire (the campaign server) load without touching disk.
+  [[nodiscard]] static Instance load(std::istream& is, RunOptions options = {});
+
   /// Saves through the same io/instance_io path. `schedule` may be null
   /// (instance only) — pass e.g. &result.schedule to archive a run.
   void save(const std::string& path,
             const caft::Schedule* schedule = nullptr) const;
+
+  /// Stream twin of save(): the serialized bytes are identical to the file
+  /// form, so a content hash of either names the same instance.
+  void save(std::ostream& os, const caft::Schedule* schedule = nullptr) const;
 
   [[nodiscard]] const caft::TaskGraph& graph() const {
     return *bundle_->graph;

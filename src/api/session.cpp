@@ -4,14 +4,18 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "common/subprocess.hpp"
 #include "api/campaign_wire.hpp"
 #include "obs/obs.hpp"
@@ -115,6 +119,34 @@ CampaignReport::summary_rows() const {
 
 Session::Session(SessionOptions options) : options_(options) {}
 
+namespace {
+
+/// The spec checks every campaign entry point applies, whichever backend
+/// runs it — evaluate_schedule and evaluate_saved both funnel through here
+/// so a spec rejected by one path is rejected by all of them.
+void validate_campaign_spec(const SessionOptions& options,
+                            const CampaignSpec& spec) {
+  CAFT_CHECK_MSG(spec.replays > 0, "campaign replays must be positive");
+  if (spec.target_ci_width != 0.0) {
+    CAFT_CHECK_MSG(std::isfinite(spec.target_ci_width) &&
+                       spec.target_ci_width > 0.0 &&
+                       spec.target_ci_width < 1.0,
+                   "target CI width must be in (0, 1)");
+  }
+  // θ-quantization only exists on the incremental engine's shared memo;
+  // reject the inert combinations rather than silently running an exact
+  // campaign the caller believes is bucketed (spec.exact is the intentional
+  // opt-out and stays allowed).
+  if (spec.theta_buckets > 0 && !spec.exact) {
+    CAFT_CHECK_MSG(options.engine == caft::CampaignEngine::kIncremental,
+                   "theta buckets require the incremental engine");
+    CAFT_CHECK_MSG(options.memo == caft::CampaignMemo::kShared,
+                   "theta buckets require the shared memo");
+  }
+}
+
+}  // namespace
+
 caft::CampaignOptions Session::campaign_options(
     const CampaignSpec& spec, double schedule_horizon) const {
   caft::CampaignOptions campaign;
@@ -134,6 +166,7 @@ caft::CampaignOptions Session::campaign_options(
   // path exists to serve.
   campaign.theta_bucket_width =
       spec.exact ? 0.0 : spec.theta_bucket_width(schedule_horizon);
+  campaign.target_ci_width = spec.target_ci_width;
   campaign.on_progress = options_.on_progress;
   return campaign;
 }
@@ -141,29 +174,13 @@ caft::CampaignOptions Session::campaign_options(
 CampaignRun Session::evaluate_schedule(const Instance& instance,
                                        ScheduleResult result,
                                        const CampaignSpec& spec) const {
-  CAFT_CHECK_MSG(spec.replays > 0, "campaign replays must be positive");
-  // Early stopping is a coordinator-side decision: only the subprocess
-  // backend implements it. Reject elsewhere instead of silently running
-  // the full replay budget the caller asked to cut short.
-  if (spec.target_ci_width != 0.0) {
-    CAFT_CHECK_MSG(std::isfinite(spec.target_ci_width) &&
-                       spec.target_ci_width > 0.0 &&
-                       spec.target_ci_width < 1.0,
-                   "target CI width must be in (0, 1)");
-    CAFT_CHECK_MSG(options_.exec.mode == ExecutionPolicy::Mode::kSubprocess,
-                   "target_ci_width early stopping requires the subprocess "
-                   "execution backend");
-  }
-  // θ-quantization only exists on the incremental engine's shared memo;
-  // reject the inert combinations rather than silently running an exact
-  // campaign the caller believes is bucketed (spec.exact is the intentional
-  // opt-out and stays allowed).
-  if (spec.theta_buckets > 0 && !spec.exact) {
-    CAFT_CHECK_MSG(options_.engine == caft::CampaignEngine::kIncremental,
-                   "theta buckets require the incremental engine");
-    CAFT_CHECK_MSG(options_.memo == caft::CampaignMemo::kShared,
-                   "theta buckets require the shared memo");
-  }
+  return evaluate_schedule(instance, std::move(result), spec, nullptr);
+}
+
+CampaignRun Session::evaluate_schedule(
+    const Instance& instance, ScheduleResult result, const CampaignSpec& spec,
+    const caft::ReplayEngine* replay_template) const {
+  validate_campaign_spec(options_, spec);
 
   CampaignRun run{.algorithm = result.algorithm,
                   .result = std::move(result),
@@ -171,11 +188,13 @@ CampaignRun Session::evaluate_schedule(const Instance& instance,
                   .telemetry = {},
                   .theta_bucket_width = 0.0};
   if (options_.exec.mode == ExecutionPolicy::Mode::kSubprocess)
-    return evaluate_schedule_subprocess(instance, std::move(run), spec);
+    return evaluate_schedule_subprocess(instance, std::move(run), spec,
+                                        nullptr);
 
   const auto sampler = spec.sampler.build(instance.proc_count());
-  const caft::CampaignOptions campaign =
+  caft::CampaignOptions campaign =
       campaign_options(spec, run.result.schedule.horizon());
+  campaign.prebuilt_engine = replay_template;
   run.theta_bucket_width = campaign.theta_bucket_width;
   run.summary = run_campaign(run.result.schedule, instance.costs(), *sampler,
                              campaign, &run.telemetry);
@@ -184,15 +203,50 @@ CampaignRun Session::evaluate_schedule(const Instance& instance,
 
 CampaignReport Session::evaluate(const Instance& instance,
                                  const CampaignSpec& spec) const {
+  return evaluate_saved(instance, spec, nullptr);
+}
+
+CampaignReport Session::evaluate_saved(
+    const Instance& instance, const CampaignSpec& spec,
+    const std::string* instance_path) const {
   CAFT_CHECK_MSG(!spec.algorithms.empty(),
                  "campaign spec names no algorithms");
+  validate_campaign_spec(options_, spec);
   const SchedulerRegistry& registry = SchedulerRegistry::global();
+
+  // In subprocess mode every algorithm's work orders reference the same
+  // instance file, so one save covers the whole report — and a caller
+  // (evaluate_batch) that already saved these bytes passes its path
+  // through, making the save count one per *distinct content*, not one
+  // per algorithm or per evaluate call.
+  std::unique_ptr<caft::ScratchDir> scratch;
+  std::string saved_path;
+  if (options_.exec.mode == ExecutionPolicy::Mode::kSubprocess &&
+      instance_path == nullptr) {
+    scratch = std::make_unique<caft::ScratchDir>("ftsched-campaign");
+    saved_path = scratch->file("instance.txt");
+    instance.save(saved_path);
+    obs::Registry::global().counter("campaign.instance.saves").add(1);
+    instance_path = &saved_path;
+  }
+
   CampaignReport report;
   report.runs.reserve(spec.algorithms.size());
   for (const std::string& algorithm : spec.algorithms) {
     const auto scheduler = registry.make(algorithm);
-    report.runs.push_back(evaluate_schedule(
-        instance, scheduler->schedule(instance, spec.request), spec));
+    ScheduleResult result = scheduler->schedule(instance, spec.request);
+    if (options_.exec.mode == ExecutionPolicy::Mode::kSubprocess) {
+      CampaignRun run{.algorithm = result.algorithm,
+                      .result = std::move(result),
+                      .summary = {},
+                      .telemetry = {},
+                      .theta_bucket_width = 0.0};
+      report.runs.push_back(evaluate_schedule_subprocess(
+          instance, std::move(run), spec, instance_path));
+    } else {
+      report.runs.push_back(
+          evaluate_schedule(instance, std::move(result), spec, nullptr));
+    }
   }
   return report;
 }
@@ -214,14 +268,46 @@ std::vector<CampaignReport> Session::evaluate_batch(
   const Session dispatch(dispatch_options);
   std::vector<CampaignReport> reports;
   reports.reserve(instances.size());
-  for (const Instance& instance : instances)
-    reports.push_back(dispatch.evaluate(instance, spec));
+
+  if (exec.mode != ExecutionPolicy::Mode::kSubprocess) {
+    for (const Instance& instance : instances)
+      reports.push_back(dispatch.evaluate(instance, spec));
+    return reports;
+  }
+
+  // Subprocess batches dedupe instance saves by content: sweeps routinely
+  // evaluate the same DAG under several specs or repeated Instance objects,
+  // and the archival text serialization is the expensive part of dispatch.
+  // One file per distinct byte content (FNV-1a over the serialized form —
+  // the same hash the server's content cache keys on), every evaluate of
+  // equal content reuses it.
+  const caft::ScratchDir scratch("ftsched-batch");
+  std::map<std::uint64_t, std::string> saved;  // content hash -> saved path
+  for (const Instance& instance : instances) {
+    std::ostringstream bytes;
+    instance.save(bytes);
+    const std::uint64_t key = caft::fnv1a64(bytes.str());
+    auto it = saved.find(key);
+    if (it == saved.end()) {
+      char name[32];
+      std::snprintf(name, sizeof name, "instance-%016llx.txt",
+                    static_cast<unsigned long long>(key));
+      std::string path = scratch.file(name);
+      std::ofstream out(path, std::ios::binary);
+      out << bytes.str();
+      CAFT_CHECK_MSG(out.good(), "cannot write batch instance file " + path);
+      out.close();
+      obs::Registry::global().counter("campaign.instance.saves").add(1);
+      it = saved.emplace(key, std::move(path)).first;
+    }
+    reports.push_back(dispatch.evaluate_saved(instance, spec, &it->second));
+  }
   return reports;
 }
 
 CampaignRun Session::evaluate_schedule_subprocess(
-    const Instance& instance, CampaignRun run,
-    const CampaignSpec& spec) const {
+    const Instance& instance, CampaignRun run, const CampaignSpec& spec,
+    const std::string* instance_path_hint) const {
   const ExecutionPolicy& exec = options_.exec;
   CAFT_CHECK_MSG(!exec.worker_command.empty(),
                  "subprocess execution needs ExecutionPolicy::worker_command "
@@ -232,10 +318,19 @@ CampaignRun Session::evaluate_schedule_subprocess(
   // Hand the instance to workers through the archival text format (exact
   // double round-trip); scheduling is deterministic, so every worker
   // rebuilds the coordinator's schedule bit-for-bit — and proves it against
-  // the `expect` pins below.
-  const caft::ScratchDir scratch("ftsched-campaign");
-  const std::string instance_path = scratch.file("instance.txt");
-  instance.save(instance_path);
+  // the `expect` pins below. A caller that already saved these bytes
+  // (evaluate_saved / evaluate_batch) passes its path, and no new file is
+  // written here.
+  std::unique_ptr<caft::ScratchDir> scratch;
+  std::string instance_path;
+  if (instance_path_hint != nullptr) {
+    instance_path = *instance_path_hint;
+  } else {
+    scratch = std::make_unique<caft::ScratchDir>("ftsched-campaign");
+    instance_path = scratch->file("instance.txt");
+    instance.save(instance_path);
+    obs::Registry::global().counter("campaign.instance.saves").add(1);
+  }
 
   const double horizon = run.result.schedule.horizon();
   const caft::CampaignOptions campaign = campaign_options(spec, horizon);

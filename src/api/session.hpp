@@ -107,14 +107,17 @@ struct CampaignSpec {
   std::size_t theta_buckets = 0;
   /// Exactness escape hatch: bit-exact replays even with buckets set.
   bool exact = false;
-  /// Early stopping (subprocess backend only): stop dispatching new
-  /// scenario blocks once the Wilson 95% interval around the folded
+  /// Early stopping: stop once the Wilson 95% interval around the folded
   /// prefix's success rate is at most this wide (0 = off, run all
   /// replays). The summary then covers a *contiguous canonical prefix* of
-  /// the scenario stream — still deterministic per stopping point, but
-  /// intentionally NOT byte-identical to a fixed-replay run: the stopping
-  /// point depends on worker completion timing. The in-process backend
-  /// rejects it rather than silently ignoring it.
+  /// the scenario stream. Where the cut lands differs by backend: the
+  /// in-process backend checks at wave boundaries, so its stopping point
+  /// is a deterministic function of (seed, SessionOptions::block) — this
+  /// is what the campaign server relies on for byte-identical early-
+  /// stopped reports. The subprocess backend checks as blocks fold, so its
+  /// stopping point additionally depends on worker completion timing —
+  /// deterministic per stopping point, but intentionally NOT byte-
+  /// identical across runs or backends.
   double target_ci_width = 0.0;
   /// Forwarded to every scheduler (ε/model overrides, algorithm knobs).
   ScheduleRequest request;
@@ -248,6 +251,19 @@ class Session {
                                               ScheduleResult result,
                                               const CampaignSpec& spec) const;
 
+  /// Same, reusing a caller-cached replay template (the campaign server's
+  /// content-addressed ReplayEngine cache): a non-null `replay_template`
+  /// must have been built from `result`'s schedule and `instance`'s costs
+  /// with the θ-width/exact configuration this spec derives, and outlive
+  /// the call. In-process backend only — the subprocess backend's engines
+  /// live in worker processes, so the hint is ignored there. Results are
+  /// bit-identical with and without the template (the engine's purity
+  /// contract); only construction time is saved.
+  [[nodiscard]] CampaignRun evaluate_schedule(
+      const Instance& instance, ScheduleResult result,
+      const CampaignSpec& spec,
+      const caft::ReplayEngine* replay_template) const;
+
   /// Multi-instance entry point; reports in instance order. This is the
   /// choke point where campaigns scale out across processes: with a
   /// subprocess ExecutionPolicy (the session's, or the override below) each
@@ -268,11 +284,22 @@ class Session {
   [[nodiscard]] caft::CampaignOptions campaign_options(
       const CampaignSpec& spec, double schedule_horizon) const;
 
+  /// evaluate() with an optional pre-saved instance file: a non-null
+  /// `instance_path` is handed to every subprocess work order instead of
+  /// saving a fresh scratch copy — how evaluate_batch dedupes the handoff
+  /// of instances that share content (one write per distinct content hash
+  /// per batch). In-process campaigns ignore it.
+  [[nodiscard]] CampaignReport evaluate_saved(
+      const Instance& instance, const CampaignSpec& spec,
+      const std::string* instance_path) const;
+
   /// The subprocess coordinator behind evaluate_schedule: blocks, workers,
   /// retries, canonical-order fold (api/session.cpp has the details).
+  /// `instance_path`, when non-null, is a ready instance file to reference
+  /// in work orders (no save); otherwise a scratch copy is written.
   [[nodiscard]] CampaignRun evaluate_schedule_subprocess(
-      const Instance& instance, CampaignRun run,
-      const CampaignSpec& spec) const;
+      const Instance& instance, CampaignRun run, const CampaignSpec& spec,
+      const std::string* instance_path) const;
 
   SessionOptions options_;
 };

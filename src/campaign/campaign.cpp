@@ -30,10 +30,12 @@ ReplayRecord to_record(const CrashResult& result, std::size_t failed_count) {
 /// Shared core of run_campaign and run_campaign_block: executes the
 /// contiguous replays [first, first + count) of the canonical scenario
 /// stream in bounded waves and hands each wave's records — in canonical
-/// replay order — to `sink(records, wave_size)`. The stream position is a
-/// function of (seed, first) alone: the master Rng is advanced one split
-/// per replay, so any block of any partition draws exactly the scenarios
-/// the full campaign would have drawn at those indices.
+/// replay order — to `sink(records, wave_size)`; a sink that returns false
+/// stops the range after its wave (run_campaign's --target-ci-width early
+/// stopping). The stream position is a function of (seed, first) alone: the
+/// master Rng is advanced one split per replay, so any block of any
+/// partition draws exactly the scenarios the full campaign would have drawn
+/// at those indices.
 template <typename Sink>
 void run_replay_range(const Schedule& schedule, const CostModel& costs,
                       const ScenarioSampler& sampler,
@@ -65,10 +67,14 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
 
   // The prefix-cached engine is built once per campaign and shared
   // read-only by every worker (each worker owns its Scratch). With a
-  // shared memo, all workers also consult one sharded result cache.
-  std::unique_ptr<ReplayEngine> engine;
+  // shared memo, all workers also consult one sharded result cache. A
+  // caller-supplied prebuilt engine (the campaign server's cached replay
+  // template) short-circuits construction entirely — same const sharing,
+  // same results, by the engine's purity contract.
+  const ReplayEngine* engine = options.prebuilt_engine;
+  std::unique_ptr<ReplayEngine> owned_engine;
   std::unique_ptr<SharedReplayMemo> shared_memo;
-  if (options.engine == CampaignEngine::kIncremental) {
+  if (engine == nullptr && options.engine == CampaignEngine::kIncremental) {
     ReplayEngineOptions engine_options;
     engine_options.theta_bucket_width = options.theta_bucket_width;
     engine_options.exact = options.exact;
@@ -76,13 +82,15 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
     if (options.adaptive_snapshots)
       engine_options.snapshot_times = sampler.first_crash_quantiles(
           engine_options.max_snapshots, schedule.horizon());
-    engine = std::make_unique<ReplayEngine>(schedule, costs, engine_options);
-    if (options.memo == CampaignMemo::kShared) {
-      SharedMemoOptions memo_options;
-      memo_options.shards = options.memo_shards;
-      memo_options.capacity = options.memo_capacity;
-      shared_memo = std::make_unique<SharedReplayMemo>(memo_options);
-    }
+    owned_engine =
+        std::make_unique<ReplayEngine>(schedule, costs, engine_options);
+    engine = owned_engine.get();
+  }
+  if (engine != nullptr && options.memo == CampaignMemo::kShared) {
+    SharedMemoOptions memo_options;
+    memo_options.shards = options.memo_shards;
+    memo_options.capacity = options.memo_capacity;
+    shared_memo = std::make_unique<SharedReplayMemo>(memo_options);
   }
 
   Rng master(options.seed);
@@ -98,7 +106,9 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
   std::vector<ReplayEngine::Scratch> scratches(threads);
   std::size_t successes = 0;
   std::size_t waves = 0;
-  for (std::size_t done = 0; done < count;) {
+  std::size_t done = 0;
+  bool keep_going = true;
+  while (done < count && keep_going) {
     const std::size_t wave = std::min(options.block, count - done);
     obs::Span wave_span = registry.span("campaign.wave");
     const std::chrono::steady_clock::time_point wave_begin =
@@ -154,7 +164,7 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
       for (std::thread& thread : pool) thread.join();
     }
 
-    sink(records, wave);
+    keep_going = sink(records, wave);
     done += wave;
     ++waves;
 
@@ -208,7 +218,9 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
     }
   }
   if (engine != nullptr) gathered.snapshots = engine->snapshot_count();
-  gathered.replays = count;
+  // `done`, not `count`: an early-stopped campaign executed (and folded)
+  // only the waves up to its stopping point.
+  gathered.replays = done;
   gathered.blocks = waves;
   gathered.workers = threads;
   gathered.wall_seconds = range_elapsed.count();
@@ -257,6 +269,7 @@ std::vector<ReplayRecord> run_campaign_block(const Schedule& schedule,
                      all.insert(all.end(), records.begin(),
                                 records.begin() +
                                     static_cast<std::ptrdiff_t>(wave));
+                     return true;  // a block is a fixed slice: never stop
                    });
   return all;
 }
@@ -269,22 +282,44 @@ void run_campaign_block_streamed(
                              std::size_t count)>& sink) {
   run_replay_range(schedule, costs, sampler, options, first, count, telemetry,
                    [&](const std::vector<ReplayRecord>& records,
-                       std::size_t wave) { sink(records.data(), wave); });
+                       std::size_t wave) {
+                     sink(records.data(), wave);
+                     return true;  // a block is a fixed slice: never stop
+                   });
 }
 
 CampaignSummary run_campaign(const Schedule& schedule, const CostModel& costs,
                              const ScenarioSampler& sampler,
                              const CampaignOptions& options,
                              CampaignTelemetry* telemetry) {
+  CAFT_CHECK_MSG(options.target_ci_width == 0.0 ||
+                     (std::isfinite(options.target_ci_width) &&
+                      options.target_ci_width > 0.0 &&
+                      options.target_ci_width < 1.0),
+                 "target CI width must be in (0, 1)");
   CampaignAccumulator accumulator(schedule.eps(), options.quantiles);
   accumulator.set_sampler_name(sampler.name());
-  // Fold in replay order, one wave at a time — memory stays O(block).
+  // Fold in replay order, one wave at a time — memory stays O(block). With
+  // a target CI width the fold also answers "keep going?": the campaign
+  // stops after the first wave whose folded prefix satisfies the target, so
+  // the stopping point is a pure function of (seed, block) — wave
+  // boundaries are, and the prefix's records are, by the determinism
+  // contract above.
+  std::size_t done = 0;
+  std::size_t successes = 0;
   run_replay_range(schedule, costs, sampler, options, 0, options.replays,
                    telemetry,
                    [&](const std::vector<ReplayRecord>& records,
                        std::size_t wave) {
                      for (std::size_t i = 0; i < wave; ++i)
                        fold_replay_record(accumulator, records[i]);
+                     if (options.target_ci_width <= 0.0) return true;
+                     done += wave;
+                     for (std::size_t i = 0; i < wave; ++i)
+                       if (records[i].success) ++successes;
+                     const WilsonInterval ci =
+                         wilson_interval(successes, done);
+                     return ci.high - ci.low > options.target_ci_width;
                    });
   return accumulator.summary();
 }

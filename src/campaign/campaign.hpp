@@ -40,6 +40,8 @@
 
 namespace caft {
 
+class ReplayEngine;  // sim/replay_engine.hpp (CampaignOptions hook below)
+
 /// Which replay implementation executes the campaign. Both produce
 /// bit-for-bit identical summaries; kIncremental is the fast path.
 enum class CampaignEngine {
@@ -112,6 +114,26 @@ struct CampaignOptions {
   /// that runs the campaign (never from worker threads). Purely
   /// observational — the summary is identical whether it is set or not.
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Early stopping: stop launching new waves once the Wilson 95% interval
+  /// around the folded prefix's success rate is at most this wide (0 = off,
+  /// run the full budget). Checked at wave boundaries after the wave folds,
+  /// so the stopping point — and therefore the summary — is a deterministic
+  /// function of (seed, block): still independent of threads, engine and
+  /// memo placement, but `block` joins the summary-relevant knobs whenever
+  /// this is set. Honoured by run_campaign only; run_campaign_block replays
+  /// its exact range regardless (a block is a fixed slice of someone
+  /// else's campaign).
+  double target_ci_width = 0.0;
+  /// Replay-template reuse hook for services that cache ReplayEngines
+  /// across campaigns (the campaign server): a non-null engine — which MUST
+  /// have been built from this campaign's schedule/costs with the same
+  /// theta_bucket_width and exact flag — is used instead of constructing
+  /// one, overriding `engine`/`adaptive_snapshots`. Summary-neutral by the
+  /// engine's own contract: replays are pure functions of (schedule, costs,
+  /// scenario, θ-config), and the engine is const-shared across worker
+  /// threads exactly as an owned one would be. The caller keeps it alive
+  /// for the duration of the call.
+  const ReplayEngine* prebuilt_engine = nullptr;
 };
 
 /// Optional observability output of run_campaign — memo effectiveness and

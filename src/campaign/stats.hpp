@@ -65,6 +65,27 @@ class StreamingMoments {
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
   [[nodiscard]] double stddev() const;
 
+  /// Raw sum of squared deviations (the Welford M2 term). Together with
+  /// count/mean/min/max it is the accumulator's *complete* state, which is
+  /// what lets a summary cross a wire bit-exactly: ship the five fields as
+  /// hexfloat, restore() on the far side, and every derived statistic
+  /// (stddev included) reproduces bit-for-bit.
+  [[nodiscard]] double m2() const { return m2_; }
+  /// Rebuilds an accumulator from state previously read off m2()/count()/
+  /// mean()/min()/max() — the read half of the wire round-trip. The raw
+  /// mean is restored even for count == 0 (mean() masks it to 0 itself).
+  [[nodiscard]] static StreamingMoments restore(std::size_t count,
+                                                double mean, double m2,
+                                                double min, double max) {
+    StreamingMoments moments;
+    moments.count_ = count;
+    moments.mean_ = mean;
+    moments.m2_ = m2;
+    moments.min_ = min;
+    moments.max_ = max;
+    return moments;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

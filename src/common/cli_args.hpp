@@ -10,7 +10,9 @@
 /// not run a 10-replay campaign.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <stdexcept>
@@ -118,6 +120,54 @@ class CliArgs {
     std::ofstream probe(path, std::ios::app);
     CAFT_CHECK_MSG(probe.good(),
                    "--" + flag + ": cannot write '" + path + "'");
+  }
+
+  /// Validates a TCP port value (the value of --`flag`): strictly decimal
+  /// digits, in [0, 65535]. 0 is allowed — it means "pick an ephemeral
+  /// port" to bind(), which is exactly what test harnesses pass. Returns
+  /// the parsed port; throws CheckError naming the flag otherwise (the
+  /// get_size rules: "80x", "", "-1" and bare flags all throw).
+  static std::uint16_t check_port(const std::string& flag,
+                                  const std::string& text) {
+    CAFT_CHECK_MSG(
+        !text.empty() && text != "true" &&
+            text.find_first_not_of("0123456789") == std::string::npos,
+        "--" + flag + ": invalid port '" + text + "' (expected 0-65535)");
+    // Digits only, so stoull cannot throw invalid_argument; cap the length
+    // before parsing so "999999999999999999999" cannot overflow either.
+    CAFT_CHECK_MSG(text.size() <= 5 && std::stoull(text) <= 65535,
+                   "--" + flag + ": port '" + text + "' is out of range "
+                   "(expected 0-65535)");
+    return static_cast<std::uint16_t>(std::stoull(text));
+  }
+
+  /// Validates a listen address (the value of --`flag`): a strict IPv4
+  /// dotted quad — four decimal octets in [0, 255], no empty components, no
+  /// stray characters, no leading '+'/'-'. Hostnames are deliberately
+  /// rejected: a listen address names an interface, and resolving names
+  /// would drag DNS (and its nondeterminism) into server startup. Throws
+  /// CheckError suggesting 127.0.0.1 / 0.0.0.0; returns the address.
+  static std::string check_listen_address(const std::string& flag,
+                                          const std::string& text) {
+    const auto fail = [&] {
+      throw CheckError("--" + flag + ": invalid listen address '" + text +
+                       "' (expected an IPv4 dotted quad, e.g. 127.0.0.1 for "
+                       "local-only or 0.0.0.0 for all interfaces)");
+    };
+    std::size_t octets = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      const std::size_t dot = std::min(text.find('.', pos), text.size());
+      const std::string part = text.substr(pos, dot - pos);
+      if (part.empty() || part.size() > 3 ||
+          part.find_first_not_of("0123456789") != std::string::npos ||
+          std::stoul(part) > 255)
+        fail();
+      ++octets;
+      pos = dot + 1;
+    }
+    if (octets != 4) fail();
+    return text;
   }
 
  private:

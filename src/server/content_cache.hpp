@@ -1,0 +1,121 @@
+/// \file content_cache.hpp
+/// The campaign server's content-addressed artifact cache.
+///
+/// Everything the server computes is a pure function of the request's
+/// instance *bytes* and spec — so the cache keys derive from content, never
+/// from client identity or arrival order:
+///
+///   instance   i/<fnv1a64(bytes)>            -> loaded Instance
+///   schedule   s/<hash>/<algorithm>/<req>    -> ScheduleResult (+ instance)
+///   template   t/<schedule-key>/<width>/<e>  -> prebuilt ReplayEngine
+///
+/// where <req> is the shared wire::write_request_line encoding of the
+/// ScheduleRequest (every field that can change a schedule is in it) and
+/// <width>/<e> are the θ-bucket width (hexfloat) and exact flag — the two
+/// ReplayEngineOptions members that change replay *results*. Snapshot
+/// placement and memo capacity are deliberately NOT in the key: they are
+/// speed-only by the engine's purity contract, so a template built here
+/// with default placement replays bit-identically to the adaptively-placed
+/// engine run_campaign would have built. tests/test_campaign_server.cpp
+/// holds the server to exactly that (byte-identical reports on hits).
+///
+/// Lifetimes chain through shared_ptr — a CachedSchedule keeps its
+/// Instance alive, a CachedTemplate keeps its CachedSchedule alive — so
+/// evicting any entry mid-request never dangles: the request's own handles
+/// keep the artifacts alive until it finishes.
+///
+/// Concurrency: one mutex around everything, *including* artifact builds.
+/// That serializes a concurrent miss storm on the same key into one build
+/// (the second requester finds the hit), at the cost of serializing
+/// unrelated builds too — the right trade for a cache whose point is that
+/// builds are rare and hits are the steady state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/instance.hpp"
+#include "api/scheduler.hpp"
+#include "obs/obs.hpp"
+#include "sim/replay_engine.hpp"
+
+namespace ftsched {
+namespace server {
+
+class ContentCache {
+ public:
+  /// A schedule pinned to the instance it references. `key` is the full
+  /// content-addressed cache key (instance hash + algorithm + request
+  /// fingerprint) — the prefix template keys extend.
+  struct CachedSchedule {
+    std::shared_ptr<const Instance> instance;
+    ScheduleResult result;
+    std::string key;
+  };
+
+  /// A replay template pinned to the schedule (and, transitively, the
+  /// instance) it was built from.
+  struct CachedTemplate {
+    std::shared_ptr<const CachedSchedule> schedule;
+    std::unique_ptr<const caft::ReplayEngine> engine;
+  };
+
+  /// `capacity` bounds the *total* entry count across all three families;
+  /// the least-recently-used entry is evicted on overflow. 0 disables
+  /// caching entirely (every lookup misses and nothing is stored) — the
+  /// knob CI uses to drive the always-cold path.
+  explicit ContentCache(std::size_t capacity);
+
+  /// The Instance for `bytes` (io/instance_io text), loading on miss.
+  /// Writes the content hash — the handle the schedule family is keyed
+  /// under — to `*hash`. Throws caft::CheckError on unparseable bytes
+  /// (nothing is cached in that case).
+  [[nodiscard]] std::shared_ptr<const Instance> instance(
+      const std::string& bytes, std::uint64_t* hash);
+
+  /// The ScheduleResult of running `algorithm` (a registry name) on the
+  /// cached `instance` under `request`, scheduling on miss.
+  [[nodiscard]] std::shared_ptr<const CachedSchedule> schedule(
+      const std::shared_ptr<const Instance>& instance,
+      std::uint64_t instance_hash, const std::string& algorithm,
+      const ScheduleRequest& request);
+
+  /// The ReplayEngine template for `schedule` under the given θ-bucket
+  /// width / exact flag, building (with default, uniform snapshot
+  /// placement — see the file comment) on miss.
+  [[nodiscard]] std::shared_ptr<const CachedTemplate> replay_template(
+      const std::shared_ptr<const CachedSchedule>& schedule,
+      double theta_bucket_width, bool exact);
+
+  /// Entries currently held, all families combined.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  template <typename T>
+  struct Slot {
+    std::shared_ptr<T> value;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Evicts least-recently-used entries until size() <= capacity_. Call
+  /// with lock_ held, after an insertion.
+  void evict_to_capacity();
+
+  const std::size_t capacity_;
+  mutable std::mutex lock_;
+  std::uint64_t tick_ = 0;  ///< LRU clock; bumped per lookup under lock_
+  std::map<std::string, Slot<const Instance>> instances_;
+  std::map<std::string, Slot<const CachedSchedule>> schedules_;
+  std::map<std::string, Slot<const CachedTemplate>> templates_;
+
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+};
+
+}  // namespace server
+}  // namespace ftsched

@@ -1,0 +1,10 @@
+// layering fixture: server/ is a consumer of the facade — schedulers come
+// via api/ (the registry), instances arrive as bytes and load through
+// api/Instance. Reaching into algo/ or io/ directly is a violation.
+#pragma once
+
+#include "algo/caft.hpp"
+#include "api/session.hpp"
+#include "io/instance_io.hpp"
+
+void serve_everything();

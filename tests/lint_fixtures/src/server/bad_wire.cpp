@@ -1,0 +1,9 @@
+// wire-determinism fixture: src/server/ is wire scope — the campaign
+// server speaks the campaign_wire dialect, so a double reaching a stream
+// at default precision is flagged exactly as it is in src/io/.
+#include <ostream>
+
+void stream_progress(std::ostream& os) {
+  double ci_width = 0.25;
+  os << "progress " << ci_width << "\n";  // default-precision stream
+}

@@ -565,15 +565,34 @@ TEST(SessionApi, ExactCampaignsNeverDeriveABucketWidth) {
   EXPECT_DOUBLE_EQ(report.runs[0].theta_bucket_width, 0.0);
 }
 
-TEST(SessionApi, InProcessBackendRejectsTargetCiWidth) {
+TEST(SessionApi, InProcessTargetCiWidthStopsEarlyAndDeterministically) {
   const Instance instance = random_instance(44, 8, 1.0, 1);
   CampaignSpec spec;
   spec.algorithms = {"caft"};
-  spec.replays = 10;
-  spec.target_ci_width = 0.05;
-  // Early stopping lives in the subprocess coordinator; anywhere else the
-  // knob would be silently ignored — reject instead.
-  EXPECT_THROW((void)Session().evaluate(instance, spec), caft::CheckError);
+  spec.replays = 4000;
+  // A loose target: the Wilson interval narrows below it long before the
+  // full budget, so the in-process backend must stop at a wave boundary
+  // with a truncated (but non-empty) canonical prefix.
+  spec.target_ci_width = 0.2;
+  SessionOptions options;
+  options.block = 64;
+  const CampaignReport report = Session(options).evaluate(instance, spec);
+  ASSERT_EQ(report.runs.size(), 1u);
+  const caft::CampaignSummary& stopped = report.runs[0].summary;
+  EXPECT_GT(stopped.replays, 0u);
+  EXPECT_LT(stopped.replays, spec.replays);
+  EXPECT_EQ(stopped.replays % options.block, 0u);  // wave-boundary cut
+  EXPECT_LE(stopped.success_ci.high - stopped.success_ci.low,
+            spec.target_ci_width);
+
+  // The stopping point is a function of (seed, block) only: any thread
+  // count folds the same canonical prefix, byte-for-byte — the property
+  // the campaign server's cached-vs-fresh identity rests on.
+  SessionOptions threaded = options;
+  threaded.threads = 4;
+  const CampaignReport again = Session(threaded).evaluate(instance, spec);
+  expect_summaries_identical(again.runs[0].summary, stopped);
+
   // And the width itself must be a meaningful CI width.
   spec.target_ci_width = 1.5;
   EXPECT_THROW((void)Session().evaluate(instance, spec), caft::CheckError);

@@ -157,6 +157,59 @@ TEST(CampaignWire, WorkOrderRejectsMalformedDocuments) {
   }
 }
 
+TEST(CampaignWire, ReadersNameVersionSkewExplicitly) {
+  // A v2 document is not "corruption": the reader must tell the peer it
+  // speaks v1 so a future writer is told to downgrade, not to debug bytes.
+  const std::string good = to_text(sample_order());
+  std::string skewed = good;
+  skewed.replace(0, skewed.find('\n'), "caft-campaign-work v2");
+  {
+    std::istringstream is(skewed);
+    try {
+      (void)read_campaign_work_order(is);
+      FAIL() << "expected CheckError";
+    } catch (const CheckError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("unsupported document version"), std::string::npos);
+      EXPECT_NE(what.find("caft-campaign-work v2"), std::string::npos);
+      EXPECT_NE(what.find("speaks v1"), std::string::npos);
+    }
+  }
+  {  // a *wrong* magic still reads as corruption, not as version skew
+    std::istringstream is("caft-campaign-partial v1\nend\n");
+    try {
+      (void)read_campaign_work_order(is);
+      FAIL() << "expected CheckError";
+    } catch (const CheckError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("bad magic line"), std::string::npos);
+      EXPECT_EQ(what.find("unsupported document version"), std::string::npos);
+    }
+  }
+  // The shared helper behind every reader: exact match passes, any other
+  // version of the *same* magic is skew, anything else is a bad magic.
+  EXPECT_NO_THROW(wire::check_magic_line("caft-x v1", "caft-x"));
+  EXPECT_THROW(wire::check_magic_line("caft-x v2", "caft-x"), CheckError);
+  EXPECT_THROW(wire::check_magic_line("caft-x v10", "caft-x"), CheckError);
+  EXPECT_THROW(wire::check_magic_line("caft-x v1 ", "caft-x"), CheckError);
+  EXPECT_THROW(wire::check_magic_line("caft-y v1", "caft-x"), CheckError);
+}
+
+TEST(CampaignWire, PartialReaderRejectsVersionSkew) {
+  CampaignPartialReader reader;
+  const std::string doc = "caft-campaign-partial v2\nend\n";
+  reader.feed(doc.data(), doc.size());
+  EXPECT_TRUE(reader.failed());
+  try {
+    (void)reader.take();
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unsupported document version"), std::string::npos);
+    EXPECT_NE(what.find("speaks v1"), std::string::npos);
+  }
+}
+
 CampaignPartialResult sample_partial() {
   CampaignPartialResult partial;
   partial.algorithm = "ftsa";

@@ -124,6 +124,65 @@ TEST(CliArgs, CheckWritablePathRejectsBadTargets) {
   EXPECT_THROW(CliArgs::check_writable_path("trace-out", ""), CheckError);
 }
 
+TEST(CliArgs, CheckPortParsesStrictly) {
+  EXPECT_EQ(CliArgs::check_port("port", "0"), 0);  // 0 = ephemeral bind
+  EXPECT_EQ(CliArgs::check_port("port", "7070"), 7070);
+  EXPECT_EQ(CliArgs::check_port("port", "65535"), 65535);
+  const std::vector<std::string> bad = {
+      "65536",   // one past the top
+      "80x",     // trailing junk
+      "-1",      // get_size rule: leading '-' never silently wraps
+      "",        // empty
+      "true",    // a bare --port with no value
+      "999999999999999999999",  // longer than any port, must not overflow
+      "0x50",    // no hex ports
+  };
+  for (const std::string& text : bad) {
+    try {
+      (void)CliArgs::check_port("port", text);
+      FAIL() << "expected CheckError for '" << text << "'";
+    } catch (const CheckError& error) {
+      // The message must name the flag and the offending value.
+      const std::string what = error.what();
+      EXPECT_NE(what.find("--port"), std::string::npos) << text;
+    }
+  }
+}
+
+TEST(CliArgs, CheckListenAddressAcceptsDottedQuadsOnly) {
+  EXPECT_EQ(CliArgs::check_listen_address("listen", "127.0.0.1"),
+            "127.0.0.1");
+  EXPECT_EQ(CliArgs::check_listen_address("listen", "0.0.0.0"), "0.0.0.0");
+  EXPECT_EQ(CliArgs::check_listen_address("listen", "10.255.0.42"),
+            "10.255.0.42");
+  const std::vector<std::string> bad = {
+      "localhost",      // hostnames mean DNS; a listen address names an
+                        // interface — rejected by design
+      "127.0.0.256",    // octet out of range
+      "127.0.0",        // three octets
+      "1.2.3.4.5",      // five octets
+      "127.0..1",       // empty octet
+      "127.0.0.1 ",     // trailing junk
+      " 127.0.0.1",     // leading junk
+      "127.0.0.+1",     // stoul would eat the '+'; the checker must not
+      "::1",            // IPv6 not spoken here
+      "",               // empty
+      "true",           // bare --listen
+  };
+  for (const std::string& text : bad) {
+    try {
+      (void)CliArgs::check_listen_address("listen", text);
+      FAIL() << "expected CheckError for '" << text << "'";
+    } catch (const CheckError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("--listen"), std::string::npos) << text;
+      // Actionable: the message suggests the two sane defaults.
+      EXPECT_NE(what.find("127.0.0.1"), std::string::npos) << text;
+      EXPECT_NE(what.find("0.0.0.0"), std::string::npos) << text;
+    }
+  }
+}
+
 // --- ProgressHeartbeat (campaign/progress.hpp) — the --progress state
 // machine the CLIs hang on CampaignProgress callbacks, driven here with an
 // injected clock so the 200 ms throttle is deterministic.

@@ -287,6 +287,46 @@ TEST(SessionSubprocess, EvaluateBatchMatchesInProcess) {
   }
 }
 
+TEST(SessionSubprocess, EvaluateBatchDedupesEqualInstanceSaves) {
+  const std::string cli = cli_path();
+  if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";
+
+  // Three instances, two of them byte-identical (same generator seed):
+  // the batch must serialize two files, not three, and the duplicate must
+  // still campaign correctly off the shared file — across two algorithms,
+  // so the shared path is reused within an evaluate as well.
+  std::vector<Instance> instances;
+  instances.push_back(random_instance(320, 8, 1.0, 1));
+  instances.push_back(random_instance(321, 8, 1.0, 1));
+  instances.push_back(random_instance(320, 8, 1.0, 1));  // dup of [0]
+  CampaignSpec spec = lifetime_spec(100);
+  spec.algorithms = {"caft", "ftsa"};
+  spec.sampler = SamplerSpec::uniform_k(1);
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.set_enabled(true);
+  const std::uint64_t saves_before =
+      registry.snapshot().counter_value("campaign.instance.saves");
+  const Session session{};
+  const std::vector<CampaignReport> batch = session.evaluate_batch(
+      instances, spec, ExecutionPolicy::subprocess(cli, 2));
+  const std::uint64_t saves_after =
+      registry.snapshot().counter_value("campaign.instance.saves");
+  registry.set_enabled(false);
+
+  // Two distinct contents -> exactly two saves for three instances.
+  EXPECT_EQ(saves_after - saves_before, 2u);
+
+  // The deduped instance's report is byte-identical to its twin's.
+  ASSERT_EQ(batch.size(), 3u);
+  ASSERT_EQ(batch[0].runs.size(), batch[2].runs.size());
+  for (std::size_t r = 0; r < batch[0].runs.size(); ++r) {
+    EXPECT_EQ(batch[0].runs[r].algorithm, batch[2].runs[r].algorithm);
+    expect_summaries_identical(batch[0].runs[r].summary,
+                               batch[2].runs[r].summary);
+  }
+}
+
 TEST(SessionSubprocess, RetriesCrashedWorkerAndStaysIdentical) {
   const std::string cli = cli_path();
   if (cli.empty()) GTEST_SKIP() << "CAFT_CAMPAIGN_CLI not set (run via ctest)";

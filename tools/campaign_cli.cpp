@@ -67,12 +67,14 @@
 /// blocks past the fold frontier (0 = auto, max(2 × workers, 4)). Neither
 /// knob can change a report.
 ///
-/// --target-ci-width W (subprocess only; off by default) stops dispatching
-/// new blocks once the Wilson 95% CI around the folded prefix's success
-/// rate is at most W wide. The result is a truncated-campaign summary over
-/// a contiguous canonical prefix — deterministic per stopping point but
-/// intentionally NOT byte-identical to a fixed-replay run, because the
-/// stopping point depends on worker completion timing.
+/// --target-ci-width W (off by default) stops the campaign early once the
+/// Wilson 95% CI around the folded prefix's success rate is at most W
+/// wide; the summary then covers a contiguous canonical prefix of the
+/// scenario stream. In-process the cut lands at a wave boundary, a
+/// deterministic function of (--seed, the session block size) — reruns are
+/// byte-identical. On the subprocess backend the stopping point
+/// additionally depends on worker completion timing: deterministic per
+/// stopping point, intentionally NOT byte-identical across runs.
 ///
 /// --worker is the worker side of that protocol: read one serialized work
 /// order (api/campaign_wire.hpp) on stdin, replay the requested scenario
@@ -94,10 +96,8 @@
 ///                       type) and exit.
 /// Both files are validated writable up front and written on completion;
 /// the confirmation lines go to stderr so stdout stays byte-stable.
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -106,6 +106,7 @@
 #include "api/api.hpp"
 #include "campaign/progress.hpp"
 #include "campaign/stats.hpp"
+#include "campaign_spec_cli.hpp"
 #include "common/build_info.hpp"
 #include "common/cli_args.hpp"
 #include "dag/generators.hpp"
@@ -115,98 +116,12 @@
 namespace {
 
 using namespace caft;
+using ftsched::tools::arm_observability;
+using ftsched::tools::build_campaign_spec;
+using ftsched::tools::write_observability_outputs;
+using ftsched::tools::write_table_outputs;
 
 using Args = CliArgs;
-
-ftsched::SamplerSpec build_sampler_spec(const Args& args, std::size_t eps) {
-  const std::string kind = args.get_choice(
-      "sampler", "uniform", {"uniform", "exp", "weibull", "window", "groups"});
-  const std::size_t k = args.get_size("k", eps);
-  // Lifetimes beyond --horizon are censored to "never fails"; without it
-  // every processor eventually crashes, so the within-eps statistics of
-  // lifetime campaigns are empty (failed_count counts any finite lifetime).
-  const double horizon = args.get_double(
-      "horizon", std::numeric_limits<double>::infinity());
-  if (kind == "uniform") return ftsched::SamplerSpec::uniform_k(k);
-  if (kind == "exp")
-    return ftsched::SamplerSpec::exponential(args.get_double("rate", 0.001),
-                                             horizon);
-  if (kind == "weibull")
-    return ftsched::SamplerSpec::weibull(args.get_double("shape", 1.5),
-                                         args.get_double("scale", 1000.0),
-                                         horizon);
-  if (kind == "window")
-    return ftsched::SamplerSpec::window(k, args.get_double("theta-lo", 0.0),
-                                        args.get_double("theta-hi", 1000.0));
-  // get_choice above guarantees kind == "groups" here.
-  return ftsched::SamplerSpec::groups(
-      args.get_size("group-size", 2), args.get_double("group-prob", 0.1),
-      args.get_double("theta-lo", 0.0), args.get_double("theta-hi", 0.0));
-}
-
-/// Splits --algos on commas and validates every name against the registry:
-/// an unknown entry aborts with "unknown algo 'x'; known: ...", and a
-/// repeated entry aborts too (it would double the run and the report row).
-std::vector<std::string> parse_algos(const std::string& list) {
-  const ftsched::SchedulerRegistry& registry =
-      ftsched::SchedulerRegistry::global();
-  std::vector<std::string> names;
-  std::string token;
-  for (const char c : list + ",") {
-    if (c != ',') {
-      token += c;
-      continue;
-    }
-    if (token.empty()) continue;
-    (void)registry.make(token);  // throws the canonical unknown-algo error
-    CAFT_CHECK_MSG(std::find(names.begin(), names.end(), token) ==
-                       names.end(),
-                   "--algos lists '" + token + "' twice");
-    names.push_back(token);
-    token.clear();
-  }
-  CAFT_CHECK_MSG(!names.empty(), "--algos names no algorithms; known: " +
-                                     registry.known_list());
-  return names;
-}
-
-/// Validates the observability flags up front (so a long campaign cannot
-/// fail at the final write) and arms the global registry. Purely additive:
-/// with neither flag the registry stays disabled and every instrumentation
-/// point in the library is a relaxed load + branch.
-void arm_observability(const Args& args) {
-  if (args.has("trace-out"))
-    Args::check_writable_path("trace-out", args.get("trace-out"));
-  if (args.has("metrics-out"))
-    Args::check_writable_path("metrics-out", args.get("metrics-out"));
-  obs::Registry& registry = obs::Registry::global();
-  if (args.has("trace-out") || args.has("metrics-out"))
-    registry.set_enabled(true);
-  if (args.has("trace-out")) registry.set_tracing(true);
-}
-
-/// Writes --trace-out / --metrics-out. Confirmations go to *stderr*: stdout
-/// carries the deterministic report (or, in worker mode, the wire partial)
-/// and must stay byte-identical with observability on.
-void write_observability_outputs(const Args& args) {
-  obs::Registry& registry = obs::Registry::global();
-  if (args.has("trace-out")) {
-    const std::string path = args.get("trace-out");
-    std::ofstream out(path, std::ios::trunc);
-    registry.write_trace_json(out);
-    CAFT_CHECK_MSG(out.good(), "--trace-out: failed writing '" + path + "'");
-    std::fprintf(stderr, "trace written to %s (%zu events)\n", path.c_str(),
-                 registry.trace_event_count());
-  }
-  if (args.has("metrics-out")) {
-    const std::string path = args.get("metrics-out");
-    std::ofstream out(path, std::ios::trunc);
-    registry.write_metrics_json(out, caft::build_info());
-    CAFT_CHECK_MSG(out.good(),
-                   "--metrics-out: failed writing '" + path + "'");
-    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
-  }
-}
 
 }  // namespace
 
@@ -306,26 +221,10 @@ int main(int argc, char** argv) {
     }
     const ftsched::Session session(session_options);
 
-    // --- spec: algorithms, sampler distribution, replay/seed budget.
-    ftsched::CampaignSpec spec;
-    spec.algorithms = parse_algos(args.get("algos", "caft,ftsa,ftbar"));
-    spec.sampler = build_sampler_spec(args, instance->eps());
-    spec.replays = args.get_size("replays", 1000);
-    CAFT_CHECK_MSG(spec.replays > 0, "--replays must be positive");
-    spec.seed = args.get_size("seed", 20080201);
-    // --theta-buckets N splits each schedule's horizon into N θ buckets for
-    // shared-memo quantization; 0 keeps every replay bit-exact. The Session
-    // rejects inert combinations (quantization without the incremental
-    // engine's shared memo) rather than silently running an exact campaign
-    // the user believes is bucketed (--exact is the intentional opt-out).
-    spec.theta_buckets = args.get_size("theta-buckets", 0);
-    spec.exact = args.has("exact");
-    // --target-ci-width W: early stopping on the subprocess backend — stop
-    // dispatching new blocks once the folded prefix's Wilson 95% CI is at
-    // most W wide. Intentionally non-identical to a fixed-replay run (the
-    // stopping point depends on worker timing); the Session rejects it on
-    // the in-process backend.
-    spec.target_ci_width = args.get_double("target-ci-width", 0.0);
+    // --- spec: algorithms, sampler distribution, replay/seed budget (the
+    // shared flag surface — campaign_client builds its spec identically).
+    const ftsched::CampaignSpec spec =
+        build_campaign_spec(args, instance->eps());
 
     const std::string sampler_name = spec.sampler.name(m);
     std::printf("instance: %zu tasks, %zu edges, m=%zu, eps=%zu\n",
@@ -381,23 +280,7 @@ int main(int argc, char** argv) {
     const Table table = campaign_table("fault-injection campaign — " +
                                            sampler_name,
                                        report.summary_rows());
-    table.print(std::cout, 4);
-    if (args.has("csv")) {
-      const std::string path = args.get("csv") + "_campaign.csv";
-      if (!table.save_csv(path)) {
-        std::fprintf(stderr, "error: could not write %s\n", path.c_str());
-        return 1;
-      }
-      std::printf("CSV written to %s\n", path.c_str());
-    }
-    if (args.has("json")) {
-      const std::string path = args.get("json") + "_campaign.json";
-      if (!table.save_json(path)) {
-        std::fprintf(stderr, "error: could not write %s\n", path.c_str());
-        return 1;
-      }
-      std::printf("JSON written to %s\n", path.c_str());
-    }
+    if (const int rc = write_table_outputs(args, table); rc != 0) return rc;
 
     // Before the Proposition check so the artifacts exist even when a
     // violated run exits 1 — that is exactly the run worth inspecting.
