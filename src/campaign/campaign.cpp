@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <thread>
 
@@ -67,7 +68,7 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
 
   // The prefix-cached engine is built once per campaign and shared
   // read-only by every worker (each worker owns its Scratch). With a
-  // shared memo, all workers also consult one sharded result cache. A
+  // shared memo, all workers also consult one lock-free result cache. A
   // caller-supplied prebuilt engine (the campaign server's cached replay
   // template) short-circuits construction entirely — same const sharing,
   // same results, by the engine's purity contract.
@@ -100,6 +101,9 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
 
   std::vector<CrashScenario> scenarios;
   std::vector<std::size_t> order;
+  std::vector<std::size_t> group_start;
+  std::vector<double> times;
+  std::vector<double> firsts;
   std::vector<ReplayRecord> records;
   // One scratch per worker slot, persistent across waves: buffers and the
   // dead-set memo survive, so steady-state waves allocate nothing.
@@ -124,25 +128,62 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
       scenarios.push_back(sampler.sample(stream));
     }
 
-    // Execute the wave sorted by earliest crash time: neighbouring replays
-    // then branch from the same (or adjacent) fault-free snapshots, so the
-    // incremental engine's prefix cache gets maximal reuse. Results land in
-    // replay order regardless, so the sink below never sees this order.
+    // Execute the wave sorted by earliest crash time, then by the full
+    // crash-time vector: neighbouring replays branch from the same (or
+    // adjacent) fault-free snapshots, and *identical* scenarios (a uniform-k
+    // wave of 1024 draws covers only C(m, k) distinct masks) become adjacent
+    // runs. Each run is replayed once and its record copied to every index —
+    // sound because a record is a pure function of its scenario, so the
+    // copies are bit-identical to replaying each index individually.
+    // Results land in replay order regardless, so the sink below never sees
+    // this order and summaries stay independent of the batching.
+    // The sort comparator runs O(wave log wave) times; flatten the crash
+    // times into one matrix up front so it compares raw doubles instead of
+    // going through the checked per-proc accessor.
+    const std::size_t m = sampler.proc_count();
+    times.resize(wave * m);
+    firsts.resize(wave);
+    for (std::size_t i = 0; i < wave; ++i) {
+      double earliest = std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < m; ++p) {
+        const double t = scenarios[i].crash_time(
+            ProcId(static_cast<ProcId::value_type>(p)));
+        times[i * m + p] = t;
+        earliest = std::min(earliest, t);
+      }
+      firsts[i] = earliest;
+    }
+    const auto times_cmp = [&](std::size_t a, std::size_t b) {
+      const double* ta = times.data() + a * m;
+      const double* tb = times.data() + b * m;
+      for (std::size_t p = 0; p < m; ++p)
+        if (ta[p] != tb[p]) return ta[p] < tb[p] ? -1 : 1;
+      return 0;
+    };
     order.resize(wave);
     for (std::size_t i = 0; i < wave; ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const double fa = ReplayEngine::first_crash(scenarios[a]);
-      const double fb = ReplayEngine::first_crash(scenarios[b]);
-      if (fa != fb) return fa < fb;
+      if (firsts[a] != firsts[b]) return firsts[a] < firsts[b];
+      const int c = times_cmp(a, b);
+      if (c != 0) return c < 0;
       return a < b;
     });
+    // Group boundaries of identical-scenario runs in the sorted order.
+    group_start.clear();
+    for (std::size_t j = 0; j < wave; ++j)
+      if (j == 0 || times_cmp(order[j], order[j - 1]) != 0)
+        group_start.push_back(j);
+    group_start.push_back(wave);
+    const std::size_t groups = group_start.size() - 1;
 
     records.assign(wave, ReplayRecord{});
-    const std::size_t workers = std::min(threads, wave);
+    const std::size_t workers = std::min(threads, groups);
     const auto worker = [&](std::size_t first_slot) {
       ReplayEngine::Scratch& scratch = scratches[first_slot];
-      for (std::size_t j = first_slot; j < wave; j += workers) {
-        const std::size_t i = order[j];
+      for (std::size_t g = first_slot; g < groups; g += workers) {
+        const std::size_t begin = group_start[g];
+        const std::size_t end = group_start[g + 1];
+        const std::size_t i = order[begin];
         // Branch instead of a ternary: the engine path returns a reference
         // (a ternary mixing it with the naive prvalue would force a copy).
         if (engine != nullptr)
@@ -153,6 +194,8 @@ void run_replay_range(const Schedule& schedule, const CostModel& costs,
           records[i] = to_record(simulate_crashes(schedule, costs,
                                                   scenarios[i]),
                                  scenarios[i].failed_count());
+        for (std::size_t j = begin + 1; j < end; ++j)
+          records[order[j]] = records[i];
       }
     };
     if (workers <= 1) {

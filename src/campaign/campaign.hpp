@@ -54,7 +54,7 @@ enum class CampaignEngine {
 /// across *all* workers instead of once per worker thread.
 enum class CampaignMemo {
   kScratch,  ///< per-worker Scratch memo (never crosses threads)
-  kShared,   ///< one sharded SharedReplayMemo consulted by every worker
+  kShared,   ///< one striped-CAS SharedReplayMemo consulted by every worker
 };
 
 /// Live progress of a campaign, delivered after each completed wave (or,

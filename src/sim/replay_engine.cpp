@@ -37,14 +37,58 @@ double ReplayEngine::first_crash(const CrashScenario& scenario) {
   return earliest;
 }
 
+// ---------------------------------------------------------------------------
+// SharedReplayMemo: striped open-addressing CAS table with hazard-pointer
+// protected reads.
+//
+// Invariants the correctness argument leans on:
+//  * An Entry is immutable after publication: its fields are written before
+//    the slot CAS (release) and never again, so any acquire load of a slot
+//    yields a fully constructed entry.
+//  * Slots never return to nullptr: inserts CAS empty slots, a full probe
+//    window *exchanges* its home slot (displacing the victim). Lookups may
+//    therefore stop at the first empty slot — every key's publish saw only
+//    non-empty slots before its own, and that prefix can only stay non-empty.
+//  * Displaced entries are retired, not freed: a reader publishes the entry
+//    pointer in its hazard slot and re-verifies the table slot (both seq_cst)
+//    before dereferencing; the displacer re-reads all hazard slots after its
+//    exchange (also seq_cst) and defers the free while any matches. The total
+//    order on those four operations makes "reader dereferences freed entry"
+//    impossible. Readers without a hazard slot serialize on fallback_mutex_,
+//    which retirement sweeps also take.
+//  * Values are pure functions of their keys, so every race degrades to a
+//    benign extra recompute: a reader that skips a slot mid-displacement
+//    misses and recomputes identical bits; two writers publishing the same
+//    key publish identical bits.
+
 SharedReplayMemo::SharedReplayMemo(SharedMemoOptions options)
-    : shards_(std::max<std::size_t>(1, options.shards)),
-      shard_capacity_(options.capacity / std::max<std::size_t>(1,
-                                                               options.shards)) {
-  // A capacity smaller than the shard count still leaves one slot per
-  // shard, so tiny caps degrade to "remember the last result per shard"
-  // rather than disabling memoisation outright.
-  if (options.capacity > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
+    : stripes_(std::max<std::size_t>(1, options.shards)),
+      hazards_(new std::atomic<const Entry*>[kMaxReaders]) {
+  for (std::size_t i = 0; i < kMaxReaders; ++i) hazards_[i].store(nullptr);
+  // Slot count: capacity rounded *down* to a power of two, so the resident
+  // entry count is structurally bounded by the requested capacity.
+  std::size_t slots = 1;
+  while (slots * 2 <= options.capacity) slots *= 2;
+  if (options.capacity == 0) slots = 0;
+  slots_ = std::vector<std::atomic<Entry*>>(slots);
+  slot_mask_ = slots == 0 ? 0 : slots - 1;
+  probe_window_ = std::min<std::size_t>(16, slots);
+  static std::atomic<std::uint64_t> next_memo_id{1};
+  memo_id_ = next_memo_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+SharedReplayMemo::~SharedReplayMemo() {
+  for (std::atomic<Entry*>& slot : slots_) delete slot.load();
+  for (Entry* entry : retired_) delete entry;
+}
+
+std::uint64_t SharedReplayMemo::hash_key(const Key& key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the words
+  for (const std::uint64_t w : key) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 void SharedReplayMemo::bind(std::uint64_t generation) {
@@ -57,46 +101,149 @@ void SharedReplayMemo::bind(std::uint64_t generation) {
                  "create one memo per (campaign, engine)");
 }
 
-SharedReplayMemo::Shard& SharedReplayMemo::shard_for(const Key& key) {
-  return shards_[KeyHash{}(key) % shards_.size()];
+std::size_t SharedReplayMemo::acquire_reader_slot() {
+  const std::size_t idx =
+      reader_count_.fetch_add(1, std::memory_order_relaxed);
+  return idx < kMaxReaders ? idx : kFallbackReader;
 }
 
-std::shared_ptr<const CrashResult> SharedReplayMemo::find(const Key& key) {
-  Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  ++shard.lookups;
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) return nullptr;
-  ++shard.hits;
-  return it->second;
+bool SharedReplayMemo::hazarded(const Entry* entry) const {
+  for (std::size_t i = 0; i < kMaxReaders; ++i)
+    if (hazards_[i].load(std::memory_order_seq_cst) == entry) return true;
+  return false;
+}
+
+void SharedReplayMemo::retire_locked(Entry* entry) {
+  retired_.push_back(entry);
+  // Sweep: free everything no hazard slot still references. The list stays
+  // O(kMaxReaders): each sweep keeps only currently-hazarded entries.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    if (hazarded(retired_[i]))
+      retired_[keep++] = retired_[i];
+    else
+      delete retired_[i];
+  }
+  retired_.resize(keep);
+}
+
+void SharedReplayMemo::retire(Entry* entry) {
+  std::lock_guard<std::mutex> lock(fallback_mutex_);
+  retire_locked(entry);
+}
+
+std::shared_ptr<const CrashResult> SharedReplayMemo::find(const Key& key,
+                                                          std::size_t reader) {
+  const std::uint64_t h = hash_key(key);
+  Stripe& stripe = stripes_[h % stripes_.size()];
+  stripe.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (slots_.empty()) return nullptr;
+
+  if (reader == kFallbackReader) {
+    // No hazard slot: the mutex excludes retirement sweeps instead.
+    std::lock_guard<std::mutex> lock(fallback_mutex_);
+    for (std::size_t i = 0; i < probe_window_; ++i) {
+      const Entry* e =
+          slots_[(h + i) & slot_mask_].load(std::memory_order_acquire);
+      if (e == nullptr) break;
+      if (e->hash == h && e->key == key) {
+        stripe.hits.fetch_add(1, std::memory_order_relaxed);
+        return e->value;
+      }
+    }
+    return nullptr;
+  }
+
+  std::atomic<const Entry*>& hazard = hazards_[reader];
+  for (std::size_t i = 0; i < probe_window_; ++i) {
+    std::atomic<Entry*>& slot = slots_[(h + i) & slot_mask_];
+    Entry* e = slot.load(std::memory_order_acquire);
+    if (e == nullptr) break;
+    hazard.store(e, std::memory_order_seq_cst);
+    if (slot.load(std::memory_order_seq_cst) != e) {
+      // Displaced between load and hazard publication — the entry may
+      // already be retired, so it must not be dereferenced. Skipping the
+      // slot is benign: at worst this lookup misses and recomputes.
+      hazard.store(nullptr, std::memory_order_relaxed);
+      continue;
+    }
+    const bool match = e->hash == h && e->key == key;
+    std::shared_ptr<const CrashResult> value;
+    if (match) value = e->value;
+    hazard.store(nullptr, std::memory_order_release);
+    if (match) {
+      stripe.hits.fetch_add(1, std::memory_order_relaxed);
+      return value;
+    }
+  }
+  return nullptr;
 }
 
 void SharedReplayMemo::insert(const Key& key,
-                              std::shared_ptr<const CrashResult> value) {
-  if (shard_capacity_ == 0) return;
-  Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.map.size() >= shard_capacity_ && shard.map.count(key) == 0) {
-    // Clear-on-threshold: O(1) amortized, keeps the memo bounded while the
-    // hot keys of the next waves repopulate it immediately. Outstanding
-    // shared_ptr references stay valid.
-    shard.map.clear();
-    ++shard.evictions;
+                              std::shared_ptr<const CrashResult> value,
+                              std::size_t reader) {
+  if (slots_.empty()) return;
+  const std::uint64_t h = hash_key(key);
+  Stripe& stripe = stripes_[h % stripes_.size()];
+  Entry* fresh = new Entry{h, key, std::move(value)};
+
+  const bool fallback = reader == kFallbackReader;
+  std::unique_lock<std::mutex> lock(fallback_mutex_, std::defer_lock);
+  if (fallback) lock.lock();
+
+  for (std::size_t i = 0; i < probe_window_; ++i) {
+    std::atomic<Entry*>& slot = slots_[(h + i) & slot_mask_];
+    Entry* e = slot.load(std::memory_order_acquire);
+    while (e == nullptr) {
+      if (slot.compare_exchange_weak(e, fresh, std::memory_order_release,
+                                     std::memory_order_acquire)) {
+        stripe.insertions.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    // Occupied: keep the resident entry if it already carries this key
+    // (its value is bit-identical to ours by purity).
+    bool same_key = false;
+    if (fallback) {
+      same_key = e->hash == h && e->key == key;
+    } else {
+      std::atomic<const Entry*>& hazard = hazards_[reader];
+      hazard.store(e, std::memory_order_seq_cst);
+      if (slot.load(std::memory_order_seq_cst) == e)
+        same_key = e->hash == h && e->key == key;
+      hazard.store(nullptr, std::memory_order_release);
+    }
+    if (same_key) {
+      delete fresh;
+      stripe.insertions.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
-  shard.map.emplace(key, std::move(value));
-  ++shard.insertions;
+
+  // Window full: displace the home slot's resident (any victim preserves
+  // correctness; the home slot keeps the hottest recent key reachable).
+  Entry* victim = slots_[h & slot_mask_].exchange(fresh,
+                                                  std::memory_order_seq_cst);
+  stripe.insertions.fetch_add(1, std::memory_order_relaxed);
+  if (victim != nullptr) {
+    stripe.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (fallback)
+      retire_locked(victim);
+    else
+      retire(victim);
+  }
 }
 
 SharedReplayMemo::Stats SharedReplayMemo::stats() const {
   Stats stats;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    stats.lookups += shard.lookups;
-    stats.hits += shard.hits;
-    stats.insertions += shard.insertions;
-    stats.evictions += shard.evictions;
-    stats.entries += shard.map.size();
+  for (const Stripe& stripe : stripes_) {
+    stats.lookups += stripe.lookups.load(std::memory_order_relaxed);
+    stats.hits += stripe.hits.load(std::memory_order_relaxed);
+    stats.insertions += stripe.insertions.load(std::memory_order_relaxed);
+    stats.evictions += stripe.evictions.load(std::memory_order_relaxed);
   }
+  for (const std::atomic<Entry*>& slot : slots_)
+    if (slot.load(std::memory_order_acquire) != nullptr) ++stats.entries;
   return stats;
 }
 
@@ -123,7 +270,6 @@ void ReplayEngine::build_template() {
   m_ = schedule_->platform().proc_count();
   const std::size_t link_count = schedule_->platform().topology().link_count();
   resource_count_ = 3 * m_ + link_count;
-  queue_.assign(resource_count_, {});
 
   const auto exec_res = [&](ProcId p) { return p.index(); };
   const auto send_res = [&](ProcId p) { return m_ + p.index(); };
@@ -162,19 +308,27 @@ void ReplayEngine::build_template() {
     return id;
   };
 
-  // Execution ops.
-  exec_op_.assign(g.task_count(), {});
+  // Execution ops, CSR-indexed per task: exec_ops_[exec_op_begin_[t] + r].
+  exec_op_begin_.assign(g.task_count() + 1, 0);
+  for (const TaskId t : g.all_tasks())
+    exec_op_begin_[t.index() + 1] =
+        static_cast<std::uint32_t>(schedule_->total_replicas(t));
+  for (std::size_t i = 1; i <= g.task_count(); ++i)
+    exec_op_begin_[i] += exec_op_begin_[i - 1];
+  exec_ops_.assign(exec_op_begin_[g.task_count()], 0);
+  const auto exec_op = [&](std::size_t task, ReplicaIndex r) {
+    return exec_ops_[exec_op_begin_[task] + r];
+  };
   std::size_t seq = 0;
   for (const TaskId t : g.all_tasks()) {
     const std::size_t total = schedule_->total_replicas(t);
-    exec_op_[t.index()].resize(total);
     for (ReplicaIndex r = 0; r < total; ++r) {
       const ReplicaAssignment& a = schedule_->replica(t, r);
       const std::uint32_t id =
           push_op(kExec, a.finish - a.start, exec_res(a.proc),
                   static_cast<std::size_t>(-1), kNone32, false,
                   static_cast<std::int32_t>(a.proc.index()));
-      exec_op_[t.index()][r] = id;
+      exec_ops_[exec_op_begin_[t.index()] + r] = id;
       keyed.push_back({a.start, seq++, id, exec_res(a.proc)});
     }
   }
@@ -184,7 +338,7 @@ void ReplayEngine::build_template() {
   for (std::size_t ci = 0; ci < schedule_->comms().size(); ++ci) {
     const CommAssignment& c = schedule_->comms()[ci];
     const std::uint32_t source_exec =
-        exec_op_[c.from.task.index()][c.from.replica];
+        exec_op(c.from.task.index(), c.from.replica);
 
     if (c.intra() || schedule_->model() == CommModelKind::kMacroDataflow) {
       const std::uint32_t id =
@@ -232,12 +386,23 @@ void ReplayEngine::build_template() {
 
   op_count_ = kind_.size();
 
-  // Resource queues in committed order (same sort as the naive replay).
+  // Resource queues in committed order (same sort as the naive replay),
+  // flattened into one CSR array: the whole hot working set of the commit
+  // loop is then four contiguous arrays (queue_ops_, state, head, free_at).
   std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
     if (a.key != b.key) return a.key < b.key;
     return a.seq < b.seq;
   });
-  for (const Keyed& k : keyed) queue_[k.res].push_back(k.op);
+  queue_begin_.assign(resource_count_ + 1, 0);
+  for (const Keyed& k : keyed) ++queue_begin_[k.res + 1];
+  for (std::size_t r = 0; r < resource_count_; ++r)
+    queue_begin_[r + 1] += queue_begin_[r];
+  queue_ops_.assign(keyed.size(), 0);
+  {
+    std::vector<std::uint32_t> cursor(queue_begin_.begin(),
+                                      queue_begin_.end() - 1);
+    for (const Keyed& k : keyed) queue_ops_[cursor[k.res]++] = k.op;
+  }
 
   // Disjunctive input slots: one slot per (exec op, in-edge), flattened.
   exec_slot_begin_.assign(op_count_ + 1, 0);
@@ -247,7 +412,7 @@ void ReplayEngine::build_template() {
     const auto in = g.in_edges(t);
     const std::size_t total = schedule_->total_replicas(t);
     for (ReplicaIndex r = 0; r < total; ++r) {
-      const std::uint32_t eop = exec_op_[t.index()][r];
+      const std::uint32_t eop = exec_op(t.index(), r);
       inputs_by_exec[eop].assign(in.size(), {});
       for (const std::size_t ci : schedule_->incoming_comms(t, r)) {
         const CommAssignment& c = schedule_->comms()[ci];
@@ -344,6 +509,41 @@ void ReplayEngine::build_template() {
   kill_ops_.reserve(kill_begin_[m_]);
   for (std::size_t p = 0; p < m_; ++p)
     kill_ops_.insert(kill_ops_.end(), kills[p].begin(), kills[p].end());
+
+  // The kill lists inverted into per-op processor bitmasks, plus a
+  // topological order over the (prereq → dependent, slot input → exec)
+  // edges: close_dead_mask() uses them to turn dead-from-start propagation
+  // into one linear pass of word-sized mask tests. m > 64 (no single dead
+  // word) keeps the worklist path and leaves both arrays empty.
+  topo_order_.clear();
+  direct_kill_mask_.clear();
+  if (m_ <= 64) {
+    direct_kill_mask_.assign(op_count_, 0);
+    for (std::size_t p = 0; p < m_; ++p)
+      for (std::uint32_t i = kill_begin_[p]; i < kill_begin_[p + 1]; ++i)
+        direct_kill_mask_[kill_ops_[i]] |= std::uint64_t{1} << p;
+
+    std::vector<std::uint32_t> indegree(op_count_, 0);
+    for (std::uint32_t op = 0; op < op_count_; ++op) {
+      if (prereq_[op] != kNone32) ++indegree[op];
+      if (feed_slot_[op] != kNone32) ++indegree[feed_exec_[op]];
+    }
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t op = 0; op < op_count_; ++op)
+      if (indegree[op] == 0) stack.push_back(op);
+    topo_order_.reserve(op_count_);
+    while (!stack.empty()) {
+      const std::uint32_t op = stack.back();
+      stack.pop_back();
+      topo_order_.push_back(op);
+      for (std::uint32_t i = dep_begin_[op]; i < dep_begin_[op + 1]; ++i)
+        if (--indegree[dep_ops_[i]] == 0) stack.push_back(dep_ops_[i]);
+      if (feed_slot_[op] != kNone32 && --indegree[feed_exec_[op]] == 0)
+        stack.push_back(feed_exec_[op]);
+    }
+    CAFT_CHECK_MSG(topo_order_.size() == op_count_,
+                   "op dependency graph has a cycle");
+  }
 }
 
 void ReplayEngine::reset_pristine(Scratch& s) const {
@@ -357,6 +557,11 @@ void ReplayEngine::reset_pristine(Scratch& s) const {
   s.handoffs.assign(initial_handoffs_.begin(), initial_handoffs_.end());
   s.dead_inputs.assign(slot_input_begin_.size() - 1, 0);
   s.worklist.clear();
+  s.cand_ready.resize(resource_count_);
+  s.cand_op.resize(resource_count_);
+  s.dirty_flag.assign(resource_count_, 0);
+  s.dirty_resources.clear();
+  s.all_dirty = true;
   s.order_relaxations = 0;
   s.order_deadlock = false;
   s.died = false;
@@ -372,6 +577,11 @@ void ReplayEngine::restore_snapshot(Scratch& s, const Snapshot& snap) const {
   // No op is dead anywhere on the fault-free prefix.
   s.dead_inputs.assign(slot_input_begin_.size() - 1, 0);
   s.worklist.clear();
+  s.cand_ready.resize(resource_count_);
+  s.cand_op.resize(resource_count_);
+  s.dirty_flag.assign(resource_count_, 0);
+  s.dirty_resources.clear();
+  s.all_dirty = true;
   s.order_relaxations = 0;
   s.order_deadlock = false;
   s.died = false;
@@ -417,7 +627,9 @@ void ReplayEngine::propagate(Scratch& s) const {
   // Worklist closure of the naive propagate_dead fixpoint: a dead
   // prerequisite kills its dependents; an exec dies when some in-edge has
   // every input dead. The resulting state set is the same least fixpoint
-  // the naive full-scan loop computes.
+  // the naive full-scan loop computes. A death wave can invalidate any
+  // cached candidate, so the next commit refreshes them all.
+  s.all_dirty = true;
   while (!s.worklist.empty()) {
     const std::uint32_t op = s.worklist.back();
     s.worklist.pop_back();
@@ -440,22 +652,60 @@ void ReplayEngine::propagate(Scratch& s) const {
   }
 }
 
+void ReplayEngine::close_dead_mask(Scratch& s, std::uint64_t dead_mask) const {
+  // One linear pass over the topological order computes the same least
+  // fixpoint as the worklist propagate: every edge that can transmit death
+  // (prereq → dependent, slot input → exec) points forward in topo_order_,
+  // so by the time an op is visited everything that could kill it is final.
+  // The per-op test is word arithmetic on direct_kill_mask_, not
+  // pointer-chasing through kill lists.
+  for (const std::uint32_t op : topo_order_) {
+    bool dead = (direct_kill_mask_[op] & dead_mask) != 0;
+    const std::uint32_t pre = prereq_[op];
+    if (!dead && pre != kNone32 && s.state[pre] == kDead) dead = true;
+    if (!dead && kind_[op] == kExec) {
+      for (std::uint32_t slot = exec_slot_begin_[op];
+           slot < exec_slot_begin_[op + 1]; ++slot) {
+        const std::uint32_t total =
+            slot_input_begin_[slot + 1] - slot_input_begin_[slot];
+        // total > 0 mirrors the worklist, which kills through a slot only
+        // when an increment *reaches* the total — never for empty slots.
+        if (total > 0 && s.dead_inputs[slot] == total) {
+          dead = true;
+          break;
+        }
+      }
+    }
+    if (!dead) continue;
+    s.state[op] = kDead;
+    if (feed_slot_[op] != kNone32) ++s.dead_inputs[feed_slot_[op]];
+  }
+  // The worklist path interleaves head advances with deaths; advancing
+  // every resource once after all deaths lands each head on the same first
+  // still-pending op (advance is monotone and settled states are final).
+  for (std::uint32_t res = 0; res < resource_count_; ++res)
+    advance_resource(s, res);
+}
+
 void ReplayEngine::advance_resource(Scratch& s, std::uint32_t res) const {
-  const auto& q = queue_[res];
+  const std::uint32_t qb = queue_begin_[res];
+  const std::uint32_t qe = queue_begin_[res + 1];
   std::uint32_t h = s.head[res];
-  while (h < q.size() && s.state[q[h]] != kPending) ++h;
+  while (qb + h < qe && s.state[queue_ops_[qb + h]] != kPending) ++h;
   s.head[res] = h;
 }
 
 bool ReplayEngine::at_heads(const Scratch& s, std::uint32_t op) const {
   const std::uint32_t a = res_a_[op];
-  if (a != kNone32 &&
-      (s.head[a] >= queue_[a].size() || queue_[a][s.head[a]] != op))
-    return false;
+  if (a != kNone32) {
+    const std::uint32_t idx = queue_begin_[a] + s.head[a];
+    if (idx >= queue_begin_[a + 1] || queue_ops_[idx] != op) return false;
+  }
   const std::uint32_t b = res_b_[op];
-  if (b != kNone32 &&
-      (s.head[b] >= queue_[b].size() || queue_[b][s.head[b]] != op))
-    return false;
+  if (b != kNone32) {
+    const std::uint32_t idx = queue_begin_[b] + s.head[b];
+    if (idx >= queue_begin_[b + 1] || queue_ops_[idx] != op) return false;
+  }
   return true;
 }
 
@@ -486,35 +736,83 @@ bool ReplayEngine::runnable(const Scratch& s, std::uint32_t op,
   return true;
 }
 
+void ReplayEngine::recompute_candidate(Scratch& s, std::uint32_t res) const {
+  // The cached candidate is exactly what the old per-commit consider() scan
+  // computed for this resource's queue head; (kInf, kNone32) encodes "no
+  // runnable head" and can never win the selection below.
+  double ready = kInf;
+  std::uint32_t op = kNone32;
+  const std::uint32_t idx = queue_begin_[res] + s.head[res];
+  if (idx < queue_begin_[res + 1]) {
+    const std::uint32_t cand = queue_ops_[idx];
+    double r = 0.0;
+    if (s.state[cand] == kPending && at_heads(s, cand) &&
+        runnable(s, cand, r)) {
+      ready = r;
+      op = cand;
+    }
+  }
+  s.cand_ready[res] = ready;
+  s.cand_op[res] = op;
+}
+
+void ReplayEngine::mark_dirty(Scratch& s, std::uint32_t res) const {
+  if (s.all_dirty || s.dirty_flag[res] != 0) return;
+  s.dirty_flag[res] = 1;
+  s.dirty_resources.push_back(res);
+}
+
 bool ReplayEngine::commit_next(Scratch& s, const CrashScenario& scenario,
                                std::uint32_t* committed) const {
   s.died = false;
-  std::uint32_t best = kNone32;
-  double best_start = kInf;
   // Discrete-event step, exactly the naive selection: among the queue-head
   // operations (plus resource-free hand-offs) whose prerequisites are met,
   // commit the one with the earliest candidate start; lowest op id breaks
-  // ties.
-  const auto consider = [&](std::uint32_t op) {
-    if (s.state[op] != kPending) return;
-    if (!at_heads(s, op)) return;  // a wire must head *both* of its queues
-    double ready = 0.0;
-    if (!runnable(s, op, ready)) return;
+  // ties. Instead of re-deriving every head's readiness each step, the
+  // Scratch keeps a per-resource candidate cache (SoA: cand_ready/cand_op)
+  // and each commit refreshes only the resources the previous commit could
+  // have affected; the selection is then a branch-light min scan over two
+  // flat arrays. Candidate values come from the same at_heads/runnable
+  // code, so the selected (ready, op) — tie-breaks, ±inf conventions and
+  // IEEE arithmetic included — is bit-identical to the full rescan.
+  if (s.all_dirty) {
+    for (std::uint32_t res = 0;
+         res < static_cast<std::uint32_t>(resource_count_); ++res)
+      recompute_candidate(s, res);
+    s.all_dirty = false;
+    s.dirty_resources.clear();
+    std::fill(s.dirty_flag.begin(), s.dirty_flag.end(), 0);
+  } else {
+    for (const std::uint32_t res : s.dirty_resources) {
+      s.dirty_flag[res] = 0;
+      recompute_candidate(s, res);
+    }
+    s.dirty_resources.clear();
+  }
+
+  std::uint32_t best = kNone32;
+  double best_start = kInf;
+  for (std::size_t res = 0; res < resource_count_; ++res) {
+    const double ready = s.cand_ready[res];
+    const std::uint32_t op = s.cand_op[res];
     if (ready < best_start || (ready == best_start && op < best)) {
       best_start = ready;
       best = op;
     }
-  };
-  for (std::size_t res = 0; res < resource_count_; ++res)
-    if (s.head[res] < queue_[res].size())
-      consider(queue_[res][s.head[res]]);
+  }
   for (std::size_t hi = 0; hi < s.handoffs.size();) {
-    if (s.state[s.handoffs[hi]] != kPending) {
+    const std::uint32_t op = s.handoffs[hi];
+    if (s.state[op] != kPending) {
       s.handoffs[hi] = s.handoffs.back();  // drop settled hand-offs
       s.handoffs.pop_back();
       continue;
     }
-    consider(s.handoffs[hi]);
+    double ready = 0.0;
+    if (runnable(s, op, ready) &&
+        (ready < best_start || (ready == best_start && op < best))) {
+      best_start = ready;
+      best = op;
+    }
     ++hi;
   }
 
@@ -531,7 +829,13 @@ bool ReplayEngine::commit_next(Scratch& s, const CrashScenario& scenario,
         best = op;
       }
     }
-    if (best != kNone32) ++s.order_relaxations;
+    if (best != kNone32) {
+      ++s.order_relaxations;
+      // A queue-jumping commit moves resource clocks under ops that never
+      // headed a queue — no targeted invalidation covers that, so refresh
+      // everything next step (relaxations are rare: zero fault-free).
+      s.all_dirty = true;
+    }
   }
   if (best == kNone32) {
     // Nothing can ever run again: remaining pending work is lost.
@@ -564,7 +868,8 @@ bool ReplayEngine::commit_next(Scratch& s, const CrashScenario& scenario,
     s.free_at[m_ + p] = kInf;      // send port
     s.free_at[2 * m_ + p] = kInf;  // receive port
     // The caller runs propagate(), which advances this op's resources and
-    // those of everything that dies with it.
+    // those of everything that dies with it (and dirties every candidate).
+    s.all_dirty = true;
     return true;
   }
 
@@ -572,10 +877,26 @@ bool ReplayEngine::commit_next(Scratch& s, const CrashScenario& scenario,
   if (res_a_[best] != kNone32) {
     s.free_at[res_a_[best]] = std::max(s.free_at[res_a_[best]], finish);
     advance_resource(s, res_a_[best]);
+    mark_dirty(s, res_a_[best]);
   }
   if (res_b_[best] != kNone32) {
     s.free_at[res_b_[best]] = std::max(s.free_at[res_b_[best]], finish);
     advance_resource(s, res_b_[best]);
+    mark_dirty(s, res_b_[best]);
+  }
+  // Targeted invalidation — the commit can only change the candidacy of:
+  // ops behind it on its own resources (heads and clocks moved, covered
+  // above); its prerequisite dependents (now satisfiable); and the exec one
+  // of whose input slots it feeds (that slot's earliest live arrival may
+  // have dropped). Resource-free hand-offs are rescanned every step.
+  for (std::uint32_t i = dep_begin_[best]; i < dep_begin_[best + 1]; ++i) {
+    const std::uint32_t d = dep_ops_[i];
+    if (res_a_[d] != kNone32) mark_dirty(s, res_a_[d]);
+    if (res_b_[d] != kNone32) mark_dirty(s, res_b_[d]);
+  }
+  if (feed_slot_[best] != kNone32) {
+    const std::uint32_t e = feed_exec_[best];
+    if (res_a_[e] != kNone32) mark_dirty(s, res_a_[e]);
   }
   return true;
 }
@@ -595,7 +916,7 @@ CrashResult ReplayEngine::collect(const Scratch& s) const {
     result.finish[t.index()].assign(total, kInf);
     double first = kInf;
     for (ReplicaIndex r = 0; r < total; ++r) {
-      const std::uint32_t op = exec_op_[t.index()][r];
+      const std::uint32_t op = exec_ops_[exec_op_begin_[t.index()] + r];
       if (s.state[op] == kDone) {
         result.completed[t.index()][r] = true;
         result.finish[t.index()][r] = s.finish[op];
@@ -719,18 +1040,29 @@ void ReplayEngine::replay_uncached(const CrashScenario& scenario,
   const std::size_t snap = pick_snapshot(scenario);
   if (snap == static_cast<std::size_t>(-1)) {
     reset_pristine(scratch);
-    // Pre-kill the ops of processors dead from the start, then close over
-    // the consequences (starved replicas, broken chains) — the worklist
-    // form of kill_dead_processors + propagate_dead.
-    for (std::size_t p = 0; p < m_; ++p) {
-      if (!scenario.dead_from_start(
-              ProcId(static_cast<ProcId::value_type>(p))))
-        continue;
-      for (std::uint32_t i = kill_begin_[p]; i < kill_begin_[p + 1]; ++i)
-        if (scratch.state[kill_ops_[i]] == kPending)
-          kill(scratch, kill_ops_[i]);
+    if (m_ <= 64) {
+      // Dead-from-start closure as one linear bitmask pass (the worklist
+      // form of kill_dead_processors + propagate_dead computes the same
+      // least fixpoint; see close_dead_mask).
+      std::uint64_t dead_mask = 0;
+      for (std::size_t p = 0; p < m_; ++p)
+        if (scenario.dead_from_start(
+                ProcId(static_cast<ProcId::value_type>(p))))
+          dead_mask |= std::uint64_t{1} << p;
+      if (dead_mask != 0) close_dead_mask(scratch, dead_mask);
+    } else {
+      // No single dead word: pre-kill each dead processor's ops from the
+      // kill lists and close over the consequences with the worklist.
+      for (std::size_t p = 0; p < m_; ++p) {
+        if (!scenario.dead_from_start(
+                ProcId(static_cast<ProcId::value_type>(p))))
+          continue;
+        for (std::uint32_t i = kill_begin_[p]; i < kill_begin_[p + 1]; ++i)
+          if (scratch.state[kill_ops_[i]] == kPending)
+            kill(scratch, kill_ops_[i]);
+      }
+      propagate(scratch);
     }
-    propagate(scratch);
   } else {
     restore_snapshot(scratch, snapshots_[snap]);
   }
@@ -799,7 +1131,16 @@ const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
     scratch.memo.clear();
     scratch.shared_hold.reset();
   }
-  if (shared != nullptr) shared->bind(generation_);
+  if (shared != nullptr) {
+    shared->bind(generation_);
+    // Claim this Scratch's hazard-pointer slot on first contact with this
+    // memo (keyed by the memo's process-unique id, so a new memo at a dead
+    // one's address cannot inherit a stale slot).
+    if (scratch.hazard_memo_id != shared->memo_id_) {
+      scratch.hazard_memo_id = shared->memo_id_;
+      scratch.hazard_slot = shared->acquire_reader_slot();
+    }
+  }
 
   const KeyKind kind =
       classify(scenario, /*quantize_enabled=*/shared != nullptr, scratch.key);
@@ -813,7 +1154,7 @@ const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
     // Campaign-wide memo. The value is a pure function of the key (the
     // quantized key replays its canonical representative), so whichever
     // worker populates an entry first, every hit returns identical bits.
-    if (auto hit = shared->find(scratch.key)) {
+    if (auto hit = shared->find(scratch.key, scratch.hazard_slot)) {
       scratch.shared_hold = std::move(hit);
       return *scratch.shared_hold;
     }
@@ -823,7 +1164,7 @@ const CrashResult& ReplayEngine::replay(const CrashScenario& scenario,
       replay_uncached(scenario, scratch);
     auto value =
         std::make_shared<const CrashResult>(std::move(scratch.result));
-    shared->insert(scratch.key, value);
+    shared->insert(scratch.key, value, scratch.hazard_slot);
     scratch.shared_hold = std::move(value);
     return *scratch.shared_hold;
   }

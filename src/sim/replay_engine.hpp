@@ -21,8 +21,11 @@
 ///     all exceed those maxima replays *identically* through that prefix, so
 ///     `replay` branches from the latest valid snapshot instead of t = 0.
 ///     Scenarios with a processor dead from the start (the paper's model)
-///     fall back to the pristine state — they still reuse the template and
-///     a worklist-based dead-propagation instead of the naive fixpoint scan.
+///     fall back to the pristine state — they still reuse the template, and
+///     dead-propagation is a single linear pass over a precomputed
+///     topological op order testing per-op processor bitmasks against the
+///     ≤64-proc dead word (the worklist closure remains for m > 64 and for
+///     mid-replay θ deaths), instead of the naive fixpoint scan.
 ///  3. **Dead-set memoisation.** When every crash time is 0 or +inf (the
 ///     paper's "k processors dead from t = 0" model), the outcome is a pure
 ///     function of the dead-processor bitmask — and a uniform-k campaign
@@ -32,11 +35,13 @@
 ///     the shared prefix is empty, but the branch space itself is finite.
 ///  4. **Shared memoisation** (SharedReplayMemo). The per-Scratch memo never
 ///     crosses threads, so an 8-worker campaign re-simulates every mask up
-///     to 8 times. A SharedReplayMemo is one sharded, mutex-guarded map all
-///     workers consult; because the memoised value is a pure deterministic
-///     function of its key, a hit returns the *same bits* no matter which
-///     thread computed it first — summaries stay bit-for-bit independent of
-///     thread count. With a positive `theta_bucket_width` the shared memo
+///     to 8 times. A SharedReplayMemo is one striped open-addressing CAS
+///     table all workers consult lock-free; because the memoised value is a
+///     pure deterministic function of its key, a hit returns the *same bits*
+///     no matter which thread computed it first — summaries stay bit-for-bit
+///     independent of thread count, and a lost race (two workers computing
+///     the same key, or a reader missing an entry mid-eviction) costs one
+///     recompute of identical bits, never a wrong answer. With a positive `theta_bucket_width` the shared memo
 ///     also covers crash-at-θ scenarios: every finite positive crash time is
 ///     quantized to a bucket and the bucket's *midpoint representative*
 ///     scenario is replayed and cached, turning a continuous θ space into a
@@ -71,7 +76,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -112,36 +116,43 @@ struct ReplayEngineOptions {
   std::size_t memo_capacity = 1024;
 };
 
-/// Campaign-wide concurrent replay memo: N mutex-guarded shards keyed by
-/// (dead-set bitmask [, quantized-θ buckets]), shared by every worker thread
-/// of a campaign. Values are pure deterministic functions of their key, so
-/// concurrent population cannot introduce any thread-count dependence in
-/// folded summaries. Bound to one ReplayEngine instance on first use;
-/// rebinding to a different engine is a checked error (a memo never outlives
-/// the campaign that created it).
+/// Campaign-wide concurrent replay memo: a striped open-addressing CAS table
+/// keyed by (dead-set bitmask [, quantized-θ buckets]), shared by every
+/// worker thread of a campaign. Values are pure deterministic functions of
+/// their key, so concurrent population cannot introduce any thread-count
+/// dependence in folded summaries — a racing insert or an eviction-shadowed
+/// lookup degrades to a recompute of identical bits, never a wrong answer.
+/// Bound to one ReplayEngine instance on first use; rebinding to a different
+/// engine is a checked error (a memo never outlives the campaign that
+/// created it).
 struct SharedMemoOptions {
-  /// Lock shards; more shards = less contention, slightly more memory.
+  /// Statistic-counter stripes (cache-line padded); more stripes = less
+  /// false sharing on the hot lookup/hit counters. (Until PR 10 this was
+  /// the lock-shard count; the table itself is now lock-free.)
   std::size_t shards = 16;
-  /// Total entry cap across shards. A full shard is cleared and repopulated
-  /// (clear-on-threshold), bounding memory at O(capacity) CrashResults while
-  /// still memoising hot keys. 0 disables the memo (every lookup misses).
+  /// Entry cap. The table is a fixed array of `capacity` rounded down to a
+  /// power of two slots, so resident results are bounded at O(capacity)
+  /// *structurally*; a full probe window displaces one victim entry
+  /// (displace-on-collision eviction) while the hot keys of the next waves
+  /// re-enter immediately. 0 disables the memo (every lookup misses).
   std::size_t capacity = 1 << 15;
 };
 
 class SharedReplayMemo {
  public:
   explicit SharedReplayMemo(SharedMemoOptions options = {});
+  ~SharedReplayMemo();
 
   SharedReplayMemo(const SharedReplayMemo&) = delete;
   SharedReplayMemo& operator=(const SharedReplayMemo&) = delete;
 
-  /// Aggregated counters over all shards (snapshot; other threads may be
+  /// Aggregated counters over all stripes (snapshot; other threads may be
   /// mutating concurrently — use after the campaign joined its workers).
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
     std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;  ///< shard clears forced by the cap
+    std::uint64_t evictions = 0;  ///< entries displaced by full probe windows
     std::size_t entries = 0;      ///< currently resident results
   };
   [[nodiscard]] Stats stats() const;
@@ -155,35 +166,59 @@ class SharedReplayMemo {
   /// never collide (different lengths).
   using Key = std::vector<std::uint64_t>;
 
-  struct KeyHash {
-    std::size_t operator()(const Key& key) const {
-      std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the words
-      for (const std::uint64_t w : key) {
-        h ^= w;
-        h *= 1099511628211ull;
-      }
-      return static_cast<std::size_t>(h);
-    }
+  /// One immutable published entry. Slots hold Entry* atomically: an entry's
+  /// fields are written before its pointer is CAS-published and never after,
+  /// so any reader that observes the pointer (acquire) sees a complete entry.
+  struct Entry {
+    std::uint64_t hash;
+    Key key;
+    std::shared_ptr<const CrashResult> value;
   };
 
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<Key, std::shared_ptr<const CrashResult>, KeyHash> map;
-    std::uint64_t lookups = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
+  /// Cache-line-padded statistic stripe: counters only, never correctness.
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> evictions{0};
   };
+
+  /// Readers that exhausted the hazard-slot array serialize on a mutex
+  /// instead (correct, slower; only reachable past kMaxReaders scratches).
+  static constexpr std::size_t kMaxReaders = 128;
+  static constexpr std::size_t kFallbackReader =
+      static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static std::uint64_t hash_key(const Key& key);
 
   /// Binds the memo to one engine generation; throws on mismatch.
   void bind(std::uint64_t generation);
-  [[nodiscard]] std::shared_ptr<const CrashResult> find(const Key& key);
-  void insert(const Key& key, std::shared_ptr<const CrashResult> value);
-  [[nodiscard]] Shard& shard_for(const Key& key);
+  /// Claims a hazard-pointer slot for one Scratch (kFallbackReader when the
+  /// array is exhausted — that reader then uses the mutex path).
+  [[nodiscard]] std::size_t acquire_reader_slot();
+  [[nodiscard]] std::shared_ptr<const CrashResult> find(const Key& key,
+                                                        std::size_t reader);
+  void insert(const Key& key, std::shared_ptr<const CrashResult> value,
+              std::size_t reader);
+  /// Defers freeing a displaced entry until no hazard pointer references it.
+  void retire(Entry* entry);
+  void retire_locked(Entry* entry);
+  [[nodiscard]] bool hazarded(const Entry* entry) const;
 
-  std::deque<Shard> shards_;  ///< deque: Shard holds a mutex, never moves
-  std::size_t shard_capacity_;
+  std::vector<std::atomic<Entry*>> slots_;  ///< power-of-two open table
+  std::size_t slot_mask_ = 0;
+  std::size_t probe_window_ = 0;
+  std::vector<Stripe> stripes_;
+  std::unique_ptr<std::atomic<const Entry*>[]> hazards_;  ///< kMaxReaders
+  std::atomic<std::size_t> reader_count_{0};
+  /// Guards retired_ and the no-hazard-slot reader path; retire sweeps
+  /// under it, so fallback readers can never observe a freed entry.
+  std::mutex fallback_mutex_;
+  std::vector<Entry*> retired_;  ///< displaced but still hazard-referenced
   std::atomic<std::uint64_t> bound_generation_{0};
+  /// Process-unique id (never 0); keys Scratch hazard-slot binding so a new
+  /// memo at a dead one's address cannot inherit stale reader slots.
+  std::uint64_t memo_id_ = 0;
 };
 
 /// Prefix-cached replay engine bound to one committed schedule.
@@ -222,6 +257,16 @@ class ReplayEngine {
     std::vector<std::uint32_t> handoffs;
     std::vector<std::uint32_t> dead_inputs;
     std::vector<std::uint32_t> worklist;
+    /// Per-resource candidate cache (structure-of-arrays): the ready time
+    /// and op id of each resource's runnable queue head, kept current by
+    /// targeted invalidation so each commit recomputes only the resources
+    /// the previous commit touched, then takes a branch-light min over two
+    /// flat arrays. (kInf, kNone32) encodes "no runnable head".
+    std::vector<double> cand_ready;
+    std::vector<std::uint32_t> cand_op;
+    std::vector<std::uint32_t> dirty_resources;
+    std::vector<std::uint8_t> dirty_flag;
+    bool all_dirty = true;
     std::size_t order_relaxations = 0;
     bool order_deadlock = false;
     bool died = false;
@@ -236,6 +281,10 @@ class ReplayEngine {
     std::uint64_t evictions = 0;
     /// Reused key buffer for shared-memo probes (no allocation per probe).
     std::vector<std::uint64_t> key;
+    /// Hazard-pointer slot in the SharedReplayMemo this Scratch last probed
+    /// (claimed lazily, keyed by the memo's process-unique id).
+    std::uint64_t hazard_memo_id = 0;
+    std::size_t hazard_slot = 0;
     /// Keeps the latest shared-memo result alive across evictions: replay
     /// returns a reference into it, valid until the next replay call.
     std::shared_ptr<const CrashResult> shared_hold;
@@ -314,8 +363,16 @@ class ReplayEngine {
 
   void kill(Scratch& s, std::uint32_t op) const;
   void propagate(Scratch& s) const;
+  /// Dead-from-start closure: one linear pass over topo_order_ computing the
+  /// same least fixpoint as the worklist propagate, as branch-light bitmask
+  /// tests of direct_kill_mask_ against the ≤64-proc dead word. Only valid
+  /// from the pristine state (no op settled yet); m_ <= 64 only.
+  void close_dead_mask(Scratch& s, std::uint64_t dead_mask) const;
   /// Advances one resource's head cursor past settled ops.
   void advance_resource(Scratch& s, std::uint32_t res) const;
+  /// Recomputes one resource's cached (ready, op) candidate.
+  void recompute_candidate(Scratch& s, std::uint32_t res) const;
+  void mark_dirty(Scratch& s, std::uint32_t res) const;
   [[nodiscard]] bool at_heads(const Scratch& s, std::uint32_t op) const;
   [[nodiscard]] bool runnable(const Scratch& s, std::uint32_t op,
                               double& ready) const;
@@ -338,12 +395,17 @@ class ReplayEngine {
   std::vector<std::uint32_t> prereq_;
   std::vector<std::int32_t> owner_;  ///< proc whose crash kills the op, or -1
 
-  /// Committed per-resource queues (same order as the naive replay).
-  std::vector<std::vector<std::uint32_t>> queue_;
+  /// Committed per-resource queues (same order as the naive replay),
+  /// flattened CSR-style: queue_ops_[queue_begin_[r] .. queue_begin_[r+1]).
+  /// Scratch head cursors stay relative to each resource's own queue.
+  std::vector<std::uint32_t> queue_begin_;  ///< size resource_count_+1
+  std::vector<std::uint32_t> queue_ops_;
   std::vector<std::uint32_t> initial_handoffs_;
 
-  /// exec_op_[task][replica] = op id (for collect()).
-  std::vector<std::vector<std::uint32_t>> exec_op_;
+  /// exec ops per task, flattened CSR-style (for collect()):
+  /// exec_ops_[exec_op_begin_[t] + replica] = op id.
+  std::vector<std::uint32_t> exec_op_begin_;  ///< size task_count+1
+  std::vector<std::uint32_t> exec_ops_;
 
   // Disjunctive exec inputs, flattened: exec op -> [slot_begin, slot_end)
   // global in-edge slots; slot -> terminating op ids feeding it.
@@ -361,6 +423,12 @@ class ReplayEngine {
   /// is dead from the start (mirrors the naive kill_dead_processors rules).
   std::vector<std::uint32_t> kill_begin_;
   std::vector<std::uint32_t> kill_ops_;
+  /// The same kill lists inverted into per-op processor bitmasks (m_ <= 64
+  /// only; empty otherwise): op dies directly iff mask & dead-word != 0.
+  std::vector<std::uint64_t> direct_kill_mask_;
+  /// Ops in a topological order of (prereq, slot-input → exec) edges; the
+  /// dead-from-start closure is one linear pass over this.
+  std::vector<std::uint32_t> topo_order_;
 
   std::size_t commit_count_ = 0;
   std::vector<Snapshot> snapshots_;

@@ -237,14 +237,15 @@ TEST(SessionSubprocess, TelemetryParityWithInProcess) {
   const caft::CampaignTelemetry& b = subprocess.telemetry;
   EXPECT_EQ(a.replays, spec.replays);
   EXPECT_EQ(b.replays, spec.replays);
-  // Memo *lookups* are a pure function of the scenario stream (one per
-  // replay that is not short-circuited), so they must match bit-exactly
-  // across backends; *hits* depend on memo state and block partitioning,
-  // so only liveness is asserted.
-  EXPECT_EQ(b.memo_lookups, a.memo_lookups);
+  // The wave executor batches identical scenarios, so the memo sees one
+  // probe per distinct-scenario run per wave — lookup and hit counts are a
+  // function of the block partitioning, not of the replay count, and the
+  // subprocess backend's finer blocks can only probe at least as often as
+  // the in-process single wave. (Summary bytes stay partition-independent;
+  // only this observational telemetry varies.)
   EXPECT_GT(a.memo_lookups, 0u);
-  EXPECT_GT(a.memo_hits, 0u);
-  EXPECT_GT(b.memo_hits, 0u);
+  EXPECT_GT(b.memo_lookups, 0u);
+  EXPECT_GE(b.memo_lookups, a.memo_lookups);
   // Workers run the same engine configuration, so the folded snapshot
   // count is per-worker-identical; the coordinator reports the maximum.
   EXPECT_EQ(b.snapshots, a.snapshots);

@@ -43,9 +43,8 @@
 int main(int argc, char** argv) {
   const caft::CliArgs args(argc, argv);
   if (args.has("help")) {
-    std::fprintf(stderr, "see the header of tools/campaign_client.cpp for "
-                         "usage\n");
-    return 2;
+    std::printf("see the header of tools/campaign_client.cpp for usage\n");
+    return 0;
   }
   if (args.has("version")) {
     std::printf("%s\n", caft::version_line().c_str());
